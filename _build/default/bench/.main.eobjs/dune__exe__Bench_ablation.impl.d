@@ -1,0 +1,1 @@
+bench/bench_ablation.ml: Bench_common Config Driver Fasttrack Fasttrack_ref List Stats Table Workload Workloads

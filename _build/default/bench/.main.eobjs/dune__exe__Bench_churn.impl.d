@@ -1,0 +1,1 @@
+bench/bench_churn.ml: Bench_common Config Driver Fasttrack Fasttrack_accordion List Patterns Printf Program Table Trace Var Workload

@@ -1,0 +1,1 @@
+bench/bench_common.ml: Basic_vc Config Detector Djit_plus Driver Empty_tool Eraser Fasttrack Goldilocks Hashtbl List Multi_race Option Printf Trace Workload

@@ -1,0 +1,1 @@
+bench/bench_common.mli: Config Detector Driver Trace Workload

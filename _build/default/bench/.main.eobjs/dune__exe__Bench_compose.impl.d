@@ -1,0 +1,1 @@
+bench/bench_compose.ml: Atomizer Bench_common Checker Filter List Option Paper_data Printf Singletrack String Table Velodrome Workload Workloads

@@ -1,0 +1,1 @@
+bench/bench_eclipse.ml: Bench_common Hashtbl List Option Paper_data Printf Table Trace Workload Workloads

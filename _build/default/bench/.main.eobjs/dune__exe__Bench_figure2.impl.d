@@ -1,0 +1,1 @@
+bench/bench_figure2.ml: Bench_common Djit_plus Fasttrack Hashtbl List Paper_data Printf Stats String Table Workloads

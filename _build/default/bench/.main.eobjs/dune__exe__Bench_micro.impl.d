@@ -1,0 +1,1 @@
+bench/bench_micro.ml: Analyze Bechamel Bench_common Benchmark Config Detector Fasttrack Filter Hashtbl Instance List Measure Option Printf Staged String Test Time Toolkit Trace Velodrome Workloads

@@ -1,0 +1,1 @@
+bench/bench_scaling.ml: Array Bench_common List Patterns Printf Program Table Trace Workload

@@ -1,0 +1,1 @@
+bench/bench_table1.ml: Bench_common List Paper_data Printf String Table Trace Workload Workloads

@@ -1,0 +1,1 @@
+bench/bench_table2.ml: Bench_common Djit_plus Fasttrack List Paper_data Printf Stats Table Workload Workloads

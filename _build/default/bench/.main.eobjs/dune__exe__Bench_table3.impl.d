@@ -1,0 +1,1 @@
+bench/bench_table3.ml: Bench_common Config Djit_plus Fasttrack List Printf Stats Table Trace Workload Workloads

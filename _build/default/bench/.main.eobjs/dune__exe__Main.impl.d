@@ -1,0 +1,1 @@
+bench/main.ml: Array Bench_ablation Bench_churn Bench_compose Bench_eclipse Bench_figure2 Bench_micro Bench_scaling Bench_table1 Bench_table2 Bench_table3 List Printf String Sys

@@ -1,0 +1,81 @@
+(* Experiment A1 — ablations of FastTrack's design choices (our
+   addition; DESIGN.md section 2):
+
+   - the same-epoch fast path ([FT READ/WRITE SAME EPOCH]);
+   - read demotion ([FT WRITE SHARED] resetting R_x to ⊥e);
+   - the packed-int epoch representation, approximated by comparing
+     the optimized detector against the boxed, purely-functional
+     reference semantics of Fasttrack_ref. *)
+
+let variants =
+  [ ("FastTrack (full)", Config.default);
+    ( "no same-epoch fast path",
+      { Config.default with same_epoch_fast_path = false } );
+    ("no read demotion", { Config.default with read_demotion = false });
+    ( "neither",
+      { Config.default with same_epoch_fast_path = false;
+        read_demotion = false } ) ]
+
+let reference_time tr repeat =
+  let total = ref 0. in
+  for _ = 1 to repeat do
+    let (_ : (Fasttrack_ref.state, Fasttrack_ref.stuck) result), dt =
+      Driver.time (fun () -> Fasttrack_ref.run tr)
+    in
+    total := !total +. dt
+  done;
+  !total /. float_of_int repeat
+
+let run ~scale ~repeat () =
+  print_endline "== Ablation: FastTrack design choices ==";
+  let workloads =
+    List.filter (fun w -> w.Workload.compute_bound) Workloads.table1
+  in
+  let t =
+    Table.create
+      ~columns:
+        [ ("Variant", Table.Left); ("Slowdown", Table.Right);
+          ("VC allocs", Table.Right); ("VC ops", Table.Right);
+          ("Epoch ops", Table.Right) ]
+  in
+  let totals =
+    List.map
+      (fun (label, config) ->
+        let slowdowns = ref [] in
+        let allocs = ref 0 and vc_ops = ref 0 and epoch_ops = ref 0 in
+        List.iter
+          (fun w ->
+            let tr = Bench_common.trace_of ~scale w in
+            let base = Bench_common.base_time ~repeat tr in
+            let r, elapsed =
+              Bench_common.measure ~repeat ~config (module Fasttrack) tr
+            in
+            slowdowns := Bench_common.slowdown elapsed base :: !slowdowns;
+            allocs := !allocs + r.stats.Stats.vc_allocs;
+            vc_ops := !vc_ops + r.stats.Stats.vc_ops;
+            epoch_ops := !epoch_ops + r.stats.Stats.epoch_ops)
+          workloads;
+        (label, Bench_common.mean !slowdowns, !allocs, !vc_ops, !epoch_ops))
+      variants
+  in
+  List.iter
+    (fun (label, slow, allocs, vc_ops, epoch_ops) ->
+      Table.add_row t
+        [ label; Table.fmt_slowdown slow; Table.fmt_int allocs;
+          Table.fmt_int vc_ops; Table.fmt_int epoch_ops ])
+    totals;
+  Table.add_separator t;
+  (* The boxed/functional representation, on a smaller sample (it is
+     far too slow for the full set). *)
+  let sample = Bench_common.trace_of ~scale:1 (List.hd workloads) in
+  let base = Bench_common.base_time ~repeat sample in
+  let boxed = reference_time sample repeat in
+  Table.add_row t
+    [ "boxed reference (colt, scale 1)";
+      Table.fmt_slowdown (Bench_common.slowdown boxed base); "-"; "-"; "-" ];
+  let _, packed_time = Bench_common.measure ~repeat (module Fasttrack) sample in
+  Table.add_row t
+    [ "packed epochs (colt, scale 1)";
+      Table.fmt_slowdown (Bench_common.slowdown packed_time base); "-"; "-";
+      "-" ];
+  Table.print t

@@ -1,0 +1,66 @@
+let detectors : (string * (module Detector.S)) list =
+  [ ("Empty", (module Empty_tool));
+    ("Eraser", (module Eraser));
+    ("MultiRace", (module Multi_race));
+    ("Goldilocks", (module Goldilocks));
+    ("BasicVC", (module Basic_vc));
+    ("DJIT+", (module Djit_plus));
+    ("FastTrack", (module Fasttrack)) ]
+
+let detector name =
+  match List.assoc_opt name detectors with
+  | Some d -> d
+  | None -> invalid_arg (Printf.sprintf "unknown detector %S" name)
+
+let trace_cache : (string * int, Trace.t) Hashtbl.t = Hashtbl.create 32
+
+let trace_of ~scale (w : Workload.t) =
+  match Hashtbl.find_opt trace_cache (w.name, scale) with
+  | Some tr -> tr
+  | None ->
+    let tr = Workload.trace ~seed:11 ~scale w in
+    Hashtbl.replace trace_cache (w.name, scale) tr;
+    tr
+
+(* Sys.time's resolution is in the millisecond range: when a run is
+   too quick to resolve, multiply the repetitions until the total
+   measured time is meaningful. *)
+let min_total = 2e-3
+let max_boost = 256
+
+let measure ~repeat ?(config = Config.default) d tr =
+  let run_batch n =
+    let rec go i acc last =
+      if i >= n then (Option.get last, acc /. float_of_int n)
+      else
+        let r = Driver.run ~config d tr in
+        go (i + 1) (acc +. r.Driver.elapsed) (Some r)
+    in
+    go 0 0. None
+  in
+  let rec stabilize n =
+    let r, mean = run_batch n in
+    if mean *. float_of_int n >= min_total || n >= max_boost then (r, mean)
+    else stabilize (n * 4)
+  in
+  stabilize repeat
+
+let base_time ~repeat tr =
+  let rec stabilize n =
+    let mean = Driver.replay ~repeat:n tr in
+    if mean *. float_of_int n >= min_total || n >= 4 * max_boost then mean
+    else stabilize (n * 4)
+  in
+  stabilize repeat
+
+let slowdown elapsed base = if base <= 0. then 0. else elapsed /. base
+
+let mean = function
+  | [] -> 0.
+  | xs -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let geo_mean = function
+  | [] -> 0.
+  | xs ->
+    exp (List.fold_left (fun acc x -> acc +. log (max x 1e-9)) 0. xs
+         /. float_of_int (List.length xs))

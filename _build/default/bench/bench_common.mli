@@ -1,0 +1,27 @@
+(** Shared utilities for the benchmark harness. *)
+
+val detectors : (string * (module Detector.S)) list
+(** All seven tools in the paper's column order:
+    Empty, Eraser, MultiRace, Goldilocks, BasicVC, DJIT+, FastTrack. *)
+
+val detector : string -> (module Detector.S)
+(** @raise Invalid_argument for unknown names. *)
+
+val trace_of : scale:int -> Workload.t -> Trace.t
+(** Workload trace at the given scale, memoized (benchmarks reuse the
+    same trace across tools for apples-to-apples comparison). *)
+
+val measure :
+  repeat:int -> ?config:Config.t -> (module Detector.S) -> Trace.t ->
+  Driver.result * float
+(** Runs the detector [repeat] times on the trace (fresh instance each
+    time), returning the last result and the mean elapsed seconds. *)
+
+val base_time : repeat:int -> Trace.t -> float
+(** Mean bare-replay time — the denominator of every slowdown. *)
+
+val slowdown : float -> float -> float
+(** [slowdown elapsed base] guards against a zero denominator. *)
+
+val geo_mean : float list -> float
+val mean : float list -> float

@@ -1,0 +1,72 @@
+(* Experiment E5 — the Section 5.2 analysis-composition table:
+   slowdown of the Atomizer / Velodrome / SingleTrack checkers under
+   the NONE / TL / ERASER / DJIT+ / FASTTRACK prefilters, averaged
+   over the compute-bound workloads. *)
+
+let checkers : (string * (module Checker.S)) list =
+  [ ("Atomizer", (module Atomizer));
+    ("Velodrome", (module Velodrome));
+    ("SingleTrack", (module Singletrack)) ]
+
+let meaningful checker (kind : Filter.kind) =
+  (* Footnote 7: Atomizer already uses Eraser internally. *)
+  not (String.equal checker "Atomizer" && kind = Filter.Eraser_pre)
+
+let run ~scale ~repeat () =
+  print_endline "== Section 5.2: checker slowdown under prefilters ==";
+  let workloads =
+    List.filter (fun w -> w.Workload.compute_bound) Workloads.table1
+  in
+  let bases =
+    List.map
+      (fun w ->
+        let tr = Bench_common.trace_of ~scale w in
+        (w.Workload.name, (tr, Bench_common.base_time ~repeat tr)))
+      workloads
+  in
+  let t =
+    Table.create
+      ~columns:
+        (("Checker", Table.Left)
+        :: List.concat_map
+             (fun k ->
+               let n = Filter.kind_name k in
+               [ (n, Table.Right); (n ^ " paper", Table.Right) ])
+             Filter.all_kinds)
+  in
+  List.iter
+    (fun (cname, cmod) ->
+      let cells =
+        List.concat_map
+          (fun kind ->
+            if not (meaningful cname kind) then [ "-"; "-" ]
+            else begin
+              let slowdowns =
+                List.map
+                  (fun (_, (tr, base)) ->
+                    let runs =
+                      List.init repeat (fun _ -> Filter.run kind cmod tr)
+                    in
+                    let elapsed =
+                      Bench_common.mean
+                        (List.map (fun r -> r.Filter.elapsed) runs)
+                    in
+                    Bench_common.slowdown elapsed base)
+                  bases
+              in
+              let paper =
+                List.assoc cname Paper_data.compose
+                |> List.assoc (Filter.kind_name kind)
+                |> Option.map (Printf.sprintf "%.1f")
+                |> Option.value ~default:"-"
+              in
+              [ Table.fmt_slowdown (Bench_common.mean slowdowns); paper ]
+            end)
+          Filter.all_kinds
+      in
+      Table.add_row t (cname :: cells))
+    checkers;
+  Table.print t;
+  Printf.printf
+    "(shape to reproduce: every prefilter helps, and the FASTTRACK \
+     prefilter gives each checker its largest speedup)\n"

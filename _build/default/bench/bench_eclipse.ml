@@ -1,0 +1,62 @@
+(* Experiment E6 — the Section 5.3 Eclipse table: slowdowns of Empty,
+   Eraser, DJIT+ and FastTrack on the five user-initiated operations,
+   plus the warning-count comparison (Eraser ~960 vs FastTrack 30 and
+   DJIT+ 28 in the paper). *)
+
+let tools = [ "Empty"; "Eraser"; "DJIT+"; "FastTrack" ]
+
+let run ~scale ~repeat () =
+  print_endline "== Section 5.3: Eclipse operations ==";
+  let t =
+    Table.create
+      ~columns:
+        ([ ("Operation", Table.Left); ("Events", Table.Right);
+           ("Base(ms)", Table.Right) ]
+        @ List.concat_map
+            (fun n -> [ (n, Table.Right); (n ^ " paper", Table.Right) ])
+            tools)
+  in
+  let warning_totals = Hashtbl.create 4 in
+  List.iter2
+    (fun (w : Workload.t) (paper : Paper_data.eclipse_row) ->
+      let tr = Bench_common.trace_of ~scale w in
+      let base = Bench_common.base_time ~repeat tr in
+      let cells =
+        List.concat_map
+          (fun name ->
+            let r, elapsed =
+              Bench_common.measure ~repeat (Bench_common.detector name) tr
+            in
+            let prev =
+              Option.value (Hashtbl.find_opt warning_totals name) ~default:0
+            in
+            Hashtbl.replace warning_totals name
+              (prev + List.length r.warnings);
+            let paper_value =
+              match name with
+              | "Empty" -> paper.empty_e
+              | "Eraser" -> paper.eraser_e
+              | "DJIT+" -> paper.djit_e
+              | "FastTrack" -> paper.fasttrack_e
+              | _ -> assert false
+            in
+            [ Table.fmt_slowdown (Bench_common.slowdown elapsed base);
+              Printf.sprintf "%.1f" paper_value ])
+          tools
+      in
+      Table.add_row t
+        ([ paper.operation; Table.fmt_int (Trace.length tr);
+           Printf.sprintf "%.1f" (base *. 1000.) ]
+        @ cells))
+    Workloads.eclipse Paper_data.eclipse;
+  Table.print t;
+  print_endline "warnings over all five operations:";
+  List.iter
+    (fun name ->
+      if name <> "Empty" then
+        Printf.printf "  %-10s ours %4d   paper %4d\n" name
+          (Option.value (Hashtbl.find_opt warning_totals name) ~default:0)
+          (Option.value
+             (List.assoc_opt name Paper_data.eclipse_warnings)
+             ~default:0))
+    tools

@@ -1,0 +1,52 @@
+(* Experiment E2 — Table 2: vector clocks allocated and O(n)-time
+   vector clock operations, DJIT+ vs FastTrack. *)
+
+let run ~scale ~repeat:_ () =
+  print_endline "== Table 2: vector clock allocation and usage ==";
+  let t =
+    Table.create
+      ~columns:
+        [ ("Program", Table.Left);
+          ("VCs alloc DJIT+", Table.Right); ("VCs alloc FT", Table.Right);
+          ("VC ops DJIT+", Table.Right); ("VC ops FT", Table.Right);
+          ("paper alloc ratio", Table.Right);
+          ("our alloc ratio", Table.Right) ]
+  in
+  let totals = ref (0, 0, 0, 0) in
+  List.iter
+    (fun (w : Workload.t) ->
+      let tr = Bench_common.trace_of ~scale w in
+      let djit, _ = Bench_common.measure ~repeat:1 (module Djit_plus) tr in
+      let ft, _ = Bench_common.measure ~repeat:1 (module Fasttrack) tr in
+      let da = djit.stats.Stats.vc_allocs and fa = ft.stats.Stats.vc_allocs in
+      let dops = djit.stats.Stats.vc_ops and fops = ft.stats.Stats.vc_ops in
+      let ta, tf, tda, tfa = !totals in
+      totals := (ta + da, tf + fa, tda + dops, tfa + fops);
+      let paper_ratio =
+        match
+          List.find_opt
+            (fun (r : Paper_data.table2_row) -> r.program2 = w.name)
+            Paper_data.table2
+        with
+        | Some r ->
+          Printf.sprintf "%.0fx"
+            (float_of_int r.djit_allocs /. float_of_int (max r.ft_allocs 1))
+        | None -> "-"
+      in
+      Table.add_row t
+        [ w.name; Table.fmt_int da; Table.fmt_int fa; Table.fmt_int dops;
+          Table.fmt_int fops; paper_ratio;
+          Printf.sprintf "%.0fx" (float_of_int da /. float_of_int (max fa 1))
+        ])
+    Workloads.table1;
+  Table.add_separator t;
+  let ta, tf, tda, tfa = !totals in
+  Table.add_row t
+    [ "Total"; Table.fmt_int ta; Table.fmt_int tf; Table.fmt_int tda;
+      Table.fmt_int tfa; "155x";
+      Printf.sprintf "%.0fx" (float_of_int ta /. float_of_int (max tf 1)) ];
+  Table.print t;
+  Printf.printf
+    "paper totals: DJIT+ 796,816,918 VCs / 5,103,592,958 ops; FastTrack \
+     5,142,120 VCs / 71,284,601 ops (155x / 72x reductions)\n";
+  (ta, tf, tda, tfa)

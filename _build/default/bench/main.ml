@@ -1,0 +1,61 @@
+(* Benchmark harness: regenerates every table and figure of the
+   paper's evaluation (DESIGN.md's experiment index E1-E6 plus the A1
+   ablation), printing our measurements next to the published numbers.
+
+     dune exec bench/main.exe            -- all experiments
+     dune exec bench/main.exe -- table1  -- one experiment
+     dune exec bench/main.exe -- --scale 4 --repeat 5 table1 *)
+
+let experiments :
+    (string * (scale:int -> repeat:int -> unit -> unit)) list =
+  [ ("table1", fun ~scale ~repeat () ->
+        ignore (Bench_table1.run ~scale ~repeat ()));
+    ("table2", fun ~scale ~repeat () ->
+        ignore (Bench_table2.run ~scale ~repeat ()));
+    ("table3", Bench_table3.run);
+    ("figure2", Bench_figure2.run);
+    ("compose", Bench_compose.run);
+    ("eclipse", Bench_eclipse.run);
+    ("ablation", Bench_ablation.run);
+    ("scaling", Bench_scaling.run);
+    ("churn", Bench_churn.run);
+    ("micro", fun ~scale:_ ~repeat:_ () -> Bench_micro.run ()) ]
+
+let usage () =
+  prerr_endline
+    "usage: main.exe [--scale N] [--repeat N] [experiment ...]";
+  Printf.eprintf "experiments: %s (default: all)\n"
+    (String.concat " " (List.map fst experiments));
+  exit 2
+
+let () =
+  let scale = ref 2 in
+  let repeat = ref 3 in
+  let chosen = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--scale" :: v :: rest ->
+      scale := int_of_string v;
+      parse rest
+    | "--repeat" :: v :: rest ->
+      repeat := int_of_string v;
+      parse rest
+    | name :: rest when List.mem_assoc name experiments ->
+      chosen := name :: !chosen;
+      parse rest
+    | _ -> usage ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let chosen =
+    match List.rev !chosen with
+    | [] -> List.map fst experiments
+    | names -> names
+  in
+  Printf.printf
+    "FastTrack reproduction benchmarks (scale %d, repeat %d)\n\n" !scale
+    !repeat;
+  List.iter
+    (fun name ->
+      (List.assoc name experiments) ~scale:!scale ~repeat:!repeat ();
+      print_newline ())
+    chosen

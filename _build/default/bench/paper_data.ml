@@ -1,0 +1,179 @@
+type table1_row = {
+  program : string;
+  threads : int;
+  base_seconds : float;
+  compute_bound : bool;
+  empty : float;
+  eraser : float;
+  multirace : float;
+  goldilocks_rr : float option;
+  basicvc : float;
+  djit : float;
+  fasttrack : float;
+  w_eraser : int;
+  w_multirace : int option;
+  w_goldilocks : int option;
+  w_basicvc : int;
+  w_djit : int;
+  w_fasttrack : int;
+}
+
+let row program threads base_seconds compute_bound empty eraser multirace
+    goldilocks_rr basicvc djit fasttrack w_eraser w_multirace w_goldilocks
+    w_basicvc w_djit w_fasttrack =
+  { program; threads; base_seconds; compute_bound; empty; eraser; multirace;
+    goldilocks_rr; basicvc; djit; fasttrack; w_eraser; w_multirace;
+    w_goldilocks; w_basicvc; w_djit; w_fasttrack }
+
+let table1 =
+  [ row "colt" 11 16.1 true 0.9 0.9 0.9 (Some 1.8) 0.9 0.9 0.9
+      3 (Some 0) (Some 0) 0 0 0;
+    row "crypt" 7 0.2 true 7.6 14.7 54.8 (Some 77.4) 84.4 54.0 14.3
+      0 (Some 0) (Some 0) 0 0 0;
+    row "lufact" 4 4.5 true 2.6 8.1 42.5 None 95.1 36.3 13.5
+      4 (Some 0) None 0 0 0;
+    row "moldyn" 4 8.5 true 5.6 9.1 45.0 (Some 17.5) 111.7 39.6 10.6
+      0 (Some 0) (Some 0) 0 0 0;
+    row "montecarlo" 4 5.0 true 4.2 8.5 32.8 (Some 6.3) 49.4 30.5 6.4
+      0 (Some 0) (Some 0) 0 0 0;
+    row "mtrt" 5 0.5 true 5.7 6.5 7.1 (Some 6.7) 8.3 7.1 6.0
+      1 (Some 1) (Some 1) 1 1 1;
+    row "raja" 2 0.7 true 2.8 3.0 3.2 (Some 2.7) 3.5 3.4 2.8
+      0 (Some 0) (Some 0) 0 0 0;
+    row "raytracer" 4 6.8 true 4.6 6.7 17.9 (Some 32.8) 250.2 18.1 13.1
+      1 (Some 1) (Some 1) 1 1 1;
+    row "sparse" 4 8.5 true 5.4 11.3 29.8 (Some 64.1) 57.5 27.8 14.8
+      0 (Some 0) (Some 0) 0 0 0;
+    row "series" 4 175.1 true 1.0 1.0 1.0 (Some 1.0) 1.0 1.0 1.0
+      1 (Some 0) (Some 0) 0 0 0;
+    row "sor" 4 0.2 true 4.4 9.1 16.9 (Some 63.2) 24.6 15.8 9.3
+      3 (Some 0) (Some 0) 0 0 0;
+    row "tsp" 5 0.4 true 4.4 24.9 8.5 (Some 74.2) 390.7 8.2 8.9
+      9 (Some 1) (Some 1) 1 1 1;
+    row "elevator" 5 5.0 false 1.1 1.1 1.1 (Some 1.1) 1.1 1.1 1.1
+      0 (Some 0) (Some 0) 0 0 0;
+    row "philo" 6 7.4 false 1.1 1.0 1.1 (Some 7.2) 1.1 1.1 1.1
+      0 (Some 0) (Some 0) 0 0 0;
+    row "hedc" 6 5.9 false 1.1 0.9 1.1 (Some 1.1) 1.1 1.1 1.1
+      2 (Some 1) (Some 0) 3 3 3;
+    row "jbb" 5 72.9 false 1.3 1.5 1.6 (Some 2.1) 1.6 1.6 1.4
+      3 (Some 1) None 2 2 2 ]
+
+let table1_averages =
+  ( "paper average (compute-bound)",
+    [ ("Empty", 4.1); ("Eraser", 8.6); ("MultiRace", 21.7);
+      ("Goldilocks", 31.6); ("BasicVC", 89.8); ("DJIT+", 20.2);
+      ("FastTrack", 8.5) ] )
+
+type table2_row = {
+  program2 : string;
+  djit_allocs : int;
+  ft_allocs : int;
+  djit_ops : int;
+  ft_ops : int;
+}
+
+let r2 program2 djit_allocs ft_allocs djit_ops ft_ops =
+  { program2; djit_allocs; ft_allocs; djit_ops; ft_ops }
+
+let table2 =
+  [ r2 "colt" 849_765 76_209 5_792_894 1_266_599;
+    r2 "crypt" 17_332_725 119 28_198_821 18;
+    r2 "lufact" 8_024_779 2_715_630 3_849_393_222 3_721_749;
+    r2 "moldyn" 849_397 26_787 69_519_902 1_320_613;
+    r2 "montecarlo" 457_647_007 25 519_064_435 25;
+    r2 "mtrt" 2_763_373 40 2_735_380 402;
+    r2 "raja" 1_498_557 3 760_008 1;
+    r2 "raytracer" 160_035_820 14 212_451_330 36;
+    r2 "sparse" 31_957_471 456_779 56_553_011 15;
+    r2 "series" 3_997_307 13 3_999_080 16;
+    r2 "sor" 2_002_115 5_975 26_331_880 54_907;
+    r2 "tsp" 311_273 397 829_091 1_210;
+    r2 "elevator" 1_678 207 14_209 5_662;
+    r2 "philo" 56 12 472 120;
+    r2 "hedc" 886 82 1_982 365;
+    r2 "jbb" 109_544_709 1_859_828 327_947_241 64_912_863 ]
+
+type table3_row = {
+  program3 : string;
+  mem_fine_djit : float;
+  mem_fine_ft : float;
+  mem_coarse_djit : float;
+  mem_coarse_ft : float;
+  slow_fine_djit : float;
+  slow_fine_ft : float;
+  slow_coarse_djit : float;
+  slow_coarse_ft : float;
+}
+
+let r3 program3 mfd mff mcd mcf sfd sff scd scf =
+  { program3 = program3; mem_fine_djit = mfd; mem_fine_ft = mff;
+    mem_coarse_djit = mcd; mem_coarse_ft = mcf; slow_fine_djit = sfd;
+    slow_fine_ft = sff; slow_coarse_djit = scd; slow_coarse_ft = scf }
+
+let table3 =
+  [ r3 "colt" 4.3 2.4 2.0 1.8 0.9 0.9 0.9 0.8;
+    r3 "crypt" 44.3 10.5 1.2 1.2 54.0 14.3 6.6 6.6;
+    r3 "lufact" 9.8 4.1 1.1 1.1 36.3 13.5 5.4 6.6;
+    r3 "moldyn" 3.3 1.7 1.3 1.2 39.6 10.6 11.9 8.3;
+    r3 "montecarlo" 6.1 2.1 1.1 1.1 30.5 6.4 3.4 2.8;
+    r3 "mtrt" 3.9 2.2 2.6 1.9 7.1 6.0 8.3 7.0;
+    r3 "raja" 1.3 1.3 1.2 1.3 3.4 2.8 3.1 2.7;
+    r3 "raytracer" 6.2 1.9 1.4 1.2 18.1 13.1 14.5 10.6;
+    r3 "sparse" 23.3 6.1 1.0 1.0 27.8 14.8 3.9 4.1;
+    r3 "series" 8.5 3.1 1.1 1.1 1.0 1.0 1.0 1.0;
+    r3 "sor" 5.3 2.1 1.1 1.1 15.8 9.3 5.8 6.3;
+    r3 "tsp" 1.7 1.3 1.2 1.2 8.2 8.9 7.6 7.3;
+    r3 "elevator" 1.2 1.2 1.2 1.2 1.1 1.1 1.1 1.1;
+    r3 "philo" 1.2 1.2 1.2 1.2 1.1 1.1 1.1 1.1;
+    r3 "hedc" 1.4 1.4 1.3 1.3 1.1 1.1 0.9 0.9;
+    r3 "jbb" 4.1 2.4 2.3 1.9 1.6 1.4 1.3 1.3 ]
+
+let mix_reads = 82.3
+let mix_writes = 14.5
+let mix_other = 3.3
+
+let ft_rule_freqs =
+  [ ("READ SAME EPOCH", 63.4); ("READ SHARED", 20.8);
+    ("READ EXCLUSIVE", 15.7); ("READ SHARE", 0.1);
+    ("WRITE SAME EPOCH", 71.0); ("WRITE EXCLUSIVE", 28.9);
+    ("WRITE SHARED", 0.1) ]
+
+let djit_rule_freqs =
+  [ ("READ SAME EPOCH", 78.0); ("READ", 22.0); ("WRITE SAME EPOCH", 71.0);
+    ("WRITE", 29.0) ]
+
+let compose =
+  [ ( "Atomizer",
+      [ ("NONE", Some 57.2); ("TL", Some 16.8); ("ERASER", None);
+        ("DJIT+", Some 17.5); ("FASTTRACK", Some 12.6) ] );
+    ( "Velodrome",
+      [ ("NONE", Some 57.9); ("TL", Some 27.1); ("ERASER", Some 14.9);
+        ("DJIT+", Some 19.6); ("FASTTRACK", Some 11.3) ] );
+    ( "SingleTrack",
+      [ ("NONE", Some 104.1); ("TL", Some 55.4); ("ERASER", Some 32.7);
+        ("DJIT+", Some 19.7); ("FASTTRACK", Some 11.7) ] ) ]
+
+type eclipse_row = {
+  operation : string;
+  base_seconds_e : float;
+  empty_e : float;
+  eraser_e : float;
+  djit_e : float;
+  fasttrack_e : float;
+}
+
+let eclipse =
+  [ { operation = "Startup"; base_seconds_e = 6.0; empty_e = 13.0;
+      eraser_e = 16.0; djit_e = 17.3; fasttrack_e = 16.0 };
+    { operation = "Import"; base_seconds_e = 2.5; empty_e = 7.6;
+      eraser_e = 14.9; djit_e = 17.1; fasttrack_e = 13.1 };
+    { operation = "Clean Small"; base_seconds_e = 2.7; empty_e = 14.1;
+      eraser_e = 16.7; djit_e = 24.4; fasttrack_e = 15.2 };
+    { operation = "Clean Large"; base_seconds_e = 6.5; empty_e = 17.1;
+      eraser_e = 17.9; djit_e = 38.5; fasttrack_e = 15.4 };
+    { operation = "Debug"; base_seconds_e = 1.1; empty_e = 1.6;
+      eraser_e = 1.7; djit_e = 1.7; fasttrack_e = 1.6 } ]
+
+let eclipse_warnings =
+  [ ("Eraser", 960); ("DJIT+", 28); ("FastTrack", 30) ]

@@ -1,0 +1,88 @@
+(** The numbers published in the paper, for side-by-side comparison
+    with our measurements.  Absolute values are not expected to match
+    (the paper instruments a JVM; we replay synthesized traces) — the
+    shapes are: tool rankings, ratios between tools, rule-frequency
+    percentages, and warning counts. *)
+
+type table1_row = {
+  program : string;
+  threads : int;
+  base_seconds : float;
+  compute_bound : bool;
+  (* slowdowns *)
+  empty : float;
+  eraser : float;
+  multirace : float;
+  goldilocks_rr : float option;  (** None: ran out of memory *)
+  basicvc : float;
+  djit : float;
+  fasttrack : float;
+  (* warnings *)
+  w_eraser : int;
+  w_multirace : int option;
+  w_goldilocks : int option;
+  w_basicvc : int;
+  w_djit : int;
+  w_fasttrack : int;
+}
+
+val table1 : table1_row list
+val table1_averages : string * (string * float) list
+(** Average slowdowns over compute-bound programs, per tool. *)
+
+type table2_row = {
+  program2 : string;
+  djit_allocs : int;
+  ft_allocs : int;
+  djit_ops : int;
+  ft_ops : int;
+}
+
+val table2 : table2_row list
+
+type table3_row = {
+  program3 : string;
+  mem_fine_djit : float;
+  mem_fine_ft : float;
+  mem_coarse_djit : float;
+  mem_coarse_ft : float;
+  slow_fine_djit : float;
+  slow_fine_ft : float;
+  slow_coarse_djit : float;
+  slow_coarse_ft : float;
+}
+
+val table3 : table3_row list
+
+(** Figure 2 instruction mix and rule frequencies (percentages). *)
+
+val mix_reads : float
+val mix_writes : float
+val mix_other : float
+
+val ft_rule_freqs : (string * float) list
+(** Percent of reads (resp. writes) handled by each FastTrack rule. *)
+
+val djit_rule_freqs : (string * float) list
+
+(** Section 5.2: checker slowdown under each prefilter.
+    [None] marks the Atomizer/Eraser combination that is not
+    meaningful (footnote 7). *)
+
+val compose : (string * (string * float option) list) list
+
+(** Section 5.3: Eclipse operations — base seconds and slowdowns. *)
+
+type eclipse_row = {
+  operation : string;
+  base_seconds_e : float;
+  empty_e : float;
+  eraser_e : float;
+  djit_e : float;
+  fasttrack_e : float;
+}
+
+val eclipse : eclipse_row list
+
+val eclipse_warnings : (string * int) list
+(** Distinct warnings over all five operations, per tool. *)

@@ -1,0 +1,405 @@
+(* ftrace — command-line front end for the FastTrack reproduction.
+
+   Traces travel as text files, one event per line in the paper's
+   notation (rd(1,x3), acq(0,m2), fork(0,1), barrier(1,2,3), ...), so
+   detectors can be exercised on hand-written examples as well as on
+   synthesized workloads. *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc contents)
+
+(* A trace source is either a file in the textual format or the name
+   of a built-in workload model. *)
+let load_trace spec =
+  match Workloads.find spec with
+  | Some w -> Ok (Workload.trace w)
+  | None ->
+    if Sys.file_exists spec then
+      match Trace.of_string (read_file spec) with
+      | Ok tr -> Ok tr
+      | Error msg -> Error (Printf.sprintf "%s: %s" spec msg)
+    else
+      Error
+        (Printf.sprintf
+           "%s: neither a file nor a workload (try `ftrace workloads')"
+           spec)
+
+let detectors =
+  [ ("empty", (module Empty_tool : Detector.S));
+    ("eraser", (module Eraser));
+    ("multirace", (module Multi_race));
+    ("goldilocks", (module Goldilocks));
+    ("basicvc", (module Basic_vc));
+    ("djit", (module Djit_plus));
+    ("fasttrack", (module Fasttrack)) ]
+
+(* ------------------------------------------------------------------ *)
+(* common arguments                                                   *)
+
+let trace_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"TRACE"
+         ~doc:"Trace file (one event per line) or the name of a built-in \
+               workload model (see $(b,ftrace workloads)).")
+
+let tool_arg =
+  let names = String.concat ", " (List.map fst detectors) in
+  Arg.(value & opt string "fasttrack"
+       & info [ "t"; "tool" ] ~docv:"TOOL"
+           ~doc:(Printf.sprintf "Detector to run: %s." names))
+
+let granularity_arg =
+  let granularity =
+    Arg.enum
+      [ ("fine", Shadow.Fine); ("coarse", Shadow.Coarse);
+        ("adaptive", Shadow.Adaptive) ]
+  in
+  Arg.(value & opt granularity Shadow.Fine
+       & info [ "g"; "granularity" ] ~docv:"G"
+           ~doc:"Analysis granularity: $(b,fine) (per field), $(b,coarse) \
+                 (per object) or $(b,adaptive) (coarse until a location \
+                 warns, then fine; Section 5.1).")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED"
+         ~doc:"PRNG seed (scheduling and generation are deterministic \
+               given the seed).")
+
+let scale_arg =
+  Arg.(value & opt int 1 & info [ "scale" ] ~docv:"N"
+         ~doc:"Workload scale factor (trace length grows linearly).")
+
+let config_of granularity = { Config.default with granularity }
+
+(* ------------------------------------------------------------------ *)
+(* generate                                                           *)
+
+let generate workload_name random seed scale length threads vars locks out =
+  let trace =
+    match (workload_name, random) with
+    | Some name, false -> (
+      match Workloads.find name with
+      | Some w -> Ok (Workload.trace ~seed ~scale w)
+      | None ->
+        Error
+          (Printf.sprintf "unknown workload %S (try `ftrace workloads')"
+             name))
+    | None, true ->
+      Ok
+        (Trace_gen.generate ~seed
+           { Trace_gen.default with length; threads; vars; locks })
+    | Some _, true -> Error "--workload and --random are mutually exclusive"
+    | None, false -> Error "need --workload NAME or --random"
+  in
+  match trace with
+  | Error msg ->
+    prerr_endline msg;
+    1
+  | Ok tr -> (
+    let text = Trace.to_string tr in
+    match out with
+    | Some path ->
+      write_file path text;
+      Printf.printf "wrote %d events to %s\n" (Trace.length tr) path;
+      0
+    | None ->
+      print_string text;
+      0)
+
+let generate_cmd =
+  let workload =
+    Arg.(value & opt (some string) None
+         & info [ "w"; "workload" ] ~docv:"NAME"
+             ~doc:"Generate the named benchmark workload model.")
+  in
+  let random =
+    Arg.(value & flag
+         & info [ "random" ]
+             ~doc:"Generate a random feasible trace instead of a workload.")
+  in
+  let length =
+    Arg.(value & opt int 200 & info [ "length" ] ~docv:"N"
+           ~doc:"Approximate number of events (with --random).")
+  in
+  let threads =
+    Arg.(value & opt int 4 & info [ "threads" ] ~docv:"N"
+           ~doc:"Thread count (with --random).")
+  in
+  let vars =
+    Arg.(value & opt int 8 & info [ "vars" ] ~docv:"N"
+           ~doc:"Variable count (with --random).")
+  in
+  let locks =
+    Arg.(value & opt int 3 & info [ "locks" ] ~docv:"N"
+           ~doc:"Lock count (with --random).")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"FILE"
+             ~doc:"Write the trace here instead of stdout.")
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Synthesize an execution trace")
+    Term.(
+      const generate $ workload $ random $ seed_arg $ scale_arg $ length
+      $ threads $ vars $ locks $ out)
+
+(* ------------------------------------------------------------------ *)
+(* analyze                                                            *)
+
+let analyze path tool granularity show_stats =
+  match load_trace path with
+  | Error msg ->
+    prerr_endline msg;
+    1
+  | Ok tr -> (
+    match List.assoc_opt (String.lowercase_ascii tool) detectors with
+    | None ->
+      Printf.eprintf "unknown tool %S\n" tool;
+      1
+    | Some d ->
+      let result = Driver.run ~config:(config_of granularity) d tr in
+      Printf.printf "%s: %d events, %d warning(s), %.2f ms\n" result.tool
+        (Trace.length tr)
+        (List.length result.warnings)
+        (result.elapsed *. 1000.);
+      List.iter
+        (fun w -> Printf.printf "  %s\n" (Warning.to_string w))
+        result.warnings;
+      if show_stats then Format.printf "%a@." Stats.pp result.stats;
+      if result.warnings = [] then 0 else 2)
+
+let analyze_cmd =
+  let stats =
+    Arg.(value & flag
+         & info [ "stats" ]
+             ~doc:"Also print instrumentation statistics (VC allocations, \
+                   rule frequencies, ...).")
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Run one race detector over a trace (exit code 2 if races \
+             were found)")
+    Term.(const analyze $ trace_arg $ tool_arg $ granularity_arg $ stats)
+
+(* ------------------------------------------------------------------ *)
+(* compare                                                            *)
+
+let compare_tools path granularity =
+  match load_trace path with
+  | Error msg ->
+    prerr_endline msg;
+    1
+  | Ok tr ->
+    let t =
+      Table.create
+        ~columns:
+          [ ("Tool", Table.Left); ("Warnings", Table.Right);
+            ("Time(ms)", Table.Right); ("VC allocs", Table.Right);
+            ("VC ops", Table.Right) ]
+    in
+    List.iter
+      (fun (_, d) ->
+        let r = Driver.run ~config:(config_of granularity) d tr in
+        Table.add_row t
+          [ r.tool;
+            string_of_int (List.length r.warnings);
+            Printf.sprintf "%.2f" (r.elapsed *. 1000.);
+            Table.fmt_int r.stats.Stats.vc_allocs;
+            Table.fmt_int r.stats.Stats.vc_ops ])
+      detectors;
+    Table.print t;
+    let races = Happens_before.first_races tr in
+    Printf.printf "oracle: %d racy variable(s)\n" (List.length races);
+    List.iter
+      (fun r -> Format.printf "  %a@." Happens_before.pp_race r)
+      races;
+    0
+
+let compare_cmd =
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:"Run every detector and the happens-before oracle over a trace")
+    Term.(const compare_tools $ trace_arg $ granularity_arg)
+
+(* ------------------------------------------------------------------ *)
+(* check                                                              *)
+
+let check path =
+  match load_trace path with
+  | Error msg ->
+    prerr_endline msg;
+    1
+  | Ok tr -> (
+    match Validity.check tr with
+    | [] ->
+      Printf.printf "%s: feasible (%d events, %d threads)\n" path
+        (Trace.length tr) (Trace.thread_count tr);
+      0
+    | violations ->
+      List.iter
+        (fun v -> Format.printf "%a@." Validity.pp_violation v)
+        violations;
+      1)
+
+let check_cmd =
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Check the Section 2.1 feasibility constraints of a trace")
+    Term.(const check $ trace_arg)
+
+(* ------------------------------------------------------------------ *)
+(* explain                                                            *)
+
+(* Show the first race on a variable with enough surrounding context
+   to understand (the absence of) the synchronization between the two
+   accesses. *)
+let explain path var_spec =
+  match load_trace path with
+  | Error msg ->
+    prerr_endline msg;
+    1
+  | Ok tr -> (
+    let races = Happens_before.first_races tr in
+    let race =
+      match var_spec with
+      | None -> (
+        match races with
+        | r :: _ -> Ok r
+        | [] -> Error "the trace is race-free")
+      | Some spec -> (
+        match
+          List.find_opt
+            (fun (r : Happens_before.race) ->
+              String.equal (Var.to_string r.x) spec)
+            races
+        with
+        | Some r -> Ok r
+        | None ->
+          Error
+            (Printf.sprintf "no race on %s (racy variables: %s)" spec
+               (String.concat ", "
+                  (List.map
+                     (fun (r : Happens_before.race) -> Var.to_string r.x)
+                     races))))
+    in
+    match race with
+    | Error msg ->
+      prerr_endline msg;
+      1
+    | Ok r ->
+      Format.printf "%a@." Happens_before.pp_race r;
+      let t1 = r.first.tid and t2 = r.second.tid in
+      Printf.printf
+        "events of %s and %s between the two accesses (no release by %s \
+         is ever acquired by %s along this span):\n"
+        (Tid.to_string t1) (Tid.to_string t2) (Tid.to_string t1)
+        (Tid.to_string t2);
+      Trace.iteri
+        (fun i e ->
+          if i >= r.first.index && i <= r.second.index then begin
+            let relevant =
+              match Event.tid e with
+              | Some t -> Tid.equal t t1 || Tid.equal t t2
+              | None -> true (* barriers involve everyone *)
+            in
+            if relevant then begin
+              let marker =
+                if i = r.first.index then " <-- first access"
+                else if i = r.second.index then " <-- second access"
+                else ""
+              in
+              Printf.printf "  [%4d] %s%s\n" i (Event.to_string e) marker
+            end
+          end)
+        tr;
+      0)
+
+let explain_cmd =
+  let var =
+    Arg.(value & opt (some string) None
+         & info [ "var" ] ~docv:"VAR"
+             ~doc:"Explain the race on this variable (e.g. $(b,x3) or \
+                   $(b,x3.2)); defaults to the trace's first race.")
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:"Show a race's two accesses and the events between them")
+    Term.(const explain $ trace_arg $ var)
+
+(* ------------------------------------------------------------------ *)
+(* stats                                                              *)
+
+let mix path =
+  match load_trace path with
+  | Error msg ->
+    prerr_endline msg;
+    1
+  | Ok tr ->
+    let reads, writes, other = Trace.counts tr in
+    let total = max (Trace.length tr) 1 in
+    let pct n = 100. *. float_of_int n /. float_of_int total in
+    Printf.printf
+      "%d events: %.1f%% reads, %.1f%% writes, %.1f%% other\n"
+      (Trace.length tr) (pct reads) (pct writes) (pct other);
+    let r = Driver.run (module Fasttrack) tr in
+    print_endline "FastTrack rule frequencies:";
+    List.iter
+      (fun (rule, hits) -> Printf.printf "  %-18s %8d\n" rule hits)
+      (Stats.rules_alist r.stats);
+    Printf.printf "vector clocks allocated: %d, O(n) VC operations: %d\n"
+      r.stats.Stats.vc_allocs r.stats.Stats.vc_ops;
+    0
+
+let stats_cmd =
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Print a trace's operation mix and FastTrack's rule \
+             frequencies (the Figure 2 measurements)")
+    Term.(const mix $ trace_arg)
+
+(* ------------------------------------------------------------------ *)
+(* workloads                                                          *)
+
+let list_workloads () =
+  let t =
+    Table.create
+      ~columns:
+        [ ("Name", Table.Left); ("Threads", Table.Right);
+          ("Races", Table.Right); ("Description", Table.Left) ]
+  in
+  List.iter
+    (fun (w : Workload.t) ->
+      Table.add_row t
+        [ w.name; string_of_int w.threads; string_of_int w.expected_races;
+          w.description ])
+    Workloads.all;
+  Table.print t;
+  0
+
+let workloads_cmd =
+  Cmd.v
+    (Cmd.info "workloads" ~doc:"List the available workload models")
+    Term.(const list_workloads $ const ())
+
+(* ------------------------------------------------------------------ *)
+
+let main_cmd =
+  Cmd.group
+    (Cmd.info "ftrace" ~version:"1.0.0"
+       ~doc:"Dynamic race detection on execution traces (FastTrack, \
+             PLDI 2009 reproduction)")
+    [ generate_cmd; analyze_cmd; compare_cmd; check_cmd; explain_cmd;
+      stats_cmd; workloads_cmd ]
+
+let () = exit (Cmd.eval' main_cmd)

@@ -1,0 +1,1 @@
+examples/adaptive_trace.ml: Config Epoch Event Fasttrack Format List Printf Var Vector_clock

@@ -1,0 +1,1 @@
+examples/compose_pipeline.ml: Filter List Option Printf Trace Velodrome Workload Workloads

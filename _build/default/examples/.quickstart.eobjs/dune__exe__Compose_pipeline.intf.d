@@ -1,0 +1,1 @@
+examples/compose_pipeline.mli:

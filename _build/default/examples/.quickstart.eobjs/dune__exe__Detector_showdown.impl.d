@@ -1,0 +1,1 @@
+examples/detector_showdown.ml: Array Basic_vc Detector Djit_plus Driver Eraser Fasttrack Goldilocks Happens_before List Multi_race Patterns Printf Program Scheduler String Trace Var Warning

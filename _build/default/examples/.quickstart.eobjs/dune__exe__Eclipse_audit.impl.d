@@ -1,0 +1,1 @@
+examples/eclipse_audit.ml: Driver Eraser Fasttrack Happens_before Hashtbl List Option Printf Trace Var Warning Workload Workloads

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Driver Event Fasttrack Happens_before List Lockid Printf Program Scheduler Trace Validity Var Warning

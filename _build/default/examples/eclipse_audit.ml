@@ -1,0 +1,48 @@
+(* The Section 5.3 experience report, replayed: check the five
+   Eclipse operations with Eraser and with FastTrack and compare what
+   a developer would actually have to triage.
+
+   Run with:  dune exec examples/eclipse_audit.exe *)
+
+let () =
+  print_endline
+    "Checking the five Eclipse operations (synthetic models, Section 5.3):\n";
+  let totals = Hashtbl.create 4 in
+  List.iter
+    (fun (w : Workload.t) ->
+      let tr = Workload.trace ~seed:11 ~scale:1 w in
+      let eraser = Driver.run (module Eraser) tr in
+      let ft = Driver.run (module Fasttrack) tr in
+      let bump name n =
+        Hashtbl.replace totals name
+          (n + Option.value ~default:0 (Hashtbl.find_opt totals name))
+      in
+      bump "eraser" (List.length eraser.warnings);
+      bump "fasttrack" (List.length ft.warnings);
+      Printf.printf "%-22s %7d events   Eraser %3d warnings   FastTrack %2d\n"
+        w.name (Trace.length tr)
+        (List.length eraser.warnings)
+        (List.length ft.warnings))
+    Workloads.eclipse;
+  let get name = Option.value ~default:0 (Hashtbl.find_opt totals name) in
+  Printf.printf
+    "\ntotals: Eraser %d, FastTrack %d (paper: ~960 vs 30)\n\n"
+    (get "eraser") (get "fasttrack");
+  print_endline
+    "Every FastTrack warning is a real happens-before race (double-checked\n\
+     locking, progress meters, helper-thread result arrays).  Eraser's\n\
+     report is dominated by false alarms from the synchronization idioms\n\
+     it cannot model: volatile-published configuration and fork/join job\n\
+     handoffs.  Precision is what makes the report actionable.";
+  (* Back the claim up against the oracle on one operation. *)
+  let w = List.hd Workloads.eclipse in
+  let tr = Workload.trace ~seed:11 ~scale:1 w in
+  let truth = Happens_before.racy_vars tr in
+  let ft = Driver.run (module Fasttrack) tr in
+  assert (
+    List.sort Var.compare (List.map (fun w -> w.Warning.x) ft.warnings)
+    = List.sort Var.compare truth);
+  Printf.printf
+    "\n(verified: FastTrack's %d warnings on %s are exactly the oracle's \
+     racy locations)\n"
+    (List.length ft.warnings) w.name

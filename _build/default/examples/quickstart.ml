@@ -1,0 +1,54 @@
+(* Quickstart: the worked example of Section 2.2 / Section 3.
+
+   Thread 0 writes x and releases lock m; thread 1 acquires m and
+   writes x.  The release/acquire edge orders the writes, so the trace
+   is race-free — and FastTrack proves it with a single O(1) epoch
+   comparison where DJIT+ compares whole vector clocks.  Dropping the
+   lock from thread 1 produces the race.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+let x = Var.scalar 0
+let m : Lockid.t = 0
+
+(* Traces can be assembled directly from events... *)
+let synchronized =
+  Trace.of_list
+    [ Event.Fork { t = 0; u = 1 };
+      Event.Acquire { t = 0; m };
+      Event.Write { t = 0; x };
+      Event.Release { t = 0; m };
+      Event.Acquire { t = 1; m };
+      Event.Write { t = 1; x };
+      Event.Release { t = 1; m };
+      Event.Join { t = 0; u = 1 } ]
+
+(* ... or produced by scheduling a small concurrent program. *)
+let racy =
+  let program =
+    Program.make
+      [ { Program.tid = 0;
+          body = [ Program.Fork 1; Program.Write x; Program.Join 1 ] };
+        { Program.tid = 1; body = [ Program.Write x ] } ]
+  in
+  Scheduler.run ~options:{ Scheduler.default_options with seed = 1 } program
+
+let report name trace =
+  Printf.printf "--- %s ---\n" name;
+  assert (Validity.is_valid trace);
+  Trace.iter (fun e -> Printf.printf "  %s\n" (Event.to_string e)) trace;
+  let result = Driver.run (module Fasttrack) trace in
+  (match result.warnings with
+  | [] -> Printf.printf "FastTrack: no race detected\n"
+  | warnings ->
+    List.iter
+      (fun w -> Printf.printf "FastTrack: %s\n" (Warning.to_string w))
+      warnings);
+  (* The happens-before oracle agrees (Theorem 1). *)
+  let oracle_races = Happens_before.first_races trace in
+  Printf.printf "oracle:    %d racy variable(s)\n\n"
+    (List.length oracle_races)
+
+let () =
+  report "release/acquire orders the writes (race-free)" synchronized;
+  report "no synchronization between the writes (racy)" racy

@@ -1,0 +1,1 @@
+lib/baselines/basic_vc.ml: Config Event Race_log Shadow Stats Var Vc_state Vector_clock Warning

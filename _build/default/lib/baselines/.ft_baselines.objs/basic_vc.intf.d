@@ -1,0 +1,1 @@
+lib/baselines/basic_vc.mli: Detector

@@ -1,0 +1,1 @@
+lib/baselines/djit_plus.ml: Config Event Race_log Shadow Stats Var Vc_state Vector_clock Warning

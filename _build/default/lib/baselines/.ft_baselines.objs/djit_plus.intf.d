@@ -1,0 +1,1 @@
+lib/baselines/djit_plus.mli: Detector

@@ -1,0 +1,1 @@
+lib/baselines/empty_tool.mli: Detector

@@ -1,0 +1,1 @@
+lib/baselines/eraser.ml: Config Event Lockset Race_log Shadow Stats Tid Var Warning

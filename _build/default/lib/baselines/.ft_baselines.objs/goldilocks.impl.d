@@ -1,0 +1,1 @@
+lib/baselines/goldilocks.ml: Array Config Event List Lockid Lockset Race_log Shadow Stats Tid Var Volatile Warning

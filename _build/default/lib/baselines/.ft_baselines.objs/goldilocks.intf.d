@@ -1,0 +1,1 @@
+lib/baselines/goldilocks.mli: Detector

@@ -1,0 +1,1 @@
+lib/baselines/lockset.ml: Array Event Int Set

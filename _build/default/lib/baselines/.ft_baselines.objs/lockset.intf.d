@@ -1,0 +1,1 @@
+lib/baselines/lockset.mli: Event Set Tid

@@ -1,0 +1,1 @@
+lib/baselines/multi_race.ml: Config Event Lockset Race_log Shadow Stats Tid Var Vc_state Vector_clock Warning

@@ -1,0 +1,1 @@
+lib/baselines/multi_race.mli: Detector

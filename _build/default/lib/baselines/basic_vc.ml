@@ -1,0 +1,81 @@
+module VC = Vector_clock
+
+let name = "BasicVC"
+
+type var_state = { x : Var.t; mutable rvc : VC.t; mutable wvc : VC.t }
+
+type t = {
+  config : Config.t;
+  stats : Stats.t;
+  sync : Vc_state.t;
+  vars : var_state Shadow.t;
+  log : Race_log.t;
+}
+
+let create config =
+  let stats = Stats.create () in
+  { config;
+    stats;
+    sync = Vc_state.create stats;
+    vars = Shadow.create config.Config.granularity;
+    log = Race_log.create () }
+
+let new_var_state d x =
+  let st = { x; rvc = VC.create (); wvc = VC.create () } in
+  d.stats.vc_allocs <- d.stats.vc_allocs + 2;
+  Stats.add_words d.stats (4 + VC.heap_words st.rvc + VC.heap_words st.wvc);
+  st
+
+let var_state d x =
+  match Shadow.find d.vars x with
+  | Some st -> st
+  | None -> Shadow.get d.vars x (new_var_state d)
+
+let vc_op d = d.stats.vc_ops <- d.stats.vc_ops + 1
+
+let on_event d ~index e =
+  Stats.count_event d.stats e;
+  if not (Vc_state.handle_sync d.sync e) then
+    match e with
+    | Event.Read { t; x } ->
+      let st = var_state d x in
+      let key = Shadow.key d.vars x in
+      let ct = Vc_state.clock d.sync t in
+      (* write-read race?  Wx ⊑ Ct *)
+      vc_op d;
+      (match VC.find_gt st.wvc ct with
+      | Some (u, c) ->
+        Race_log.report d.log ~key ~x:st.x ~tid:t ~index
+          ~kind:Warning.Write_read
+          ~prior:{ Warning.prior_tid = u; prior_clock = c } ()
+      | None -> ());
+      (* R' = R[x := Rx[t := Ct(t)]] — a fresh VC, as in RoadRunner's
+         thread-safe tools (see Vector_clock.with_entry) *)
+      st.rvc <- VC.with_entry ~min_len:(VC.length ct) st.rvc ~tid:t ~clock:(VC.get ct t);
+      d.stats.vc_allocs <- d.stats.vc_allocs + 1
+    | Event.Write { t; x } ->
+      let st = var_state d x in
+      let key = Shadow.key d.vars x in
+      let ct = Vc_state.clock d.sync t in
+      (* write-write race?  Wx ⊑ Ct *)
+      vc_op d;
+      (match VC.find_gt st.wvc ct with
+      | Some (u, c) ->
+        Race_log.report d.log ~key ~x:st.x ~tid:t ~index
+          ~kind:Warning.Write_write
+          ~prior:{ Warning.prior_tid = u; prior_clock = c } ()
+      | None -> ());
+      (* read-write race?  Rx ⊑ Ct *)
+      vc_op d;
+      (match VC.find_gt st.rvc ct with
+      | Some (u, c) ->
+        Race_log.report d.log ~key ~x:st.x ~tid:t ~index
+          ~kind:Warning.Read_write
+          ~prior:{ Warning.prior_tid = u; prior_clock = c } ()
+      | None -> ());
+      st.wvc <- VC.with_entry ~min_len:(VC.length ct) st.wvc ~tid:t ~clock:(VC.get ct t);
+      d.stats.vc_allocs <- d.stats.vc_allocs + 1
+    | _ -> assert false
+
+let warnings d = Race_log.warnings d.log
+let stats d = d.stats

@@ -1,0 +1,8 @@
+(** BASICVC (Section 5.1): a traditional vector-clock race detector.
+
+    Maintains a full read VC and write VC for each memory location and
+    performs at least one O(n) VC comparison on every memory access —
+    no same-epoch fast path, no adaptive representation.  This is the
+    ~10x-slower-than-FastTrack baseline of Table 1. *)
+
+include Detector.S

@@ -1,0 +1,106 @@
+module VC = Vector_clock
+
+let name = "DJIT+"
+
+type var_state = { x : Var.t; mutable rvc : VC.t; mutable wvc : VC.t }
+
+type t = {
+  config : Config.t;
+  stats : Stats.t;
+  sync : Vc_state.t;
+  vars : var_state Shadow.t;
+  log : Race_log.t;
+  r_same_epoch : int ref;
+  r_slow : int ref;
+  w_same_epoch : int ref;
+  w_slow : int ref;
+}
+
+let create config =
+  let stats = Stats.create () in
+  { config;
+    stats;
+    sync = Vc_state.create stats;
+    vars = Shadow.create config.Config.granularity;
+    log = Race_log.create ();
+    r_same_epoch = Stats.counter stats "READ SAME EPOCH";
+    r_slow = Stats.counter stats "READ";
+    w_same_epoch = Stats.counter stats "WRITE SAME EPOCH";
+    w_slow = Stats.counter stats "WRITE" }
+
+let new_var_state d x =
+  let st = { x; rvc = VC.create (); wvc = VC.create () } in
+  d.stats.vc_allocs <- d.stats.vc_allocs + 2;
+  Stats.add_words d.stats (4 + VC.heap_words st.rvc + VC.heap_words st.wvc);
+  st
+
+let var_state d x =
+  match Shadow.find d.vars x with
+  | Some st -> st
+  | None -> Shadow.get d.vars x (new_var_state d)
+
+let vc_op d = d.stats.vc_ops <- d.stats.vc_ops + 1
+let epoch_op d = d.stats.epoch_ops <- d.stats.epoch_ops + 1
+
+let on_event d ~index e =
+  Stats.count_event d.stats e;
+  if not (Vc_state.handle_sync d.sync e) then
+    match e with
+    | Event.Read { t; x } ->
+      let st = var_state d x in
+      let key = Shadow.key d.vars x in
+      let ct = Vc_state.clock d.sync t in
+      let now = VC.get ct t in
+      epoch_op d;
+      if
+        d.config.same_epoch_fast_path && VC.get st.rvc t = now
+        (* [DJIT+ READ SAME EPOCH]: Rx(t) = Ct(t) *)
+      then incr d.r_same_epoch
+      else begin
+        (* [DJIT+ READ]: Wx ⊑ Ct *)
+        vc_op d;
+        (match VC.find_gt st.wvc ct with
+        | Some (u, c) ->
+          Race_log.report d.log ~key ~x:st.x ~tid:t ~index
+            ~kind:Warning.Write_read
+            ~prior:{ Warning.prior_tid = u; prior_clock = c } ()
+        | None -> ());
+        (* fresh VC per update (Table 2's allocation counts) *)
+        st.rvc <- VC.with_entry ~min_len:(VC.length ct) st.rvc ~tid:t ~clock:now;
+        d.stats.vc_allocs <- d.stats.vc_allocs + 1;
+        incr d.r_slow
+      end
+    | Event.Write { t; x } ->
+      let st = var_state d x in
+      let key = Shadow.key d.vars x in
+      let ct = Vc_state.clock d.sync t in
+      let now = VC.get ct t in
+      epoch_op d;
+      if
+        d.config.same_epoch_fast_path && VC.get st.wvc t = now
+        (* [DJIT+ WRITE SAME EPOCH]: Wx(t) = Ct(t) *)
+      then incr d.w_same_epoch
+      else begin
+        (* [DJIT+ WRITE]: Wx ⊑ Ct ∧ Rx ⊑ Ct *)
+        vc_op d;
+        (match VC.find_gt st.wvc ct with
+        | Some (u, c) ->
+          Race_log.report d.log ~key ~x:st.x ~tid:t ~index
+            ~kind:Warning.Write_write
+            ~prior:{ Warning.prior_tid = u; prior_clock = c } ()
+        | None -> ());
+        vc_op d;
+        (match VC.find_gt st.rvc ct with
+        | Some (u, c) ->
+          Race_log.report d.log ~key ~x:st.x ~tid:t ~index
+            ~kind:Warning.Read_write
+            ~prior:{ Warning.prior_tid = u; prior_clock = c } ()
+        | None -> ());
+        st.wvc <- VC.with_entry ~min_len:(VC.length ct) st.wvc ~tid:t ~clock:now;
+        d.stats.vc_allocs <- d.stats.vc_allocs + 1;
+        incr d.w_slow
+      end
+    | _ -> assert false
+
+let warnings d = Race_log.warnings d.log
+let stats d = d.stats

@@ -1,0 +1,13 @@
+(** DJIT+ (Section 2.2): the high-performance vector-clock race
+    detector of Pozniansky and Schuster, in the revised formulation the
+    paper compares against.
+
+    Per location, a read VC [R_x] and a write VC [W_x]; per-thread
+    entry updates with same-epoch fast paths
+    ([DJIT+ READ/WRITE SAME EPOCH]) but full O(n) VC comparisons on
+    every non-same-epoch access ([DJIT+ READ], [DJIT+ WRITE]).
+
+    Rule names in the statistics histogram: ["READ SAME EPOCH"],
+    ["READ"], ["WRITE SAME EPOCH"], ["WRITE"]. *)
+
+include Detector.S

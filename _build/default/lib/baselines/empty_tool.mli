@@ -1,0 +1,4 @@
+(** The EMPTY tool of Section 5.1: performs no analysis and is used to
+    measure the overhead of the event-dispatch framework itself. *)
+
+include Detector.S

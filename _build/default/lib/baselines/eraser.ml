@@ -1,0 +1,95 @@
+module Iset = Lockset.Iset
+
+let name = "Eraser"
+
+type phase =
+  | Virgin
+  | Exclusive of Tid.t
+  | Shared of Iset.t
+  | Shared_modified of Iset.t
+
+type var_state = {
+  x : Var.t;
+  mutable phase : phase;
+  mutable barrier_gen : int;
+}
+
+type t = {
+  config : Config.t;
+  stats : Stats.t;
+  held : Lockset.Held.t;
+  vars : var_state Shadow.t;
+  log : Race_log.t;
+  mutable barrier_gen : int;
+}
+
+let create config =
+  { config;
+    stats = Stats.create ();
+    held = Lockset.Held.create ();
+    vars = Shadow.create config.Config.granularity;
+    log = Race_log.create ();
+    barrier_gen = 0 }
+
+let new_var_state d x =
+  Stats.add_words d.stats 6;
+  { x; phase = Virgin; barrier_gen = d.barrier_gen }
+
+let var_state d x =
+  match Shadow.find d.vars x with
+  | Some st -> st
+  | None -> Shadow.get d.vars x (new_var_state d)
+
+let report d st ~tid ~index =
+  Race_log.report d.log ~key:(Shadow.key d.vars st.x) ~x:st.x ~tid ~index
+    ~kind:Warning.Lock_discipline ()
+
+let access d ~index t x (kind : [ `Read | `Write ]) =
+  let st = var_state d x in
+  (* Barrier extension: all accesses before the barrier happen before
+     all accesses after it, so re-learn the location's discipline. *)
+  if st.barrier_gen < d.barrier_gen then begin
+    st.phase <- Virgin;
+    st.barrier_gen <- d.barrier_gen
+  end;
+  let held = Lockset.Held.held d.held t in
+  match st.phase with
+  | Virgin -> st.phase <- Exclusive t
+  | Exclusive u when Tid.equal u t -> ()
+  | Exclusive _ -> (
+    (* Second thread: initialize the candidate lockset C(x) to the
+       locks held now.  No check yet — Eraser's (unsound) grace for
+       thread-local data being handed off. *)
+    match kind with
+    | `Read -> st.phase <- Shared held
+    | `Write ->
+      st.phase <- Shared_modified held;
+      if Iset.is_empty held then report d st ~tid:t ~index)
+  | Shared ls -> (
+    let ls = Iset.inter ls held in
+    match kind with
+    | `Read -> st.phase <- Shared ls
+    | `Write ->
+      st.phase <- Shared_modified ls;
+      if Iset.is_empty ls then report d st ~tid:t ~index)
+  | Shared_modified ls ->
+    let ls = Iset.inter ls held in
+    st.phase <- Shared_modified ls;
+    if Iset.is_empty ls then report d st ~tid:t ~index
+
+let on_event d ~index e =
+  Stats.count_event d.stats e;
+  match e with
+  | Event.Read { t; x } -> access d ~index t x `Read
+  | Event.Write { t; x } -> access d ~index t x `Write
+  | Event.Acquire _ | Event.Release _ -> Lockset.Held.on_event d.held e
+  | Event.Barrier_release _ -> d.barrier_gen <- d.barrier_gen + 1
+  | Event.Fork _ | Event.Join _ | Event.Volatile_read _
+  | Event.Volatile_write _ | Event.Txn_begin _ | Event.Txn_end _ ->
+    (* Eraser understands only lock-based synchronization (and, with
+       the [29] extension, barriers): these induce no state change,
+       which is exactly the source of its false alarms. *)
+    ()
+
+let warnings d = Race_log.warnings d.log
+let stats d = d.stats

@@ -1,0 +1,19 @@
+(** ERASER (Savage et al., TOCS 1997), as re-implemented for the
+    paper's evaluation: the LockSet algorithm with the ownership state
+    machine (Virgin / Exclusive / Shared / SharedModified), extended to
+    handle barrier synchronization as in [29] (the paper's footnote 4
+    notes warnings are ~3x higher without the barrier extension).
+
+    Eraser is fast but imprecise: it enforces a lock-based
+    synchronization discipline, so fork-join, volatile, and other
+    happens-before idioms produce false alarms, and its unsound
+    treatment of thread-local and read-shared data (the Exclusive and
+    Shared states perform no checks) can also miss real races — both
+    behaviours are reproduced and regression-tested here.
+
+    The barrier extension resets a location's ownership state at each
+    barrier generation: all pre-barrier accesses happen before all
+    post-barrier accesses, so a location may be re-learned from
+    scratch. *)
+
+include Detector.S

@@ -1,0 +1,27 @@
+(** GOLDILOCKS (Elmas, Qadeer, Tasiran, PLDI 2007): a precise race
+    detector based on an extended notion of locksets.
+
+    Each memory location carries locksets over "synchronization
+    elements" — threads, locks, and volatile variables.  A lockset
+    grows by transfer rules as synchronization happens (a release adds
+    the lock for locations the releaser could access; a matching
+    acquire then adds the acquirer; fork/join and volatile accesses
+    transfer similarly), so membership [t ∈ LS(x)] captures exactly
+    "the protected access happens before [t]'s next operation".
+
+    Following the original algorithm, transfers are applied {e lazily}:
+    synchronization events append to a global log, and a location
+    replays the suffix of the log it has not yet seen on its own
+    locksets at its next access.  To remain precise for reads (which
+    need not be totally ordered), the location keeps one lockset for
+    the last write and one per thread with a read since that write —
+    a write must be ordered after the last write {e and} every such
+    read.
+
+    Goldilocks matches the precise detectors' warnings, but its
+    per-access replay of the synchronization log is expensive under an
+    event-stream framework — the paper reports a 31.6x average
+    slowdown for its RoadRunner re-implementation, and this
+    implementation reproduces that ranking. *)
+
+include Detector.S

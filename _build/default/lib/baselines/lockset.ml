@@ -1,0 +1,31 @@
+module Iset = Set.Make (Int)
+
+module Held = struct
+  type t = { mutable held : Iset.t array }
+
+  let create () = { held = Array.make 8 Iset.empty }
+
+  let ensure h t =
+    let n = Array.length h.held in
+    if t >= n then begin
+      let fresh = Array.make (max (t + 1) (2 * n)) Iset.empty in
+      Array.blit h.held 0 fresh 0 n;
+      h.held <- fresh
+    end
+
+  let on_event h e =
+    match e with
+    | Event.Acquire { t; m } ->
+      ensure h t;
+      h.held.(t) <- Iset.add m h.held.(t)
+    | Event.Release { t; m } ->
+      ensure h t;
+      h.held.(t) <- Iset.remove m h.held.(t)
+    | _ -> ()
+
+  let held h t =
+    if t < Array.length h.held then h.held.(t) else Iset.empty
+end
+
+(* each set node ≈ 4 words *)
+let set_words s = 4 * Iset.cardinal s

@@ -1,0 +1,23 @@
+(** Lockset support for the LockSet-family detectors (Eraser,
+    MultiRace, Goldilocks).
+
+    [Held] tracks, from the acquire/release events of the stream, the
+    set of locks currently held by each thread — the [locks_held(t)]
+    function of the Eraser algorithm. *)
+
+module Iset : Set.S with type elt = int
+
+module Held : sig
+  type t
+
+  val create : unit -> t
+
+  val on_event : t -> Event.t -> unit
+  (** Updates on [Acquire]/[Release]; ignores everything else. *)
+
+  val held : t -> Tid.t -> Iset.t
+  (** Locks currently held by [t]. *)
+end
+
+val set_words : Iset.t -> int
+(** Approximate heap footprint of a lockset, for memory accounting. *)

@@ -1,0 +1,144 @@
+module VC = Vector_clock
+module Iset = Lockset.Iset
+
+let name = "MultiRace"
+
+type phase =
+  | Virgin
+  | Exclusive of Tid.t
+  | Shared of Iset.t
+  | Shared_modified of Iset.t
+
+type var_state = {
+  x : Var.t;
+  mutable phase : phase;
+  mutable barrier_gen : int;
+  mutable rvc : VC.t;
+  mutable wvc : VC.t;
+}
+
+type t = {
+  config : Config.t;
+  stats : Stats.t;
+  sync : Vc_state.t;
+  held : Lockset.Held.t;
+  vars : var_state Shadow.t;
+  log : Race_log.t;
+  mutable barrier_gen : int;
+}
+
+let create config =
+  let stats = Stats.create () in
+  { config;
+    stats;
+    sync = Vc_state.create stats;
+    held = Lockset.Held.create ();
+    vars = Shadow.create config.Config.granularity;
+    log = Race_log.create ();
+    barrier_gen = 0 }
+
+let new_var_state d x =
+  let st =
+    { x;
+      phase = Virgin;
+      barrier_gen = d.barrier_gen;
+      rvc = VC.create ();
+      wvc = VC.create () }
+  in
+  d.stats.vc_allocs <- d.stats.vc_allocs + 2;
+  Stats.add_words d.stats (8 + VC.heap_words st.rvc + VC.heap_words st.wvc);
+  st
+
+let var_state d x =
+  match Shadow.find d.vars x with
+  | Some st -> st
+  | None -> Shadow.get d.vars x (new_var_state d)
+
+let vc_op d = d.stats.vc_ops <- d.stats.vc_ops + 1
+
+(* Full DJIT+ checks, used once a location's lockset is empty. *)
+let djit_check d st ~key ~index t ct (kind : [ `Read | `Write ]) =
+  let attribute vcx kind =
+    match VC.find_gt vcx ct with
+    | Some (u, c) ->
+      Race_log.report d.log ~key ~x:st.x ~tid:t ~index ~kind
+        ~prior:{ Warning.prior_tid = u; prior_clock = c } ()
+    | None -> ()
+  in
+  match kind with
+  | `Read ->
+    vc_op d;
+    attribute st.wvc Warning.Write_read
+  | `Write ->
+    vc_op d;
+    attribute st.wvc Warning.Write_write;
+    vc_op d;
+    attribute st.rvc Warning.Read_write
+
+let access d ~index t x kind =
+  let st = var_state d x in
+  let key = Shadow.key d.vars x in
+  if st.barrier_gen < d.barrier_gen then begin
+    st.phase <- Virgin;
+    st.barrier_gen <- d.barrier_gen
+  end;
+  let held = Lockset.Held.held d.held t in
+  (match st.phase with
+  | Virgin -> st.phase <- Exclusive t
+  | Exclusive u when Tid.equal u t -> ()
+  | Exclusive _ -> (
+    (* Unsound Eraser-style handoff: no check against the exclusive
+       phase (this is where MultiRace loses precision). *)
+    match kind with
+    | `Read -> st.phase <- Shared held
+    | `Write ->
+      st.phase <- Shared_modified held;
+      if Iset.is_empty held then
+        djit_check d st ~key ~index t (Vc_state.clock d.sync t) kind)
+  | Shared ls -> (
+    let ls = Iset.inter ls held in
+    match kind with
+    | `Read ->
+      st.phase <- Shared ls;
+      if Iset.is_empty ls then
+        djit_check d st ~key ~index t (Vc_state.clock d.sync t) kind
+    | `Write ->
+      st.phase <- Shared_modified ls;
+      if Iset.is_empty ls then
+        djit_check d st ~key ~index t (Vc_state.clock d.sync t) kind)
+  | Shared_modified ls ->
+    let ls = Iset.inter ls held in
+    st.phase <- Shared_modified ls;
+    if Iset.is_empty ls then
+      djit_check d st ~key ~index t (Vc_state.clock d.sync t) kind);
+  (* Always record the access epoch so later checks can see it (a
+     fresh VC per update, like DJIT+ — MultiRace's memory footprint is
+     even larger, as Section 5.1 notes). *)
+  let ct = Vc_state.clock d.sync t in
+  let now = VC.get ct t in
+  (match kind with
+  | `Read ->
+    if VC.get st.rvc t <> now then begin
+      st.rvc <- VC.with_entry ~min_len:(VC.length ct) st.rvc ~tid:t ~clock:now;
+      d.stats.vc_allocs <- d.stats.vc_allocs + 1
+    end
+  | `Write ->
+    if VC.get st.wvc t <> now then begin
+      st.wvc <- VC.with_entry ~min_len:(VC.length ct) st.wvc ~tid:t ~clock:now;
+      d.stats.vc_allocs <- d.stats.vc_allocs + 1
+    end)
+
+let on_event d ~index e =
+  Stats.count_event d.stats e;
+  Lockset.Held.on_event d.held e;
+  (match e with
+  | Event.Barrier_release _ -> d.barrier_gen <- d.barrier_gen + 1
+  | _ -> ());
+  if not (Vc_state.handle_sync d.sync e) then
+    match e with
+    | Event.Read { t; x } -> access d ~index t x `Read
+    | Event.Write { t; x } -> access d ~index t x `Write
+    | _ -> assert false
+
+let warnings d = Race_log.warnings d.log
+let stats d = d.stats

@@ -1,0 +1,17 @@
+(** MULTIRACE (Pozniansky & Schuster [29,30]): the hybrid
+    LockSet / DJIT+ detector of Section 5.1.
+
+    Per location it maintains both an Eraser-style ownership state
+    machine with a candidate lockset and the DJIT+ read/write vector
+    clocks.  While the location looks thread-local (Virgin/Exclusive)
+    or its lockset is non-empty, accesses only refresh the lockset and
+    record their VC entry — no O(n) comparisons.  Full DJIT+ vector
+    clock comparisons start only once the lockset becomes empty.
+
+    This synthesis substantially reduces VC operations (Section 5.1
+    reports fewer than half of FastTrack's) but pays for storing both
+    structures and inherits the imprecision of Eraser's unsound
+    Exclusive-state handoff: races against a location's thread-local
+    phase are missed, as in the paper's hedc results. *)
+
+include Detector.S

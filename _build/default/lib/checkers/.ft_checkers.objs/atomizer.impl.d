@@ -1,0 +1,1 @@
+lib/checkers/atomizer.ml: Array Checker Event Hashtbl List Lockset Printf Tid Var

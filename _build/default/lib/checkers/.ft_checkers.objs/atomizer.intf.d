@@ -1,0 +1,1 @@
+lib/checkers/atomizer.mli: Checker

@@ -1,0 +1,1 @@
+lib/checkers/checker.ml: Event Format Tid

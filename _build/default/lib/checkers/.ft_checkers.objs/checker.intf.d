@@ -1,0 +1,1 @@
+lib/checkers/checker.mli: Event Format Tid

@@ -1,0 +1,1 @@
+lib/checkers/filter.ml: Checker Config Detector Djit_plus Driver Eraser Event Fasttrack Hashtbl List Tid Trace Var Warning

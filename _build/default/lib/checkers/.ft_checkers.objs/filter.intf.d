@@ -1,0 +1,1 @@
+lib/checkers/filter.mli: Checker Event Trace

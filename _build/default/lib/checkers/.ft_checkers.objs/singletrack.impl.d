@@ -1,0 +1,1 @@
+lib/checkers/singletrack.ml: Array Checker Event Hashtbl List Lockid Printf Var Vector_clock Volatile

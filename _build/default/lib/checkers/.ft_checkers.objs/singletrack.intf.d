@@ -1,0 +1,1 @@
+lib/checkers/singletrack.mli: Checker

@@ -1,0 +1,1 @@
+lib/checkers/velodrome.ml: Array Checker Event Hashtbl List Lockid Printf Tid Var Vector_clock Volatile

@@ -1,0 +1,1 @@
+lib/checkers/velodrome.mli: Checker

@@ -1,0 +1,145 @@
+module Iset = Lockset.Iset
+
+let name = "Atomizer"
+
+(* Eraser-style classification state for one location (the internal
+   race predicate of the original Atomizer). *)
+type ownership =
+  | Virgin
+  | Exclusive of Tid.t
+  | Shared of Iset.t
+  | Shared_modified of Iset.t
+
+(* Lipton-reduction phase of a running transaction. *)
+type phase =
+  | Pre   (* still in the right-mover prefix *)
+  | Post  (* past the commit point: only left-movers allowed *)
+
+type thread_state = { mutable in_txn : bool; mutable phase : phase }
+
+type t = {
+  mutable threads : thread_state array;
+  held : Lockset.Held.t;
+  ownership : (int, ownership ref) Hashtbl.t;
+  mutable max_tid : int;  (* largest thread id seen *)
+  mutable acc : Checker.violation list;
+  reported : (Tid.t, unit) Hashtbl.t;  (* one report per open txn *)
+}
+
+let create () =
+  { threads = [||];
+    held = Lockset.Held.create ();
+    ownership = Hashtbl.create 256;
+    max_tid = -1;
+    acc = [];
+    reported = Hashtbl.create 8 }
+
+let thread c t =
+  if t > c.max_tid then c.max_tid <- t;
+  let n = Array.length c.threads in
+  if t >= n then begin
+    let fresh =
+      Array.init
+        (max (t + 1) (2 * n + 1))
+        (fun u ->
+          if u < n then c.threads.(u) else { in_txn = false; phase = Pre })
+    in
+    c.threads <- fresh
+  end;
+  c.threads.(t)
+
+let violation c ~index t description =
+  if not (Hashtbl.mem c.reported t) then begin
+    Hashtbl.replace c.reported t ();
+    c.acc <- { Checker.index; tid = t; description } :: c.acc
+  end
+
+(* Returns true when the access might race (non-mover). *)
+let classify c t x (kind : [ `Read | `Write ]) =
+  let key = Var.key Var.Fine x in
+  let cell =
+    match Hashtbl.find_opt c.ownership key with
+    | Some cell -> cell
+    | None ->
+      let cell = ref Virgin in
+      Hashtbl.replace c.ownership key cell;
+      cell
+  in
+  let held = Lockset.Held.held c.held t in
+  match !cell with
+  | Virgin ->
+    cell := Exclusive t;
+    false
+  | Exclusive u when Tid.equal u t -> false
+  | Exclusive _ ->
+    cell :=
+      (match kind with
+      | `Read -> Shared held
+      | `Write -> Shared_modified held);
+    Iset.is_empty held && kind = `Write
+  | Shared ls -> (
+    let ls = Iset.inter ls held in
+    match kind with
+    | `Read ->
+      cell := Shared ls;
+      false
+    | `Write ->
+      cell := Shared_modified ls;
+      Iset.is_empty ls)
+  | Shared_modified ls ->
+    let ls = Iset.inter ls held in
+    cell := Shared_modified ls;
+    Iset.is_empty ls
+
+(* Dynamic mover refinement: even with an empty candidate lockset, an
+   access commutes with its neighbours if no other live thread holds a
+   lock at all right now (there is nothing to move past).  The scan
+   over the other threads' lock sets is the per-event cost that makes
+   the unfiltered Atomizer expensive, as in the original tool. *)
+let contended c t =
+  let rec scan u =
+    u <= c.max_tid
+    && (((not (Tid.equal u t))
+        && not (Iset.is_empty (Lockset.Held.held c.held u)))
+       || scan (u + 1))
+  in
+  scan 0
+
+let access c ~index t x kind =
+  let ts = thread c t in
+  (* the mover scan runs on every access — this is the per-event cost *)
+  let in_contention = contended c t in
+  let racy = classify c t x kind && in_contention in
+  if ts.in_txn && racy then begin
+    match ts.phase with
+    | Pre -> ts.phase <- Post (* the commit point *)
+    | Post ->
+      violation c ~index t
+        (Printf.sprintf "non-mover access to %s after the commit point"
+           (Var.to_string x))
+  end
+
+let on_event c ~index e =
+  match e with
+  | Event.Txn_begin { t } ->
+    let ts = thread c t in
+    ts.in_txn <- true;
+    ts.phase <- Pre;
+    Hashtbl.remove c.reported t
+  | Event.Txn_end { t } -> (thread c t).in_txn <- false
+  | Event.Read { t; x } -> access c ~index t x `Read
+  | Event.Write { t; x } -> access c ~index t x `Write
+  | Event.Acquire { t; _ } ->
+    Lockset.Held.on_event c.held e;
+    let ts = thread c t in
+    if ts.in_txn && ts.phase = Post then
+      violation c ~index t "lock acquire (right-mover) after the commit point"
+  | Event.Release { t; _ } ->
+    Lockset.Held.on_event c.held e;
+    let ts = thread c t in
+    if ts.in_txn then ts.phase <- Post
+  | Event.Fork _ | Event.Join _ | Event.Volatile_read _
+  | Event.Volatile_write _ | Event.Barrier_release _ ->
+    ()
+
+let violations c = List.rev c.acc

@@ -1,0 +1,17 @@
+(** A scaled-down ATOMIZER [16]: dynamic atomicity checking by Lipton
+    reduction.
+
+    Within a transaction ([Txn_begin]/[Txn_end]), the event sequence
+    must be reducible to the pattern  R* N? L*  — right-movers (lock
+    acquires), at most a commit region, then left-movers (lock
+    releases).  Race-free accesses (classified with Eraser locksets,
+    as in the original) are both-movers and never break the pattern;
+    an access on which no lock discipline holds is a non-mover and
+    commits the transaction.  A right-mover after the commit point,
+    or a second non-mover, is an atomicity violation.
+
+    Because Atomizer already uses Eraser internally to classify
+    accesses, the Section 5.2 experiment does not combine it with an
+    Eraser prefilter (footnote 7). *)
+
+include Checker.S

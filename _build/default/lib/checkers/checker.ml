@@ -1,0 +1,13 @@
+type violation = { index : int; tid : Tid.t; description : string }
+
+module type S = sig
+  type t
+
+  val name : string
+  val create : unit -> t
+  val on_event : t -> index:int -> Event.t -> unit
+  val violations : t -> violation list
+end
+
+let pp_violation ppf v =
+  Format.fprintf ppf "[%d] %a: %s" v.index Tid.pp v.tid v.description

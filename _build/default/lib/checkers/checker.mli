@@ -1,0 +1,23 @@
+(** Interface for the downstream dynamic analyses of Section 5.2
+    (atomicity and determinism checkers).
+
+    These tools consume the same event stream as the race detectors
+    but check richer properties; they are the beneficiaries of
+    FastTrack-based prefiltering. *)
+
+type violation = {
+  index : int;       (** trace position where the violation surfaced *)
+  tid : Tid.t;
+  description : string;
+}
+
+module type S = sig
+  type t
+
+  val name : string
+  val create : unit -> t
+  val on_event : t -> index:int -> Event.t -> unit
+  val violations : t -> violation list
+end
+
+val pp_violation : Format.formatter -> violation -> unit

@@ -1,0 +1,109 @@
+type kind = None_ | Thread_local | Eraser_pre | Djit_pre | Fasttrack_pre
+
+let kind_name = function
+  | None_ -> "NONE"
+  | Thread_local -> "TL"
+  | Eraser_pre -> "ERASER"
+  | Djit_pre -> "DJIT+"
+  | Fasttrack_pre -> "FASTTRACK"
+
+let all_kinds = [ None_; Thread_local; Eraser_pre; Djit_pre; Fasttrack_pre ]
+
+(* Thread-local filter: a location is interesting once a second thread
+   touches it. *)
+module Tl = struct
+  type entry = Owned of Tid.t | Shared
+
+  type t = (int, entry) Hashtbl.t
+
+  let create () : t = Hashtbl.create 1024
+
+  let keep table t x =
+    let key = Var.key Var.Fine x in
+    match Hashtbl.find_opt table key with
+    | None ->
+      Hashtbl.replace table key (Owned t);
+      false
+    | Some (Owned u) when Tid.equal u t -> false
+    | Some (Owned _) ->
+      Hashtbl.replace table key Shared;
+      true
+    | Some Shared -> true
+end
+
+type state =
+  | S_none
+  | S_tl of Tl.t
+  | S_detector of Detector.packed * (int, unit) Hashtbl.t
+      (* detector + memo of shadow keys known racy *)
+
+type t = state
+
+let create = function
+  | None_ -> S_none
+  | Thread_local -> S_tl (Tl.create ())
+  | Eraser_pre ->
+    S_detector
+      (Detector.instantiate (module Eraser) Config.default, Hashtbl.create 64)
+  | Djit_pre ->
+    S_detector
+      ( Detector.instantiate (module Djit_plus) Config.default,
+        Hashtbl.create 64 )
+  | Fasttrack_pre ->
+    S_detector
+      ( Detector.instantiate (module Fasttrack) Config.default,
+        Hashtbl.create 64 )
+
+let keep state ~index e =
+  match state with
+  | S_none -> true
+  | S_tl table -> (
+    match e with
+    | Event.Read { t; x } | Event.Write { t; x } -> Tl.keep table t x
+    | _ -> true)
+  | S_detector (packed, racy) -> (
+    Detector.packed_on_event packed ~index e;
+    match e with
+    | Event.Read { x; _ } | Event.Write { x; _ } ->
+      let key = Var.key Var.Fine x in
+      if Hashtbl.mem racy key then true
+      else begin
+        (* Refresh the memo from the detector's warnings. *)
+        List.iter
+          (fun (w : Warning.t) ->
+            Hashtbl.replace racy (Var.key Var.Fine w.x) ())
+          (Detector.packed_warnings packed);
+        Hashtbl.mem racy key
+      end
+    | _ -> true)
+
+type run = {
+  checker : string;
+  prefilter : kind;
+  kept_accesses : int;
+  dropped_accesses : int;
+  violations : Checker.violation list;
+  elapsed : float;
+}
+
+let run kind (module C : Checker.S) tr =
+  let filter = create kind in
+  let checker = C.create () in
+  let kept = ref 0 and dropped = ref 0 in
+  let (), elapsed =
+    Driver.time (fun () ->
+        Trace.iteri
+          (fun index e ->
+            if keep filter ~index e then begin
+              if Event.is_access e then incr kept;
+              C.on_event checker ~index e
+            end
+            else if Event.is_access e then incr dropped)
+          tr)
+  in
+  { checker = C.name;
+    prefilter = kind;
+    kept_accesses = !kept;
+    dropped_accesses = !dropped;
+    violations = C.violations checker;
+    elapsed }

@@ -1,0 +1,43 @@
+(** Race-predicate prefilters and analysis composition (Section 5.2).
+
+    The paper composes analyses as
+    ["-tool FastTrack:Velodrome"]: the prefilter consumes the event
+    stream, drops memory accesses it can prove race-free, and passes
+    everything else to the downstream checker, which is then spared
+    millions of uninteresting accesses.  (As footnote 6 notes, this
+    may drop an access later involved in a race — a small coverage
+    reduction traded for speed.)
+
+    Available prefilters mirror the paper's table: [None_] (pass
+    everything), [Thread_local] (drop accesses to locations touched by
+    a single thread so far), [Eraser_pre], [Djit_pre] and
+    [Fasttrack_pre] (drop accesses the respective detector considers
+    race-free). *)
+
+type kind = None_ | Thread_local | Eraser_pre | Djit_pre | Fasttrack_pre
+
+val kind_name : kind -> string
+val all_kinds : kind list
+
+type t
+
+val create : kind -> t
+
+val keep : t -> index:int -> Event.t -> bool
+(** Advances the prefilter's own analysis state on the event and
+    decides whether to forward it.  Synchronization events are always
+    forwarded; accesses are forwarded when the prefilter cannot rule
+    out a race for their location. *)
+
+type run = {
+  checker : string;
+  prefilter : kind;
+  kept_accesses : int;
+  dropped_accesses : int;
+  violations : Checker.violation list;
+  elapsed : float;  (** prefilter + checker CPU seconds *)
+}
+
+val run : kind -> (module Checker.S) -> Trace.t -> run
+(** Streams the trace through the prefilter into a fresh instance of
+    the checker, timing the whole pipeline. *)

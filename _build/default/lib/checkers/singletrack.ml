@@ -1,0 +1,160 @@
+module VC = Vector_clock
+
+let name = "SingleTrack"
+
+(* One happens-before analysis: per-thread clocks plus read/write VCs
+   per location (a BasicVC-style core). *)
+module Relation = struct
+  type var_state = { mutable rvc : VC.t; mutable wvc : VC.t }
+
+  type t = {
+    mutable clocks : VC.t array;
+    locks : (Lockid.t, VC.t) Hashtbl.t;
+    volatiles : (Volatile.t, VC.t) Hashtbl.t;
+    vars : (int, var_state) Hashtbl.t;
+    track_locks : bool;  (* false: the deterministic relation *)
+  }
+
+  let create ~track_locks =
+    { clocks = [||];
+      locks = Hashtbl.create 16;
+      volatiles = Hashtbl.create 8;
+      vars = Hashtbl.create 256;
+      track_locks }
+
+  let clock r t =
+    let n = Array.length r.clocks in
+    if t >= n then begin
+      let fresh =
+        Array.init
+          (max (t + 1) (2 * n + 1))
+          (fun u ->
+            if u < n then r.clocks.(u)
+            else begin
+              let v = VC.create () in
+              VC.inc v u;
+              v
+            end)
+      in
+      r.clocks <- fresh
+    end;
+    r.clocks.(t)
+
+  let var r key =
+    match Hashtbl.find_opt r.vars key with
+    | Some st -> st
+    | None ->
+      let st = { rvc = VC.create (); wvc = VC.create () } in
+      Hashtbl.replace r.vars key st;
+      st
+
+  let store (_ : t) table key =
+    match Hashtbl.find_opt table key with
+    | Some v -> v
+    | None ->
+      let v = VC.create () in
+      Hashtbl.replace table key v;
+      v
+
+  let on_sync r e =
+    match e with
+    | Event.Acquire { t; m } ->
+      if r.track_locks then
+        VC.join_into ~dst:(clock r t) (store r r.locks m)
+    | Event.Release { t; m } ->
+      let ct = clock r t in
+      if r.track_locks then VC.copy_into ~dst:(store r r.locks m) ct;
+      VC.inc ct t
+    | Event.Volatile_read { t; v } ->
+      if r.track_locks then
+        VC.join_into ~dst:(clock r t) (store r r.volatiles v)
+    | Event.Volatile_write { t; v } ->
+      let ct = clock r t in
+      if r.track_locks then begin
+        let lv = store r r.volatiles v in
+        VC.join_into ~dst:lv ct
+      end;
+      VC.inc ct t
+    | Event.Fork { t; u } ->
+      let ct = clock r t in
+      VC.join_into ~dst:(clock r u) ct;
+      VC.inc ct t
+    | Event.Join { t; u } ->
+      let cu = clock r u in
+      VC.join_into ~dst:(clock r t) cu;
+      VC.inc cu u
+    | Event.Barrier_release { threads } ->
+      let joined = VC.create () in
+      List.iter (fun u -> VC.join_into ~dst:joined (clock r u)) threads;
+      List.iter
+        (fun u ->
+          VC.copy_into ~dst:(clock r u) joined;
+          VC.inc r.clocks.(u) u)
+        threads
+    | Event.Read _ | Event.Write _ | Event.Txn_begin _ | Event.Txn_end _ ->
+      ()
+
+  (* Is the access ordered after all conflicting predecessors? *)
+  let ordered r key t (kind : [ `Read | `Write ]) =
+    let st = var r key in
+    let ct = clock r t in
+    match kind with
+    | `Read -> VC.leq st.wvc ct
+    | `Write -> VC.leq st.wvc ct && VC.leq st.rvc ct
+
+  let record r key t kind =
+    let st = var r key in
+    let ct = clock r t in
+    let now = VC.get ct t in
+    (* fresh VC per update, like the other RoadRunner-style tools *)
+    match kind with
+    | `Read -> st.rvc <- VC.with_entry st.rvc ~tid:t ~clock:now
+    | `Write -> st.wvc <- VC.with_entry st.wvc ~tid:t ~clock:now
+end
+
+type t = {
+  full : Relation.t;
+  deterministic : Relation.t;
+  reported : (int, unit) Hashtbl.t;
+  mutable acc : Checker.violation list;
+}
+
+let create () =
+  { full = Relation.create ~track_locks:true;
+    deterministic = Relation.create ~track_locks:false;
+    reported = Hashtbl.create 16;
+    acc = [] }
+
+let access c ~index t x kind =
+  let key = Var.key Var.Fine x in
+  (* both relations are consulted on every access: the full relation
+     distinguishes an outright race from schedule-dependence *)
+  let full_ordered = Relation.ordered c.full key t kind in
+  if not (Relation.ordered c.deterministic key t kind) then
+    if not (Hashtbl.mem c.reported key) then begin
+      Hashtbl.replace c.reported key ();
+      let how =
+        if full_ordered then
+          "ordered only by nondeterministic (lock) synchronization"
+        else "unordered conflicting accesses"
+      in
+      c.acc <-
+        { Checker.index;
+          tid = t;
+          description =
+            Printf.sprintf "determinism violation on %s: %s"
+              (Var.to_string x) how }
+        :: c.acc
+    end;
+  Relation.record c.full key t kind;
+  Relation.record c.deterministic key t kind
+
+let on_event c ~index e =
+  match e with
+  | Event.Read { t; x } -> access c ~index t x `Read
+  | Event.Write { t; x } -> access c ~index t x `Write
+  | e ->
+    Relation.on_sync c.full e;
+    Relation.on_sync c.deterministic e
+
+let violations c = List.rev c.acc

@@ -1,0 +1,18 @@
+(** A scaled-down SINGLETRACK [32]: dynamic determinism checking.
+
+    A deterministically-parallel program must order every pair of
+    conflicting accesses by {e deterministic} synchronization —
+    fork/join and barriers — not merely by lock acquisition order,
+    which varies from run to run.  The checker therefore maintains two
+    happens-before relations per location: the full relation (all
+    synchronization) and the deterministic relation (lock and volatile
+    edges removed).  A pair of conflicting accesses ordered only by
+    the full relation (or unordered) makes the schedule observable and
+    is reported as a determinism violation.
+
+    Maintaining two vector-clock analyses side by side makes this the
+    most expensive checker of the three (the paper reports 104x
+    without prefiltering), and the one that profits most from a
+    FastTrack prefilter. *)
+
+include Checker.S

@@ -1,0 +1,161 @@
+module VC = Vector_clock
+
+let name = "Velodrome"
+
+(* A published node: thread, per-thread sequence number, and a
+   snapshot of its happens-before closure (over node numbers). *)
+type published = { thread : Tid.t; num : int; vc : VC.t }
+
+type thread_state = {
+  mutable num : int;       (* current node's sequence number *)
+  vc : VC.t;               (* current node's closure, grown in place *)
+  mutable in_txn : bool;
+}
+
+type t = {
+  mutable threads : thread_state array;
+  last_write : (int, published) Hashtbl.t;          (* var key *)
+  last_reads : (int, (Tid.t, published) Hashtbl.t) Hashtbl.t;
+  lock_store : (Lockid.t, published) Hashtbl.t;
+  volatile_store : (Volatile.t, published) Hashtbl.t;
+  reported : (int, unit) Hashtbl.t;  (* node uid = thread * 2^40 + num *)
+  mutable acc : Checker.violation list;
+}
+
+let create () =
+  { threads = [||];
+    last_write = Hashtbl.create 256;
+    last_reads = Hashtbl.create 256;
+    lock_store = Hashtbl.create 16;
+    volatile_store = Hashtbl.create 8;
+    reported = Hashtbl.create 8;
+    acc = [] }
+
+let thread c t =
+  let n = Array.length c.threads in
+  if t >= n then begin
+    let fresh =
+      Array.init
+        (max (t + 1) (2 * n + 1))
+        (fun u ->
+          if u < n then c.threads.(u)
+          else { num = 0; vc = VC.create (); in_txn = false })
+    in
+    c.threads <- fresh
+  end;
+  c.threads.(t)
+
+let node_uid t num = (t lsl 40) lor num
+
+(* Start a fresh node on [t] (unary op or transaction begin). *)
+let new_node c t =
+  let ts = thread c t in
+  ts.num <- ts.num + 1;
+  VC.set ts.vc t ts.num;
+  ts
+
+(* The node under which an event of [t] executes. *)
+let current_node c t =
+  let ts = thread c t in
+  if ts.in_txn then ts else new_node c t
+
+let publish ts ~t = { thread = t; num = ts.num; vc = VC.copy ts.vc }
+
+(* Add the edge [from → current node of t]: join the published closure
+   into the node, detecting a cycle if the source already happens
+   after this node. *)
+let add_edge c ~index t (ts : thread_state) (src : published) =
+  if not (src.thread = t && src.num = ts.num) then begin
+    if VC.get src.vc t >= ts.num then begin
+      (* src happens after the current node, and we are about to order
+         it before: the transactional happens-before graph has a
+         cycle. *)
+      let uid = node_uid t ts.num in
+      if not (Hashtbl.mem c.reported uid) then begin
+        Hashtbl.replace c.reported uid ();
+        c.acc <-
+          { Checker.index;
+            tid = t;
+            description =
+              Printf.sprintf
+                "atomicity violation: cycle between node %d of thread %d \
+                 and node %d of thread %d"
+                ts.num t src.num src.thread }
+          :: c.acc
+      end
+    end;
+    VC.join_into ~dst:ts.vc src.vc;
+    VC.set ts.vc src.thread (max (VC.get ts.vc src.thread) src.num);
+    (* restore own entry: join cannot lower it, but be explicit *)
+    VC.set ts.vc t (max (VC.get ts.vc t) ts.num)
+  end
+
+let reads_table c key =
+  match Hashtbl.find_opt c.last_reads key with
+  | Some table -> table
+  | None ->
+    let table = Hashtbl.create 4 in
+    Hashtbl.replace c.last_reads key table;
+    table
+
+let var_key x = Var.key Var.Fine x
+
+let on_event c ~index e =
+  match e with
+  | Event.Txn_begin { t } ->
+    let ts = new_node c t in
+    ts.in_txn <- true
+  | Event.Txn_end { t } -> (thread c t).in_txn <- false
+  | Event.Read { t; x } ->
+    let ts = current_node c t in
+    let key = var_key x in
+    (match Hashtbl.find_opt c.last_write key with
+    | Some w -> add_edge c ~index t ts w
+    | None -> ());
+    Hashtbl.replace (reads_table c key) t (publish ts ~t)
+  | Event.Write { t; x } ->
+    let ts = current_node c t in
+    let key = var_key x in
+    (match Hashtbl.find_opt c.last_write key with
+    | Some w -> add_edge c ~index t ts w
+    | None -> ());
+    let readers = reads_table c key in
+    Hashtbl.iter (fun _ r -> add_edge c ~index t ts r) readers;
+    Hashtbl.reset readers;
+    Hashtbl.replace c.last_write key (publish ts ~t)
+  | Event.Acquire { t; m } ->
+    let ts = current_node c t in
+    (match Hashtbl.find_opt c.lock_store m with
+    | Some rel -> add_edge c ~index t ts rel
+    | None -> ())
+  | Event.Release { t; m } ->
+    let ts = current_node c t in
+    Hashtbl.replace c.lock_store m (publish ts ~t)
+  | Event.Volatile_read { t; v } ->
+    let ts = current_node c t in
+    (match Hashtbl.find_opt c.volatile_store v with
+    | Some w -> add_edge c ~index t ts w
+    | None -> ())
+  | Event.Volatile_write { t; v } ->
+    let ts = current_node c t in
+    Hashtbl.replace c.volatile_store v (publish ts ~t)
+  | Event.Fork { t; u } ->
+    let ts = current_node c t in
+    let self = publish ts ~t in
+    let us = thread c u in
+    VC.join_into ~dst:us.vc self.vc
+  | Event.Join { t; u } ->
+    let ts = current_node c t in
+    let us = thread c u in
+    add_edge c ~index t ts (publish us ~t:u)
+  | Event.Barrier_release { threads } ->
+    let published =
+      List.map (fun u -> publish (current_node c u) ~t:u) threads
+    in
+    List.iter
+      (fun u ->
+        let us = new_node c u in
+        List.iter (fun p -> add_edge c ~index u us p) published)
+      threads
+
+let violations c = List.rev c.acc

@@ -1,0 +1,20 @@
+(** A scaled-down VELODROME [17]: a dynamic atomicity (conflict
+    serializability) checker.
+
+    The trace's operations are grouped into nodes of a transactional
+    happens-before graph: the events between a thread's [Txn_begin]
+    and [Txn_end] markers form one transaction node, and every event
+    outside a transaction is its own unary node.  Edges record
+    conflicts (access after conflicting access) and synchronization
+    (release→acquire, volatile write→read, fork/join, barriers).  A
+    trace is conflict-serializable iff this graph is acyclic; a cycle
+    through a transaction is an atomicity violation.
+
+    Cycle detection uses per-node vector clocks over node sequence
+    numbers: adding an edge [u → v] when [u] already happens after
+    [v] closes a cycle.  Like the original, the per-event node and
+    edge bookkeeping makes this analysis much more expensive than race
+    detection — which is why prefiltering race-free accesses
+    (Section 5.2) pays off. *)
+
+include Checker.S

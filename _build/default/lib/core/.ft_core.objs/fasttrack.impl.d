@@ -1,0 +1,1 @@
+lib/core/fasttrack.ml: Config Epoch Event Race_log Shadow Stats Var Vc_state Vector_clock Warning

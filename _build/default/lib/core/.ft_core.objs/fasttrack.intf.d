@@ -1,0 +1,1 @@
+lib/core/fasttrack.mli: Detector Epoch Tid Var Vector_clock

@@ -1,0 +1,1 @@
+lib/core/fasttrack_ref.ml: Epoch Event Int List Map Option Trace Var

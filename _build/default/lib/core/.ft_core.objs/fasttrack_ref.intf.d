@@ -1,0 +1,1 @@
+lib/core/fasttrack_ref.mli: Epoch Event Tid Trace Var

@@ -1,0 +1,204 @@
+module VC = Vector_clock
+
+let name = "FastTrack"
+
+(* The READ_SHARED sentinel of Figure 5: a reserved epoch value that
+   can never arise as a real epoch because we never let clocks reach
+   [Epoch.max_clock]. *)
+let read_shared = Epoch.make ~tid:Epoch.max_tid ~clock:Epoch.max_clock
+
+(* Shadow state for one memory location: Figure 5's VarState. *)
+type var_state = {
+  x : Var.t;  (* representative variable, for warning attribution *)
+  mutable w : Epoch.t;
+  mutable r : Epoch.t;  (* == read_shared iff rvc is in use *)
+  mutable rvc : VC.t option;
+}
+
+(* record header + 4 fields + hashtable slot, in words *)
+let var_state_words = 7
+
+type t = {
+  config : Config.t;
+  stats : Stats.t;
+  sync : Vc_state.t;
+  vars : var_state Shadow.t;
+  log : Race_log.t;
+  adaptive : bool;
+  (* rule hit counters, fetched once so the hot path only increments *)
+  r_same_epoch : int ref;
+  r_shared : int ref;
+  r_exclusive : int ref;
+  r_share : int ref;
+  w_same_epoch : int ref;
+  w_exclusive : int ref;
+  w_shared : int ref;
+}
+
+let create config =
+  let stats = Stats.create () in
+  { config;
+    stats;
+    sync = Vc_state.create stats;
+    vars = Shadow.create config.Config.granularity;
+    log = Race_log.create ();
+    adaptive = (config.Config.granularity = Shadow.Adaptive);
+    r_same_epoch = Stats.counter stats "READ SAME EPOCH";
+    r_shared = Stats.counter stats "READ SHARED";
+    r_exclusive = Stats.counter stats "READ EXCLUSIVE";
+    r_share = Stats.counter stats "READ SHARE";
+    w_same_epoch = Stats.counter stats "WRITE SAME EPOCH";
+    w_exclusive = Stats.counter stats "WRITE EXCLUSIVE";
+    w_shared = Stats.counter stats "WRITE SHARED" }
+
+let new_var_state d x =
+  Stats.add_words d.stats var_state_words;
+  { x; w = Epoch.bottom; r = Epoch.bottom; rvc = None }
+
+let var_state d x =
+  match Shadow.find d.vars x with
+  | Some st -> st
+  | None -> Shadow.get d.vars x (new_var_state d)
+
+let report d st ~tid ~index ?prior kind =
+  (* On-line granularity adaptation (Section 5.1): the first coarse
+     warning for an object refines it to fine grain instead of being
+     reported; the abandoned history is the documented precision
+     loss. *)
+  if d.adaptive && not (Shadow.refined d.vars st.x) then
+    Shadow.refine d.vars st.x
+  else
+    Race_log.report d.log ~key:(Shadow.key d.vars st.x) ~x:st.x ~tid ~index
+      ~kind ?prior ()
+
+let prior_of_epoch e =
+  { Warning.prior_tid = Epoch.tid e; prior_clock = Epoch.clock e }
+
+let epoch_op d = d.stats.epoch_ops <- d.stats.epoch_ops + 1
+let vc_op d = d.stats.vc_ops <- d.stats.vc_ops + 1
+
+let read d ~index t x =
+  let st = var_state d x in
+  let te = Vc_state.epoch d.sync t in
+  epoch_op d;
+  if d.config.same_epoch_fast_path && Epoch.equal st.r te then
+    incr d.r_same_epoch
+  else begin
+    let ct = Vc_state.clock d.sync t in
+    (* write-read race? *)
+    epoch_op d;
+    if not (VC.epoch_leq st.w ct) then
+      report d st ~tid:t ~index ~prior:(prior_of_epoch st.w)
+        Warning.Write_read;
+    (* update read state *)
+    if Epoch.equal st.r read_shared then begin
+      (* [FT READ SHARED] *)
+      (match st.rvc with
+      | Some rvc -> VC.set rvc t (Epoch.clock te)
+      | None -> assert false);
+      incr d.r_shared
+    end
+    else begin
+      epoch_op d;
+      if VC.epoch_leq st.r ct then begin
+        (* [FT READ EXCLUSIVE] *)
+        st.r <- te;
+        incr d.r_exclusive
+      end
+      else begin
+        (* [FT READ SHARE]: the slow path — allocate (or clear) the
+           read vector clock and record both concurrent reads. *)
+        let rvc =
+          match st.rvc with
+          | Some rvc ->
+            (* Reuse a vector left over from an earlier shared phase,
+               but clear it: the rule builds V = ⊥V[t := Ct(t), u := c]. *)
+            VC.clear rvc;
+            vc_op d;
+            rvc
+          | None ->
+            let rvc = VC.create () in
+            d.stats.vc_allocs <- d.stats.vc_allocs + 1;
+            Stats.add_words d.stats (VC.heap_words rvc);
+            st.rvc <- Some rvc;
+            rvc
+        in
+        VC.set rvc (Epoch.tid st.r) (Epoch.clock st.r);
+        VC.set rvc t (Epoch.clock te);
+        st.r <- read_shared;
+        incr d.r_share
+      end
+    end
+  end
+
+let write d ~index t x =
+  let st = var_state d x in
+  let te = Vc_state.epoch d.sync t in
+  epoch_op d;
+  if d.config.same_epoch_fast_path && Epoch.equal st.w te then
+    incr d.w_same_epoch
+  else begin
+    let ct = Vc_state.clock d.sync t in
+    (* write-write race? *)
+    epoch_op d;
+    if not (VC.epoch_leq st.w ct) then
+      report d st ~tid:t ~index ~prior:(prior_of_epoch st.w)
+        Warning.Write_write;
+    (* read-write race? *)
+    if not (Epoch.equal st.r read_shared) then begin
+      (* [FT WRITE EXCLUSIVE] *)
+      epoch_op d;
+      if not (VC.epoch_leq st.r ct) then
+        report d st ~tid:t ~index ~prior:(prior_of_epoch st.r)
+          Warning.Read_write;
+      incr d.w_exclusive
+    end
+    else begin
+      (* [FT WRITE SHARED]: the slow path — full VC comparison, then
+         demote the read history back to epoch mode. *)
+      (match st.rvc with
+      | Some rvc -> (
+        vc_op d;
+        match VC.find_gt rvc ct with
+        | Some (u, c) ->
+          report d st ~tid:t ~index
+            ~prior:{ Warning.prior_tid = u; prior_clock = c }
+            Warning.Read_write
+        | None -> ())
+      | None -> assert false);
+      if d.config.read_demotion then st.r <- Epoch.bottom;
+      incr d.w_shared
+    end;
+    st.w <- te
+  end
+
+let on_event d ~index e =
+  Stats.count_event d.stats e;
+  if not (Vc_state.handle_sync d.sync e) then
+    match e with
+    | Event.Read { t; x } -> read d ~index t x
+    | Event.Write { t; x } -> write d ~index t x
+    | _ -> assert false (* handle_sync covers everything else *)
+
+let warnings d = Race_log.warnings d.log
+let stats d = d.stats
+
+type repr = {
+  write : Epoch.t;
+  read : [ `Epoch of Epoch.t | `Shared of Vector_clock.t ];
+}
+
+let inspect d x =
+  match Shadow.find d.vars x with
+  | None -> None
+  | Some st ->
+    let read =
+      if Epoch.equal st.r read_shared then
+        match st.rvc with
+        | Some rvc -> `Shared (VC.copy rvc)
+        | None -> assert false
+      else `Epoch st.r
+    in
+    Some { write = st.w; read }
+
+let current_epoch d t = Vc_state.epoch d.sync t

@@ -1,0 +1,171 @@
+module Imap = Map.Make (Int)
+module Vmap = Map.Make (struct
+  type t = Var.t
+
+  let compare = Var.compare
+end)
+
+module Vc = struct
+  type t = int Imap.t
+
+  let bottom = Imap.empty
+  let get v t = Option.value (Imap.find_opt t v) ~default:0
+  let set v t c = Imap.add t c v
+  let inc v t = Imap.add t (get v t + 1) v
+
+  let join v1 v2 =
+    Imap.union (fun _ c1 c2 -> Some (max c1 c2)) v1 v2
+
+  let leq v1 v2 = Imap.for_all (fun t c -> c <= get v2 t) v1
+  let epoch_leq e v = Epoch.clock e <= get v (Epoch.tid e)
+end
+
+type read_history = REpoch of Epoch.t | RShared of Vc.t
+
+type state = {
+  c : Vc.t Imap.t;           (* C : Tid → VC *)
+  l : Vc.t Imap.t;           (* L : Lock → VC *)
+  lv : Vc.t Imap.t;          (* L extended to volatiles (Section 4) *)
+  r : read_history Vmap.t;   (* R : Var → Epoch ∪ VC *)
+  w : Epoch.t Vmap.t;        (* W : Var → Epoch *)
+}
+
+let initial =
+  { c = Imap.empty; l = Imap.empty; lv = Imap.empty;
+    r = Vmap.empty; w = Vmap.empty }
+
+(* σ₀ maps each thread to inc_t(⊥V), materialized lazily. *)
+let clock_of s t =
+  match Imap.find_opt t s.c with
+  | Some v -> v
+  | None -> Vc.inc Vc.bottom t
+
+let lock_of s m = Option.value (Imap.find_opt m s.l) ~default:Vc.bottom
+let volatile_of s v = Option.value (Imap.find_opt v s.lv) ~default:Vc.bottom
+
+let read_of s x =
+  Option.value (Vmap.find_opt x s.r) ~default:(REpoch Epoch.bottom)
+
+let write_of s x = Option.value (Vmap.find_opt x s.w) ~default:Epoch.bottom
+let epoch_of s t = Epoch.make ~tid:t ~clock:(Vc.get (clock_of s t) t)
+
+type stuck = { index : int; event : Event.t; violated : string }
+
+type verdict = Apply of string * state | Stuck of string
+
+let read_verdict s t x =
+  let ct = clock_of s t in
+  let e_t = epoch_of s t in
+  match read_of s x with
+  | REpoch rx when Epoch.equal rx e_t -> Apply ("READ SAME EPOCH", s)
+  | rx ->
+    if not (Vc.epoch_leq (write_of s x) ct) then Stuck "Wx ⪯ Ct"
+    else begin
+      match rx with
+      | RShared v ->
+        let v' = Vc.set v t (Vc.get ct t) in
+        Apply ("READ SHARED", { s with r = Vmap.add x (RShared v') s.r })
+      | REpoch rx when Vc.epoch_leq rx ct ->
+        Apply ("READ EXCLUSIVE", { s with r = Vmap.add x (REpoch e_t) s.r })
+      | REpoch rx ->
+        (* V = ⊥V[t := Ct(t), u := c]  where  Rx = c@u *)
+        let v =
+          Vc.set
+            (Vc.set Vc.bottom (Epoch.tid rx) (Epoch.clock rx))
+            t (Vc.get ct t)
+        in
+        Apply ("READ SHARE", { s with r = Vmap.add x (RShared v) s.r })
+    end
+
+let write_verdict s t x =
+  let ct = clock_of s t in
+  let e_t = epoch_of s t in
+  let wx = write_of s x in
+  if Epoch.equal wx e_t then Apply ("WRITE SAME EPOCH", s)
+  else if not (Vc.epoch_leq wx ct) then Stuck "Wx ⪯ Ct"
+  else begin
+    match read_of s x with
+    | REpoch rx ->
+      if not (Vc.epoch_leq rx ct) then Stuck "Rx ⪯ Ct"
+      else
+        Apply ("WRITE EXCLUSIVE", { s with w = Vmap.add x e_t s.w })
+    | RShared v ->
+      if not (Vc.leq v ct) then Stuck "Rx ⊑ Ct"
+      else
+        Apply
+          ( "WRITE SHARED",
+            { s with
+              w = Vmap.add x e_t s.w;
+              r = Vmap.add x (REpoch Epoch.bottom) s.r } )
+  end
+
+let sync_verdict s e =
+  match e with
+  | Event.Acquire { t; m } ->
+    let c' = Vc.join (clock_of s t) (lock_of s m) in
+    Apply ("ACQUIRE", { s with c = Imap.add t c' s.c })
+  | Event.Release { t; m } ->
+    let ct = clock_of s t in
+    Apply
+      ( "RELEASE",
+        { s with l = Imap.add m ct s.l; c = Imap.add t (Vc.inc ct t) s.c } )
+  | Event.Fork { t; u } ->
+    let ct = clock_of s t in
+    let cu' = Vc.join (clock_of s u) ct in
+    Apply
+      ( "FORK",
+        { s with c = Imap.add u cu' (Imap.add t (Vc.inc ct t) s.c) } )
+  | Event.Join { t; u } ->
+    let cu = clock_of s u in
+    let ct' = Vc.join (clock_of s t) cu in
+    Apply
+      ( "JOIN",
+        { s with c = Imap.add t ct' (Imap.add u (Vc.inc cu u) s.c) } )
+  | Event.Volatile_read { t; v } ->
+    let c' = Vc.join (clock_of s t) (volatile_of s v) in
+    Apply ("READ VOLATILE", { s with c = Imap.add t c' s.c })
+  | Event.Volatile_write { t; v } ->
+    let lv' = Vc.join (clock_of s t) (volatile_of s v) in
+    Apply
+      ( "WRITE VOLATILE",
+        { s with
+          lv = Imap.add v lv' s.lv;
+          c = Imap.add t (Vc.inc (clock_of s t) t) s.c } )
+  | Event.Barrier_release { threads } ->
+    let joined =
+      List.fold_left (fun acc u -> Vc.join acc (clock_of s u)) Vc.bottom
+        threads
+    in
+    let c =
+      List.fold_left
+        (fun c u -> Imap.add u (Vc.inc joined u) c)
+        s.c threads
+    in
+    Apply ("BARRIER RELEASE", { s with c })
+  | Event.Txn_begin _ | Event.Txn_end _ -> Apply ("TXN", s)
+  | Event.Read _ | Event.Write _ -> assert false
+
+let verdict s e =
+  match e with
+  | Event.Read { t; x } -> read_verdict s t x
+  | Event.Write { t; x } -> write_verdict s t x
+  | e -> sync_verdict s e
+
+let step s ~index e =
+  match verdict s e with
+  | Apply (_, s') -> Ok s'
+  | Stuck violated -> Error { index; event = e; violated }
+
+let run tr =
+  let n = Trace.length tr in
+  let rec go s i =
+    if i >= n then Ok s
+    else
+      match step s ~index:i (Trace.get tr i) with
+      | Ok s' -> go s' (i + 1)
+      | Error stuck -> Error stuck
+  in
+  go initial 0
+
+let rule_name s e =
+  match verdict s e with Apply (name, _) -> Some name | Stuck _ -> None

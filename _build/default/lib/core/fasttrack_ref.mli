@@ -1,0 +1,57 @@
+(** Executable specification of the FastTrack transition rules.
+
+    A direct, purely-functional transcription of the analysis relation
+    [σ ⇒ᵃ σ'] of Figures 2 and 3 (plus the Section 4 volatile and
+    barrier rules), with the analysis state
+    [σ = (C, L, R, W)] represented by persistent maps and the read
+    history as an explicit [Epoch ∪ VC] sum.
+
+    Unlike the optimized {!Fasttrack} detector, this implementation
+    *gets stuck* on the first race (there is no rule whose antecedent
+    holds), exactly as in the paper's Theorem 1:
+    a feasible trace [α] is race-free iff [σ₀ ⇒α σ] for some [σ].
+
+    It exists for differential testing — the optimized detector's
+    first warning must coincide with this specification's stuck point —
+    and as readable documentation of the algorithm. *)
+
+(** Sparse functional vector clock. *)
+module Vc : sig
+  type t
+
+  val bottom : t
+  val get : t -> Tid.t -> int
+  val set : t -> Tid.t -> int -> t
+  val inc : t -> Tid.t -> t
+  val join : t -> t -> t
+  val leq : t -> t -> bool
+  val epoch_leq : Epoch.t -> t -> bool
+end
+
+type read_history = REpoch of Epoch.t | RShared of Vc.t
+
+type state
+(** The analysis state [σ = (C, L, R, W)]. *)
+
+val initial : state
+(** [σ₀ = (λt. inc_t(⊥V), λm. ⊥V, λx. ⊥e, λx. ⊥e)]. *)
+
+type stuck = {
+  index : int;          (** trace position of the racy operation *)
+  event : Event.t;
+  violated : string;    (** the antecedent that failed, e.g. ["Wx ⪯ Ct"] *)
+}
+
+val step : state -> index:int -> Event.t -> (state, stuck) result
+(** One transition; [Error] when no rule applies (a race). *)
+
+val run : Trace.t -> (state, stuck) result
+(** Folds {!step}; stops at the first stuck operation. *)
+
+val rule_name : state -> Event.t -> string option
+(** The name of the rule that would fire on this event, if any —
+    used to cross-check the optimized detector's rule histogram. *)
+
+val clock_of : state -> Tid.t -> Vc.t
+val read_of : state -> Var.t -> read_history
+val write_of : state -> Var.t -> Epoch.t

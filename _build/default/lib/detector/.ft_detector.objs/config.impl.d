@@ -1,0 +1,1 @@
+lib/detector/config.ml: Shadow

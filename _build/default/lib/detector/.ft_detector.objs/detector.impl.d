@@ -1,0 +1,1 @@
+lib/detector/detector.ml: Config Event Stats Warning

@@ -1,0 +1,1 @@
+lib/detector/detector.mli: Config Event Stats Warning

@@ -1,0 +1,1 @@
+lib/detector/driver.ml: Config Detector Event List Stats Sys Trace Warning

@@ -1,0 +1,1 @@
+lib/detector/driver.mli: Config Detector Stats Trace Warning

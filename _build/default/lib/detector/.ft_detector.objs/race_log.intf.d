@@ -1,0 +1,1 @@
+lib/detector/race_log.mli: Tid Var Warning

@@ -1,0 +1,1 @@
+lib/detector/shadow.ml: Array Option Var

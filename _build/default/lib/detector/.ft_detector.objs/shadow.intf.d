@@ -1,0 +1,1 @@
+lib/detector/shadow.mli: Var

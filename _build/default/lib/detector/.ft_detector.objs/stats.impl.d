@@ -1,0 +1,1 @@
+lib/detector/stats.ml: Event Format Hashtbl Int List

@@ -1,0 +1,1 @@
+lib/detector/stats.mli: Event Format Hashtbl

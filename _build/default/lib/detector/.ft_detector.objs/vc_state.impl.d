@@ -1,0 +1,1 @@
+lib/detector/vc_state.ml: Array Epoch Event Hashtbl List Lockid Stats Vector_clock Volatile

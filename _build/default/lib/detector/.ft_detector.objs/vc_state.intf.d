@@ -1,0 +1,1 @@
+lib/detector/vc_state.mli: Epoch Event Stats Tid Vector_clock

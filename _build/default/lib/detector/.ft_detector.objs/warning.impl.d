@@ -1,0 +1,1 @@
+lib/detector/warning.ml: Format Int Tid Var

@@ -1,0 +1,1 @@
+lib/detector/warning.mli: Format Tid Var

@@ -1,0 +1,13 @@
+type t = {
+  granularity : Shadow.mode;
+  same_epoch_fast_path : bool;
+  read_demotion : bool;
+}
+
+let default =
+  { granularity = Shadow.Fine;
+    same_epoch_fast_path = true;
+    read_demotion = true }
+
+let coarse = { default with granularity = Shadow.Coarse }
+let adaptive = { default with granularity = Shadow.Adaptive }

@@ -1,0 +1,27 @@
+(** Detector configuration.
+
+    [granularity] selects the shadow-memory granularity of Section 4:
+    fine (one state per field), coarse (one per object), or the
+    adaptive refinement Section 5.1 sketches (coarse until a location
+    warns, then fine for that object — implemented by FastTrack; the
+    other tools treat [Adaptive] as coarse).
+
+    The two ablation flags switch off individual FastTrack design
+    choices so the benchmarks can quantify their contribution:
+    - [same_epoch_fast_path]: the [FT READ/WRITE SAME EPOCH] O(1)
+      shortcut (Figure 5's first line of each handler);
+    - [read_demotion]: rule [FT WRITE SHARED]'s reset of the read
+      history to [⊥e], which switches a read-shared variable back into
+      cheap epoch mode after a write. *)
+
+type t = {
+  granularity : Shadow.mode;
+  same_epoch_fast_path : bool;
+  read_demotion : bool;
+}
+
+val default : t
+(** Fine granularity, all optimizations on. *)
+
+val coarse : t
+val adaptive : t

@@ -1,0 +1,20 @@
+module type S = sig
+  type t
+
+  val name : string
+  val create : Config.t -> t
+  val on_event : t -> index:int -> Event.t -> unit
+  val warnings : t -> Warning.t list
+  val stats : t -> Stats.t
+end
+
+type packed = Packed : (module S with type t = 'a) * 'a -> packed
+
+let instantiate (module D : S) config = Packed ((module D), D.create config)
+let packed_name (Packed ((module D), _)) = D.name
+
+let packed_on_event (Packed ((module D), d)) ~index e =
+  D.on_event d ~index e
+
+let packed_warnings (Packed ((module D), d)) = D.warnings d
+let packed_stats (Packed ((module D), d)) = D.stats d

@@ -1,0 +1,33 @@
+(** The interface every race detector implements.
+
+    Detectors are online: they consume the event stream one operation
+    at a time (the analogue of RoadRunner back-end tools processing the
+    instrumentation event stream) and accumulate warnings and
+    instrumentation statistics. *)
+
+module type S = sig
+  type t
+
+  val name : string
+
+  val create : Config.t -> t
+
+  val on_event : t -> index:int -> Event.t -> unit
+  (** Process one operation.  [index] is the event's trace position,
+      used only for warning attribution. *)
+
+  val warnings : t -> Warning.t list
+  (** Warnings so far, chronological, at most one per shadow location. *)
+
+  val stats : t -> Stats.t
+end
+
+type packed = Packed : (module S with type t = 'a) * 'a -> packed
+(** A detector bundled with its state, for running heterogeneous
+    collections of tools over the same trace. *)
+
+val instantiate : (module S) -> Config.t -> packed
+val packed_name : packed -> string
+val packed_on_event : packed -> index:int -> Event.t -> unit
+val packed_warnings : packed -> Warning.t list
+val packed_stats : packed -> Stats.t

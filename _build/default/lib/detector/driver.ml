@@ -1,0 +1,40 @@
+type result = {
+  tool : string;
+  warnings : Warning.t list;
+  stats : Stats.t;
+  elapsed : float;
+}
+
+let time f =
+  let start = Sys.time () in
+  let x = f () in
+  (x, Sys.time () -. start)
+
+let run_packed packed tr =
+  let (), elapsed =
+    time (fun () ->
+        Trace.iteri (fun index e -> Detector.packed_on_event packed ~index e) tr)
+  in
+  { tool = Detector.packed_name packed;
+    warnings = Detector.packed_warnings packed;
+    stats = Detector.packed_stats packed;
+    elapsed }
+
+let run ?(config = Config.default) d tr =
+  run_packed (Detector.instantiate d config) tr
+
+(* A volatile-ish sink the optimizer cannot delete. *)
+let sink = ref 0
+
+let replay ?(repeat = 1) tr =
+  let (), elapsed =
+    time (fun () ->
+        for _ = 1 to repeat do
+          Trace.iter
+            (fun e -> if Event.is_access e then sink := !sink + 1)
+            tr
+        done)
+  in
+  elapsed /. float_of_int repeat
+
+let warning_count r = List.length r.warnings

@@ -1,0 +1,28 @@
+(** Runs detectors over traces and measures their cost.
+
+    [replay] measures the cost of streaming the trace through an empty
+    loop — the stand-in for "uninstrumented execution time" in the
+    slowdown ratios of Tables 1 and 3 (our events are already recorded,
+    so the only base cost is the replay itself). *)
+
+type result = {
+  tool : string;
+  warnings : Warning.t list;
+  stats : Stats.t;
+  elapsed : float;  (** seconds of CPU time spent in the detector *)
+}
+
+val run : ?config:Config.t -> (module Detector.S) -> Trace.t -> result
+
+val run_packed : Detector.packed -> Trace.t -> result
+(** Feed a trace to an already-instantiated detector (the detector may
+    carry state from earlier traces). *)
+
+val replay : ?repeat:int -> Trace.t -> float
+(** CPU time for [repeat] (default 1) bare iterations of the trace,
+    divided by [repeat]. *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f ()] and reports its CPU time in seconds. *)
+
+val warning_count : result -> int

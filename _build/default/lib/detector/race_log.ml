@@ -1,0 +1,19 @@
+type t = {
+  warned_keys : (int, unit) Hashtbl.t;
+  mutable acc : Warning.t list;  (* reverse chronological *)
+  mutable n : int;
+}
+
+let create () = { warned_keys = Hashtbl.create 16; acc = []; n = 0 }
+
+let warned log ~key = Hashtbl.mem log.warned_keys key
+
+let report log ~key ~x ~tid ~index ~kind ?prior () =
+  if not (warned log ~key) then begin
+    Hashtbl.replace log.warned_keys key ();
+    log.acc <- { Warning.x; tid; index; kind; prior } :: log.acc;
+    log.n <- log.n + 1
+  end
+
+let warnings log = List.rev log.acc
+let count log = log.n

@@ -1,0 +1,23 @@
+(** Warning accumulator with the at-most-one-warning-per-location
+    policy used by all the paper's tools ("the tools report at most one
+    race for each field of each class"). *)
+
+type t
+
+val create : unit -> t
+
+val report :
+  t -> key:int -> x:Var.t -> tid:Tid.t -> index:int -> kind:Warning.kind ->
+  ?prior:Warning.prior -> unit -> unit
+(** Records a warning for shadow location [key] unless one was already
+    recorded for it. *)
+
+val warned : t -> key:int -> bool
+(** Has a warning been recorded for this location?  Detectors use this
+    to stop checking a location after its first race, which keeps all
+    precise detectors' warning sets directly comparable. *)
+
+val warnings : t -> Warning.t list
+(** Chronological. *)
+
+val count : t -> int

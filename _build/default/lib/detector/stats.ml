@@ -1,0 +1,66 @@
+type t = {
+  mutable events : int;
+  mutable reads : int;
+  mutable writes : int;
+  mutable syncs : int;
+  mutable vc_allocs : int;
+  mutable vc_ops : int;
+  mutable epoch_ops : int;
+  mutable state_words : int;
+  mutable peak_words : int;
+  rules : (string, int ref) Hashtbl.t;
+}
+
+let create () =
+  { events = 0;
+    reads = 0;
+    writes = 0;
+    syncs = 0;
+    vc_allocs = 0;
+    vc_ops = 0;
+    epoch_ops = 0;
+    state_words = 0;
+    peak_words = 0;
+    rules = Hashtbl.create 16 }
+
+let count_event s e =
+  s.events <- s.events + 1;
+  match e with
+  | Event.Read _ -> s.reads <- s.reads + 1
+  | Event.Write _ -> s.writes <- s.writes + 1
+  | e -> if Event.is_sync e then s.syncs <- s.syncs + 1
+
+let counter s name =
+  match Hashtbl.find_opt s.rules name with
+  | Some r -> r
+  | None ->
+    let r = ref 0 in
+    Hashtbl.replace s.rules name r;
+    r
+
+let bump_rule s name = incr (counter s name)
+
+let rule_hits s name =
+  match Hashtbl.find_opt s.rules name with Some r -> !r | None -> 0
+
+let add_words s n =
+  s.state_words <- s.state_words + n;
+  if s.state_words > s.peak_words then s.peak_words <- s.state_words
+
+let sub_words s n = s.state_words <- s.state_words - n
+
+let rules_alist s =
+  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) s.rules []
+  |> List.sort (fun (_, a) (_, b) -> Int.compare b a)
+
+let pp ppf s =
+  Format.fprintf ppf
+    "@[<v>events: %d (rd %d / wr %d / sync %d)@,\
+     vc allocs: %d, vc ops: %d, epoch ops: %d@,\
+     state words: %d (peak %d)@,rules: %a@]"
+    s.events s.reads s.writes s.syncs s.vc_allocs s.vc_ops s.epoch_ops
+    s.state_words s.peak_words
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       (fun ppf (name, n) -> Format.fprintf ppf "%s=%d" name n))
+    (rules_alist s)

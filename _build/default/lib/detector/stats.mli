@@ -1,0 +1,39 @@
+(** Instrumentation counters for the evaluation tables.
+
+    [vc_allocs] and [vc_ops] feed Table 2 (vector clocks allocated,
+    O(n)-time vector clock operations); [state_words]/[peak_words] feed
+    Table 3 (analysis memory overhead); the [rules] histogram feeds the
+    Figure 2 rule-frequency percentages. *)
+
+type t = {
+  mutable events : int;
+  mutable reads : int;
+  mutable writes : int;
+  mutable syncs : int;
+  mutable vc_allocs : int;   (** vector clocks allocated *)
+  mutable vc_ops : int;      (** O(n)-time VC operations (copy/join/⊑) *)
+  mutable epoch_ops : int;   (** O(1) epoch fast-path comparisons *)
+  mutable state_words : int; (** current shadow-state footprint, words *)
+  mutable peak_words : int;
+  rules : (string, int ref) Hashtbl.t;
+}
+
+val create : unit -> t
+val count_event : t -> Event.t -> unit
+val bump_rule : t -> string -> unit
+
+(** [counter t rule] is the mutable hit counter for a rule.
+    Detectors fetch the refs for their rules once at creation and bump
+    them directly, keeping the per-event cost to a single increment
+    (no hashing on the hot path). *)
+val counter : t -> string -> int ref
+
+val rule_hits : t -> string -> int
+val add_words : t -> int -> unit
+
+val sub_words : t -> int -> unit
+
+val rules_alist : t -> (string * int) list
+(** Rules sorted by descending hit count. *)
+
+val pp : Format.formatter -> t -> unit

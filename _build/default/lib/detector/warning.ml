@@ -1,0 +1,29 @@
+type kind = Write_write | Write_read | Read_write | Lock_discipline
+
+type prior = { prior_tid : Tid.t; prior_clock : int }
+
+type t = {
+  x : Var.t;
+  tid : Tid.t;
+  index : int;
+  kind : kind;
+  prior : prior option;
+}
+
+let kind_to_string = function
+  | Write_write -> "write-write race"
+  | Write_read -> "write-read race"
+  | Read_write -> "read-write race"
+  | Lock_discipline -> "lockset violation"
+
+let pp ppf w =
+  Format.fprintf ppf "%s on %a at [%d] by %a" (kind_to_string w.kind) Var.pp
+    w.x w.index Tid.pp w.tid;
+  match w.prior with
+  | Some p ->
+    Format.fprintf ppf " (with the access at %d@@%a)" p.prior_clock Tid.pp
+      p.prior_tid
+  | None -> ()
+
+let to_string w = Format.asprintf "%a" pp w
+let compare a b = Int.compare a.index b.index

@@ -1,0 +1,1 @@
+lib/extensions/fasttrack_accordion.ml: Array Config Event Gclock Hashtbl List Lockid Race_log Shadow Slot_registry Stats Tid Var Volatile Warning

@@ -1,0 +1,1 @@
+lib/extensions/fasttrack_accordion.mli: Detector

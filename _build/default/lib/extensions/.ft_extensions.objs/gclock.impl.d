@@ -1,0 +1,1 @@
+lib/extensions/gclock.ml: Array Int Slot_registry

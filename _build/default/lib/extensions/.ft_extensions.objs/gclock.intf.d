@@ -1,0 +1,1 @@
+lib/extensions/gclock.mli: Slot_registry

@@ -1,0 +1,1 @@
+lib/extensions/slot_registry.mli: Tid

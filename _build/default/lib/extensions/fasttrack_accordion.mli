@@ -1,0 +1,30 @@
+(** FastTrack over accordion clocks.
+
+    Identical analysis rules to {!Fasttrack}, but every clock is a
+    generational slot-indexed {!Gclock} interpreted against a
+    {!Slot_registry}: when a joined thread becomes collectable its slot
+    is recycled, so the size of every vector clock — per-thread,
+    per-lock, and the read clocks of read-shared variables — is bounded
+    by the maximum number of {e concurrently live} threads instead of
+    the total number of threads the program ever created.
+
+    Assumption (the Java thread model RoadRunner instruments): every
+    thread except the initial ones is created by [fork], and initial
+    threads act before any [join].  A hand-written trace in which a
+    brand-new root thread takes its first step only {e after} a join
+    has allowed collection could miss a race against the collected
+    thread, because the newcomer inherits nobody's clock.  Traces from
+    {!Scheduler} and {!Trace_gen} always satisfy the assumption.
+
+    For the thread-churn server workloads this targets (many
+    short-lived threads, as in the paper's TRaDE comparison), plain
+    vector clocks grow with every spawned thread while accordion
+    clocks stay at the size of the pool.  Precision is unchanged — the
+    equivalence suite checks this detector against the oracle too. *)
+
+include Detector.S
+
+val slot_count : t -> int
+(** Slots ever allocated: the accordion's bound on clock length. *)
+
+val live_threads : t -> int

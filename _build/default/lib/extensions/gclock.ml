@@ -1,0 +1,90 @@
+(* Entry packing: generation (14 bits) above the clock (36 bits). *)
+let clock_bits = 36
+let clock_mask = (1 lsl clock_bits) - 1
+let gen_bits = 14
+let gen_mask = (1 lsl gen_bits) - 1
+
+type t = { mutable entries : int array; mutable len : int }
+
+let create () = { entries = Array.make 4 0; len = 0 }
+
+let grow v s =
+  let cap = Array.length v.entries in
+  if s >= cap then begin
+    let fresh = Array.make (max (s + 1) (2 * cap)) 0 in
+    Array.blit v.entries 0 fresh 0 v.len;
+    v.entries <- fresh
+  end
+
+let entry_gen e = (e lsr clock_bits) land gen_mask
+let entry_clock e = e land clock_mask
+
+let get reg v s =
+  if s >= v.len then 0
+  else begin
+    let e = v.entries.(s) in
+    if entry_gen e = Slot_registry.generation reg s then entry_clock e
+    else 0 (* stale: the slot's previous occupant was collected *)
+  end
+
+let set reg v s c =
+  grow v s;
+  if s >= v.len then begin
+    Array.fill v.entries v.len (s - v.len) 0;
+    v.len <- s + 1
+  end;
+  v.entries.(s) <-
+    ((Slot_registry.generation reg s land gen_mask) lsl clock_bits)
+    lor (c land clock_mask)
+
+let inc reg v s = set reg v s (get reg v s + 1)
+
+let reset v =
+  Array.fill v.entries 0 v.len 0;
+  v.len <- 0
+
+let join_into reg ~dst src =
+  for s = 0 to src.len - 1 do
+    let c = get reg src s in
+    if c > get reg dst s then set reg dst s c
+  done
+
+let copy_into reg ~dst src =
+  reset dst;
+  for s = 0 to src.len - 1 do
+    let c = get reg src s in
+    if c > 0 then set reg dst s c
+  done
+
+let leq reg v1 v2 =
+  let rec go s =
+    s >= v1.len || (get reg v1 s <= get reg v2 s && go (s + 1))
+  in
+  go 0
+
+let length v = v.len
+let heap_words v = Array.length v.entries + 4
+
+module Gepoch = struct
+  type t = int
+
+  let bottom = 0
+
+  let make reg ~slot ~clock =
+    if slot >= 1 lsl 12 then invalid_arg "Gepoch.make: slot out of range";
+    if clock > clock_mask then invalid_arg "Gepoch.make: clock out of range";
+    (slot lsl (gen_bits + clock_bits))
+    lor ((Slot_registry.generation reg slot land gen_mask) lsl clock_bits)
+    lor clock
+
+  let slot e = e lsr (gen_bits + clock_bits)
+  let clock e = e land clock_mask
+  let gen e = (e lsr clock_bits) land gen_mask
+  let stale reg e = gen e <> Slot_registry.generation reg (slot e)
+  let equal = Int.equal
+
+  let leq_clock reg e v =
+    clock e = 0 || stale reg e || clock e <= get reg v (slot e)
+
+  let of_clock reg v s = make reg ~slot:s ~clock:(get reg v s)
+end

@@ -1,0 +1,56 @@
+(** Generational ("accordion") vector clocks and epochs.
+
+    A {!t} is indexed by {e slot} (see {!Slot_registry}), not by thread
+    id, so its length is bounded by the maximum number of concurrently
+    live threads rather than by the total thread count.  Every entry
+    and every epoch carries the generation of its slot at write time;
+    an entry whose generation is no longer current belongs to a
+    collected thread and reads as clock 0 — which is exactly the sound
+    and precise interpretation, since a thread is only collected once
+    everything it did happens before everything that can still happen.
+
+    All operations take the {!Slot_registry.t} the values are
+    interpreted against. *)
+
+type t
+
+val create : unit -> t
+val get : Slot_registry.t -> t -> int -> int
+(** Current-generation clock of a slot; 0 if absent or stale. *)
+
+val set : Slot_registry.t -> t -> int -> int -> unit
+(** Stores a clock under the slot's current generation. *)
+
+val inc : Slot_registry.t -> t -> int -> unit
+val reset : t -> unit
+(** Back to the empty clock. *)
+
+val join_into : Slot_registry.t -> dst:t -> t -> unit
+val copy_into : Slot_registry.t -> dst:t -> t -> unit
+val leq : Slot_registry.t -> t -> t -> bool
+val length : t -> int
+val heap_words : t -> int
+
+(** Packed generational epochs: slot (12 bits), generation (14 bits),
+    clock (36 bits). *)
+module Gepoch : sig
+  type gclock := t
+  type t = private int
+
+  val bottom : t
+  val make : Slot_registry.t -> slot:int -> clock:int -> t
+  val slot : t -> int
+  val clock : t -> int
+
+  val stale : Slot_registry.t -> t -> bool
+  (** The epoch's thread was collected: it is ordered before
+      everything, so every comparison treats it as minimal. *)
+
+  val equal : t -> t -> bool
+
+  val leq_clock : Slot_registry.t -> t -> gclock -> bool
+  (** The O(1) [e ⪯ V] comparison, stale-aware. *)
+
+  val of_clock : Slot_registry.t -> gclock -> int -> t
+  (** [of_clock reg v s] is [V(s)@s] under the current generation. *)
+end

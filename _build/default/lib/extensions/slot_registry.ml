@@ -1,0 +1,118 @@
+(* Generations are packed into 14 bits in {!Gepoch}; a slot whose
+   generation would overflow is retired instead of recycled. *)
+let max_gen = (1 lsl 14) - 1
+
+type pending = {
+  p_tid : Tid.t;
+  p_slot : int;
+  p_gen : int;
+  p_final : int;  (* the dead thread's final own clock *)
+}
+
+type t = {
+  mutable slot_of_tid : int array;  (* external tid -> slot; -1 unassigned *)
+  mutable gen : int array;          (* per slot *)
+  mutable free : int list;
+  mutable nslots : int;
+  mutable alive : bool array;       (* per external tid *)
+  mutable live : Tid.t list;        (* the (small) live set, explicit *)
+  mutable pending : pending list;   (* joined, awaiting collection *)
+}
+
+let create () =
+  { slot_of_tid = Array.make 8 (-1);
+    gen = Array.make 8 0;
+    free = [];
+    nslots = 0;
+    alive = Array.make 8 false;
+    live = [];
+    pending = [] }
+
+let ensure_tid r t =
+  let n = Array.length r.slot_of_tid in
+  if t >= n then begin
+    let n' = max (t + 1) (2 * n) in
+    let slots = Array.make n' (-1) in
+    let alive = Array.make n' false in
+    Array.blit r.slot_of_tid 0 slots 0 n;
+    Array.blit r.alive 0 alive 0 n;
+    r.slot_of_tid <- slots;
+    r.alive <- alive
+  end
+
+let fresh_slot r =
+  match r.free with
+  | s :: rest ->
+    r.free <- rest;
+    s
+  | [] ->
+    let s = r.nslots in
+    if s >= Array.length r.gen then begin
+      let fresh = Array.make (2 * Array.length r.gen) 0 in
+      Array.blit r.gen 0 fresh 0 (Array.length r.gen);
+      r.gen <- fresh
+    end;
+    r.nslots <- s + 1;
+    s
+
+let slot_of r t =
+  ensure_tid r t;
+  let s = r.slot_of_tid.(t) in
+  if s >= 0 then s
+  else begin
+    let s = fresh_slot r in
+    r.slot_of_tid.(t) <- s;
+    if not r.alive.(t) then begin
+      r.alive.(t) <- true;
+      r.live <- t :: r.live
+    end;
+    s
+  end
+
+let generation r s = r.gen.(s)
+let slot_count r = r.nslots
+
+let note_alive r t =
+  ensure_tid r t;
+  if r.slot_of_tid.(t) < 0 then ignore (slot_of r t)
+  else if not r.alive.(t) then begin
+    r.alive.(t) <- true;
+    r.live <- t :: r.live
+  end
+
+let on_join r ~joined ~final_clock =
+  ensure_tid r joined;
+  let s = r.slot_of_tid.(joined) in
+  if s >= 0 && r.alive.(joined) then begin
+    r.alive.(joined) <- false;
+    r.live <- List.filter (fun t -> not (Tid.equal t joined)) r.live;
+    r.pending <-
+      { p_tid = joined; p_slot = s; p_gen = r.gen.(s);
+        p_final = final_clock }
+      :: r.pending
+  end
+
+let live_tids r = r.live
+
+let collect r ~live_dominates =
+  let collectable, keep =
+    List.partition
+      (fun p ->
+        (* recyclable only if its generation is still current (it
+           always is — a slot is recycled at most once per pending
+           entry) and every live thread already dominates it *)
+        r.gen.(p.p_slot) = p.p_gen
+        && live_dominates ~slot:p.p_slot ~clock:p.p_final)
+      r.pending
+  in
+  r.pending <- keep;
+  List.iter
+    (fun p ->
+      (* invalidate every entry written under the old generation and
+         hand the slot back (or retire it on generation overflow) *)
+      r.slot_of_tid.(p.p_tid) <- -1;
+      if r.gen.(p.p_slot) < max_gen then begin
+        r.gen.(p.p_slot) <- r.gen.(p.p_slot) + 1;
+        r.free <- p.p_slot :: r.free
+      end)
+    collectable

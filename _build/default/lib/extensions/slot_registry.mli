@@ -1,0 +1,54 @@
+(** Thread-slot recycling for accordion clocks.
+
+    Section 4 notes that "existing techniques to reduce the size of
+    vector clocks [10] could also be employed to save space" —
+    accordion clocks (Christiaens & De Bosschere), which matter for
+    programs with many short-lived threads: a plain vector clock is
+    indexed by thread identifier and grows with the {e total} number of
+    threads ever created, while the number of {e live} threads stays
+    small.
+
+    This registry maps external thread ids to a small set of reusable
+    {e slots}.  A slot is reclaimed once its thread is {e collectable}:
+    it has been joined, and every live thread's clock already dominates
+    its final clock — from then on, everything the dead thread ever did
+    happens before everything any thread will do, so its clock entries
+    can only ever compare as "ordered" and may be dropped.  Reuse is
+    made safe by a per-slot {e generation}: entries and epochs carry the
+    generation they were written under, and a stale generation reads as
+    clock 0 ("already satisfied" on the left of a comparison, "not yet
+    known" on the right — both exactly right).
+
+    All generational clocks ({!Gclock}) and epochs ({!Gepoch}) are
+    interpreted against one registry. *)
+
+type t
+
+val create : unit -> t
+
+val slot_of : t -> Tid.t -> int
+(** The slot currently assigned to this external thread, assigning a
+    fresh or recycled one on first use. *)
+
+val generation : t -> int -> int
+(** Current generation of a slot. *)
+
+val slot_count : t -> int
+(** Number of slots ever created — the length every generational clock
+    is bounded by.  The accordion claim is
+    [slot_count ≈ max live threads ≪ total threads]. *)
+
+val note_alive : t -> Tid.t -> unit
+(** Mark a thread live (called for any thread that acts). *)
+
+val on_join : t -> joined:Tid.t -> final_clock:int -> unit
+(** The thread was joined: it will never act again.  Its slot is
+    queued for collection. *)
+
+val collect : t -> live_dominates:(slot:int -> clock:int -> bool) -> unit
+(** Attempt to reclaim queued slots: a slot is recycled once
+    [live_dominates] confirms every live thread's clock has reached the
+    dead thread's final clock.  Recycling bumps the slot's generation,
+    instantly invalidating every stale entry. *)
+
+val live_tids : t -> Tid.t list

@@ -1,0 +1,55 @@
+type t = { mutable state : int64 }
+
+let create ~seed = { state = Int64.of_int seed }
+
+(* SplitMix64 (Steele, Lea, Flood 2014). *)
+let next64 t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t = { state = next64 t }
+
+let next t = Int64.to_int (Int64.shift_right_logical (next64 t) 2)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  next t mod bound
+
+let float t = Int64.to_float (Int64.shift_right_logical (next64 t) 11)
+              *. 0x1.0p-53
+
+let bool t = Int64.logand (next64 t) 1L = 1L
+let chance t p = float t < p
+
+let pick t a =
+  if Array.length a = 0 then invalid_arg "Prng.pick: empty array";
+  a.(int t (Array.length a))
+
+let pick_list t l =
+  match l with
+  | [] -> invalid_arg "Prng.pick_list: empty list"
+  | _ -> List.nth l (int t (List.length l))
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let choose_weighted t alternatives =
+  let total = List.fold_left (fun acc (w, _) -> acc +. w) 0. alternatives in
+  if total <= 0. then invalid_arg "Prng.choose_weighted: non-positive total";
+  let target = float t *. total in
+  let rec go acc = function
+    | [] -> invalid_arg "Prng.choose_weighted: empty list"
+    | [ (_, x) ] -> x
+    | (w, x) :: rest -> if acc +. w > target then x else go (acc +. w) rest
+  in
+  go 0. alternatives

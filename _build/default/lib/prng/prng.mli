@@ -1,0 +1,41 @@
+(** Deterministic, splittable pseudo-random number generator
+    (SplitMix64).
+
+    Every source of randomness in the reproduction — trace generation,
+    the scheduler's interleaving choices, workload synthesis — draws
+    from an explicit [Prng.t] seeded by the caller, so that every
+    experiment is reproducible from its seed alone. *)
+
+type t
+
+val create : seed:int -> t
+
+val split : t -> t
+(** An independent generator derived from (and advancing) [t]. *)
+
+val next : t -> int
+(** Uniform 62-bit non-negative integer. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound).
+    @raise Invalid_argument if [bound <= 0]. *)
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val bool : t -> bool
+
+val chance : t -> float -> bool
+(** [chance t p] is true with probability [p]. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val pick_list : t -> 'a list -> 'a
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val choose_weighted : t -> (float * 'a) list -> 'a
+(** Picks an alternative with probability proportional to its weight.
+    @raise Invalid_argument on an empty list or non-positive total. *)

@@ -1,0 +1,85 @@
+type align = Left | Right
+
+type t = {
+  columns : (string * align) list;
+  mutable rows : [ `Row of string list | `Sep ] list;  (* reversed *)
+}
+
+let create ~columns = { columns; rows = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.columns then
+    invalid_arg
+      (Printf.sprintf "Table.add_row: %d cells for %d columns"
+         (List.length row) (List.length t.columns));
+  t.rows <- `Row row :: t.rows
+
+let add_separator t = t.rows <- `Sep :: t.rows
+
+let render t =
+  let headers = List.map fst t.columns in
+  let aligns = List.map snd t.columns in
+  let rows = List.rev t.rows in
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left
+          (fun acc row ->
+            match row with
+            | `Row cells -> max acc (String.length (List.nth cells i))
+            | `Sep -> acc)
+          (String.length h) rows)
+      headers
+  in
+  let pad align width s =
+    let fill = width - String.length s in
+    match align with
+    | Left -> s ^ String.make fill ' '
+    | Right -> String.make fill ' ' ^ s
+  in
+  let buf = Buffer.create 1024 in
+  let line cells =
+    Buffer.add_string buf "| ";
+    List.iteri
+      (fun i cell ->
+        if i > 0 then Buffer.add_string buf " | ";
+        Buffer.add_string buf
+          (pad (List.nth aligns i) (List.nth widths i) cell))
+      cells;
+    Buffer.add_string buf " |\n"
+  in
+  let separator () =
+    Buffer.add_string buf "|";
+    List.iteri
+      (fun i w ->
+        if i > 0 then Buffer.add_string buf "+";
+        Buffer.add_string buf (String.make (w + 2) '-'))
+      widths;
+    Buffer.add_string buf "|\n"
+  in
+  separator ();
+  line headers;
+  separator ();
+  List.iter
+    (fun row -> match row with `Row cells -> line cells | `Sep -> separator ())
+    rows;
+  separator ();
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+let fmt_slowdown x =
+  if x < 0.05 then "-" else Printf.sprintf "%.1f" x
+
+let fmt_int n =
+  let s = string_of_int n in
+  let len = String.length s in
+  let buf = Buffer.create (len + (len / 3)) in
+  String.iteri
+    (fun i c ->
+      if i > 0 && (len - i) mod 3 = 0 then Buffer.add_char buf ',';
+      Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let fmt_ratio x = Printf.sprintf "%.1f" x

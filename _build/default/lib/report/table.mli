@@ -1,0 +1,28 @@
+(** Plain-text table rendering for the benchmark harness, in the
+    style of the paper's tables. *)
+
+type align = Left | Right
+
+type t
+
+val create : columns:(string * align) list -> t
+
+val add_row : t -> string list -> unit
+(** @raise Invalid_argument if the row width differs from the header. *)
+
+val add_separator : t -> unit
+
+val render : t -> string
+(** Box-drawn table with padded columns. *)
+
+val print : t -> unit
+
+(** Formatting helpers for measurement cells. *)
+
+val fmt_slowdown : float -> string
+(** e.g. [8.5] → ["8.5"]; values below 0.05 render as ["-"]. *)
+
+val fmt_int : int -> string
+(** Thousands-separated. *)
+
+val fmt_ratio : float -> string

@@ -1,0 +1,1 @@
+lib/runtime/program.ml: List Lockid Printf Tid Var Volatile

@@ -1,0 +1,1 @@
+lib/runtime/program.mli: Lockid Tid Var Volatile

@@ -1,0 +1,1 @@
+lib/runtime/scheduler.ml: Array Event Hashtbl List Lockid Option Printf Prng Program Tid Trace

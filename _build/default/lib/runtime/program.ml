@@ -1,0 +1,69 @@
+type stmt =
+  | Read of Var.t
+  | Write of Var.t
+  | Acquire of Lockid.t
+  | Release of Lockid.t
+  | Fork of Tid.t
+  | Join of Tid.t
+  | Volatile_read of Volatile.t
+  | Volatile_write of Volatile.t
+  | Barrier_wait of int
+  | Wait of Lockid.t
+  | Txn_begin
+  | Txn_end
+
+type thread = { tid : Tid.t; body : stmt list }
+type barrier = { id : int; parties : int }
+
+type t = {
+  threads : thread list;
+  barriers : barrier list;
+  roots : Tid.t list;
+}
+
+let make ?(barriers = []) ?roots threads =
+  let tids = List.map (fun th -> th.tid) threads in
+  let distinct = List.sort_uniq Tid.compare tids in
+  if List.length distinct <> List.length tids then
+    invalid_arg "Program.make: duplicate thread ids";
+  let forked =
+    List.concat_map
+      (fun th ->
+        List.filter_map (function Fork u -> Some u | _ -> None) th.body)
+      threads
+  in
+  List.iter
+    (fun u ->
+      if not (List.mem u tids) then
+        invalid_arg (Printf.sprintf "Program.make: fork of unknown thread %d" u))
+    forked;
+  let roots =
+    match roots with
+    | Some roots -> roots
+    | None -> List.filter (fun t -> not (List.mem t forked)) tids
+  in
+  List.iter
+    (fun u ->
+      if List.mem u roots then
+        invalid_arg (Printf.sprintf "Program.make: fork of root thread %d" u))
+    forked;
+  if roots = [] && threads <> [] then
+    invalid_arg "Program.make: no root thread";
+  List.iter
+    (fun (b : barrier) ->
+      if b.parties < 2 then
+        invalid_arg "Program.make: barrier needs at least 2 parties")
+    barriers;
+  { threads; barriers; roots }
+
+let thread_count p = List.length p.threads
+let locked m body =
+  (* a synchronized block is also an atomic region for the Section 5.2
+     checkers, hence the transaction markers *)
+  (Txn_begin :: Acquire m :: body) @ [ Release m; Txn_end ]
+let txn body = (Txn_begin :: body) @ [ Txn_end ]
+let reads x n = List.init n (fun _ -> Read x)
+let writes x n = List.init n (fun _ -> Write x)
+
+let repeat n body =
+  List.concat (List.init n (fun _ -> body))

@@ -1,0 +1,60 @@
+(** A small DSL for concurrent programs.
+
+    This is the reproduction's substitute for RoadRunner's instrumented
+    Java programs: a program is a set of threads, each a straight-line
+    sequence of statements; the {!Scheduler} interleaves them under a
+    seeded PRNG and emits the corresponding event trace.  Control flow
+    (loops, conditionals) is resolved at construction time by the
+    workload generators, which build the statement arrays
+    programmatically. *)
+
+type stmt =
+  | Read of Var.t
+  | Write of Var.t
+  | Acquire of Lockid.t
+      (** re-entrant: nested acquires of a held lock are filtered out
+          of the event stream, as RoadRunner does *)
+  | Release of Lockid.t
+  | Fork of Tid.t               (** target thread starts running *)
+  | Join of Tid.t               (** blocks until target finishes *)
+  | Volatile_read of Volatile.t
+  | Volatile_write of Volatile.t
+  | Barrier_wait of int         (** blocks until the barrier fills *)
+  | Wait of Lockid.t
+      (** [m.wait()]: releases [m], later re-acquires it — modeled, as
+          in Section 4, by its underlying release and acquisition.
+          The thread must hold [m]. *)
+  | Txn_begin                   (** atomic-block marker (Section 5.2) *)
+  | Txn_end
+
+type thread = { tid : Tid.t; body : stmt list }
+
+type barrier = { id : int; parties : int }
+(** A cyclic barrier: every time [parties] threads are waiting on it,
+    all are released together (one [barrier_rel] event). *)
+
+type t = private {
+  threads : thread list;
+  barriers : barrier list;
+  roots : Tid.t list;  (** threads running at program start *)
+}
+
+val make : ?barriers:barrier list -> ?roots:Tid.t list -> thread list -> t
+(** [make threads] builds a program.  [roots] defaults to the threads
+    never targeted by a [Fork].
+    @raise Invalid_argument on duplicate thread ids, forks of unknown
+    or root threads, or barriers with fewer than 2 parties. *)
+
+val thread_count : t -> int
+
+(** Statement-list combinators used by the workload generators. *)
+
+val locked : Lockid.t -> stmt list -> stmt list
+(** [locked m body] is [Acquire m; body; Release m]. *)
+
+val txn : stmt list -> stmt list
+(** Wraps [body] in transaction markers. *)
+
+val reads : Var.t -> int -> stmt list
+val writes : Var.t -> int -> stmt list
+val repeat : int -> stmt list -> stmt list

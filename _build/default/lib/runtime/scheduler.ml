@@ -1,0 +1,206 @@
+exception Deadlock of string
+exception Invalid_program of string
+
+type options = { seed : int; quantum : float }
+
+let default_options = { seed = 42; quantum = 0.85 }
+
+type status =
+  | Fresh               (* not yet forked *)
+  | Runnable
+  | Reacquiring of Lockid.t  (* parked inside Wait, needs the lock back *)
+  | At_barrier of int
+  | Finished
+
+type thread_state = {
+  tid : Tid.t;
+  body : Program.stmt array;
+  mutable pc : int;
+  mutable status : status;
+  mutable holds : (Lockid.t * int) list;  (* lock, re-entrancy depth *)
+}
+
+type state = {
+  rng : Prng.t;
+  threads : thread_state array;  (* dense, indexed by tid *)
+  locks : (Lockid.t, Tid.t) Hashtbl.t;  (* holder *)
+  barriers : (int, int) Hashtbl.t;      (* id -> parties *)
+  waiting : (int, Tid.t list) Hashtbl.t;  (* barrier id -> parked threads *)
+  builder : Trace.Builder.t;
+}
+
+let invalid fmt = Printf.ksprintf (fun m -> raise (Invalid_program m)) fmt
+
+let lock_free s m = not (Hashtbl.mem s.locks m)
+
+let emit s e = Trace.Builder.add s.builder e
+
+(* Can this thread take a step right now? *)
+let can_step s th =
+  match th.status with
+  | Fresh | Finished | At_barrier _ -> false
+  | Reacquiring m -> lock_free s m
+  | Runnable -> (
+    if th.pc >= Array.length th.body then true (* step to Finished *)
+    else
+      match th.body.(th.pc) with
+      | Program.Acquire m -> (
+        (* a self-held lock is always re-acquirable (Java monitors are
+           re-entrant; the redundant acquire emits no event) *)
+        match Hashtbl.find_opt s.locks m with
+        | None -> true
+        | Some holder -> Tid.equal holder th.tid)
+      | Program.Join u -> s.threads.(u).status = Finished
+      | Program.Read _ | Program.Write _ | Program.Release _
+      | Program.Fork _ | Program.Volatile_read _ | Program.Volatile_write _
+      | Program.Barrier_wait _ | Program.Wait _ | Program.Txn_begin
+      | Program.Txn_end ->
+        true)
+
+let release_barrier_if_full s b =
+  let parked = Option.value (Hashtbl.find_opt s.waiting b) ~default:[] in
+  let parties =
+    match Hashtbl.find_opt s.barriers b with
+    | Some parties -> parties
+    | None -> invalid "barrier %d not declared" b
+  in
+  if List.length parked >= parties then begin
+    let released = List.sort Tid.compare parked in
+    Hashtbl.replace s.waiting b [];
+    emit s (Event.Barrier_release { threads = released });
+    List.iter (fun u -> s.threads.(u).status <- Runnable) released
+  end
+
+let step s th =
+  let t = th.tid in
+  match th.status with
+  | Reacquiring m ->
+    Hashtbl.replace s.locks m t;
+    th.holds <- (m, 1) :: th.holds;
+    th.status <- Runnable;
+    emit s (Event.Acquire { t; m })
+  | Runnable when th.pc >= Array.length th.body ->
+    if th.holds <> [] then
+      invalid "thread %d finished while holding a lock" t;
+    th.status <- Finished
+  | Runnable -> (
+    let stmt = th.body.(th.pc) in
+    th.pc <- th.pc + 1;
+    match stmt with
+    | Program.Read x -> emit s (Event.Read { t; x })
+    | Program.Write x -> emit s (Event.Write { t; x })
+    | Program.Acquire m -> (
+      match Hashtbl.find_opt s.locks m with
+      | Some holder when Tid.equal holder t ->
+        (* re-entrant acquire: redundant, filtered out of the event
+           stream as RoadRunner does (Section 4) *)
+        th.holds <-
+          List.map
+            (fun (m', d) -> if m' = m then (m', d + 1) else (m', d))
+            th.holds
+      | Some _ -> assert false (* can_step checked availability *)
+      | None ->
+        Hashtbl.replace s.locks m t;
+        th.holds <- (m, 1) :: th.holds;
+        emit s (Event.Acquire { t; m }))
+    | Program.Release m -> (
+      match Hashtbl.find_opt s.locks m with
+      | Some holder when Tid.equal holder t -> (
+        match List.assoc_opt m th.holds with
+        | Some depth when depth > 1 ->
+          (* matching re-entrant release: also filtered *)
+          th.holds <-
+            List.map
+              (fun (m', d) -> if m' = m then (m', d - 1) else (m', d))
+              th.holds
+        | Some _ | None ->
+          Hashtbl.remove s.locks m;
+          th.holds <- List.filter (fun (m', _) -> m' <> m) th.holds;
+          emit s (Event.Release { t; m }))
+      | Some _ | None ->
+        invalid "thread %d releases lock %d it does not hold" t m)
+    | Program.Fork u ->
+      let child = s.threads.(u) in
+      if child.status <> Fresh then invalid "thread %d forked twice" u;
+      child.status <- Runnable;
+      emit s (Event.Fork { t; u })
+    | Program.Join u ->
+      emit s (Event.Join { t; u })
+    | Program.Volatile_read v -> emit s (Event.Volatile_read { t; v })
+    | Program.Volatile_write v -> emit s (Event.Volatile_write { t; v })
+    | Program.Barrier_wait b ->
+      th.status <- At_barrier b;
+      let parked = Option.value (Hashtbl.find_opt s.waiting b) ~default:[] in
+      Hashtbl.replace s.waiting b (t :: parked);
+      release_barrier_if_full s b
+    | Program.Wait m ->
+      (match Hashtbl.find_opt s.locks m with
+      | Some holder when Tid.equal holder t ->
+        (match List.assoc_opt m th.holds with
+        | Some depth when depth > 1 ->
+          invalid "thread %d waits on lock %d held re-entrantly" t m
+        | Some _ | None -> ());
+        Hashtbl.remove s.locks m;
+        th.holds <- List.filter (fun (m', _) -> m' <> m) th.holds
+      | Some _ | None -> invalid "thread %d waits on lock %d it does not hold" t m);
+      emit s (Event.Release { t; m });
+      th.status <- Reacquiring m
+    | Program.Txn_begin -> emit s (Event.Txn_begin { t })
+    | Program.Txn_end -> emit s (Event.Txn_end { t }))
+  | Fresh | Finished | At_barrier _ -> assert false
+
+let run ?(options = default_options) (p : Program.t) =
+  let n =
+    List.fold_left (fun acc th -> max acc (th.Program.tid + 1)) 0 p.threads
+  in
+  let bodies = Array.make n [||] in
+  List.iter
+    (fun (th : Program.thread) ->
+      bodies.(th.tid) <- Array.of_list th.body)
+    p.threads;
+  let s =
+    { rng = Prng.create ~seed:options.seed;
+      threads =
+        Array.init n (fun tid ->
+            { tid;
+              body = bodies.(tid);
+              pc = 0;
+              status = (if List.mem tid p.roots then Runnable else Fresh);
+              holds = [] });
+      locks = Hashtbl.create 16;
+      barriers = Hashtbl.create 4;
+      waiting = Hashtbl.create 4;
+      builder = Trace.Builder.create ~initial_capacity:4096 () }
+  in
+  List.iter
+    (fun (b : Program.barrier) -> Hashtbl.replace s.barriers b.id b.parties)
+    p.barriers;
+  let unfinished () =
+    Array.exists (fun th -> th.status <> Finished && th.status <> Fresh)
+      s.threads
+  in
+  let steppable () =
+    let acc = ref [] in
+    Array.iter (fun th -> if can_step s th then acc := th :: !acc) s.threads;
+    !acc
+  in
+  let burst th =
+    step s th;
+    while can_step s th && Prng.chance s.rng options.quantum do
+      step s th
+    done
+  in
+  let rec loop () =
+    match steppable () with
+    | [] ->
+      if unfinished () then
+        raise
+          (Deadlock
+             (Printf.sprintf "no schedulable thread at %d events"
+                (Trace.Builder.length s.builder)))
+    | candidates ->
+      burst (Prng.pick_list s.rng candidates);
+      loop ()
+  in
+  loop ();
+  Trace.Builder.build s.builder

@@ -1,0 +1,39 @@
+(** Seeded interleaving scheduler.
+
+    Executes a {!Program.t} by repeatedly picking a schedulable thread
+    at random and running its next statement, emitting the
+    corresponding trace event.  Blocking semantics:
+
+    - [Acquire m] runs only while [m] is free;
+    - [Join u] runs only once [u] has finished;
+    - [Barrier_wait b] parks the thread until [b.parties] threads are
+      parked, then releases them all with one [barrier_rel] event;
+    - [Wait m] emits the release of [m] immediately and parks the
+      thread until it can re-acquire [m] (notify affects scheduling
+      only, so it needs no event — Section 4).
+
+    Scheduling is quantum-based: after each step the same thread
+    continues with probability [quantum] while it can, which yields
+    realistic run bursts (and hence realistic same-epoch rates for the
+    Figure 2 frequencies).  The produced trace is feasible by
+    construction and identical across runs with equal seeds. *)
+
+exception Deadlock of string
+(** No thread can make progress but some have not finished. *)
+
+exception Invalid_program of string
+(** A thread broke the DSL's rules at runtime: released or waited on a
+    lock it does not hold (or held re-entrantly), forked a non-fresh
+    thread, or waited on an unknown barrier.  Locks are re-entrant:
+    nested acquires and releases of a held lock are legal and —
+    exactly as RoadRunner does (Section 4) — filtered out of the
+    emitted event stream as redundant. *)
+
+type options = {
+  seed : int;
+  quantum : float;  (** probability of staying on the same thread *)
+}
+
+val default_options : options
+
+val run : ?options:options -> Program.t -> Trace.t

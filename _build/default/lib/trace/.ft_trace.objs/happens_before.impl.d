@@ -1,0 +1,1 @@
+lib/trace/happens_before.ml: Array Event Format Hashtbl Int List Lockid Tid Trace Var Vector_clock Volatile

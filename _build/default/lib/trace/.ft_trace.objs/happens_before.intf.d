@@ -1,0 +1,1 @@
+lib/trace/happens_before.mli: Format Tid Trace Var

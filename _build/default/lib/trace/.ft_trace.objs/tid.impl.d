@@ -1,0 +1,1 @@
+lib/trace/tid.ml: Format Int

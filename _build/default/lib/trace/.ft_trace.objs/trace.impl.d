@@ -1,0 +1,1 @@
+lib/trace/trace.ml: Array Event Format Hashtbl List String

@@ -1,0 +1,1 @@
+lib/trace/trace_gen.ml: Array Event List Lockid Prng Trace Var

@@ -1,0 +1,1 @@
+lib/trace/validity.ml: Array Event Format Hashtbl List Lockid Printf Tid Trace

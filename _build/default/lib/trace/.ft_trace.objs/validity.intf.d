@@ -1,0 +1,1 @@
+lib/trace/validity.mli: Event Format Trace

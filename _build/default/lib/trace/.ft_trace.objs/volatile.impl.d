@@ -1,0 +1,1 @@
+lib/trace/volatile.ml: Format Int

@@ -1,0 +1,1 @@
+lib/trace/volatile.mli: Format

@@ -1,0 +1,149 @@
+type t =
+  | Read of { t : Tid.t; x : Var.t }
+  | Write of { t : Tid.t; x : Var.t }
+  | Acquire of { t : Tid.t; m : Lockid.t }
+  | Release of { t : Tid.t; m : Lockid.t }
+  | Fork of { t : Tid.t; u : Tid.t }
+  | Join of { t : Tid.t; u : Tid.t }
+  | Volatile_read of { t : Tid.t; v : Volatile.t }
+  | Volatile_write of { t : Tid.t; v : Volatile.t }
+  | Barrier_release of { threads : Tid.t list }
+  | Txn_begin of { t : Tid.t }
+  | Txn_end of { t : Tid.t }
+
+let tid = function
+  | Read { t; _ }
+  | Write { t; _ }
+  | Acquire { t; _ }
+  | Release { t; _ }
+  | Fork { t; _ }
+  | Join { t; _ }
+  | Volatile_read { t; _ }
+  | Volatile_write { t; _ }
+  | Txn_begin { t }
+  | Txn_end { t } ->
+    Some t
+  | Barrier_release _ -> None
+
+let is_access = function
+  | Read _ | Write _ -> true
+  | Acquire _ | Release _ | Fork _ | Join _ | Volatile_read _
+  | Volatile_write _ | Barrier_release _ | Txn_begin _ | Txn_end _ ->
+    false
+
+let is_sync = function
+  | Acquire _ | Release _ | Fork _ | Join _ | Volatile_read _
+  | Volatile_write _ | Barrier_release _ ->
+    true
+  | Read _ | Write _ | Txn_begin _ | Txn_end _ -> false
+
+let equal (a : t) (b : t) = a = b
+
+let pp_var ppf (x : Var.t) =
+  if x.field = 0 then Format.fprintf ppf "x%d" x.obj
+  else Format.fprintf ppf "x%d.%d" x.obj x.field
+
+let pp ppf = function
+  | Read { t; x } -> Format.fprintf ppf "rd(%d,%a)" t pp_var x
+  | Write { t; x } -> Format.fprintf ppf "wr(%d,%a)" t pp_var x
+  | Acquire { t; m } -> Format.fprintf ppf "acq(%d,m%d)" t m
+  | Release { t; m } -> Format.fprintf ppf "rel(%d,m%d)" t m
+  | Fork { t; u } -> Format.fprintf ppf "fork(%d,%d)" t u
+  | Join { t; u } -> Format.fprintf ppf "join(%d,%d)" t u
+  | Volatile_read { t; v } -> Format.fprintf ppf "vrd(%d,v%d)" t v
+  | Volatile_write { t; v } -> Format.fprintf ppf "vwr(%d,v%d)" t v
+  | Barrier_release { threads } ->
+    Format.fprintf ppf "barrier(%a)"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+         Format.pp_print_int)
+      threads
+  | Txn_begin { t } -> Format.fprintf ppf "begin(%d)" t
+  | Txn_end { t } -> Format.fprintf ppf "end(%d)" t
+
+let to_string e = Format.asprintf "%a" pp e
+
+(* Concrete-syntax parser for the printer above.  Events are written as
+   [name(arg,arg)]; variables as [xN] or [xN.F], locks as [mN],
+   volatiles as [vN]. *)
+let of_string s =
+  let fail fmt = Printf.ksprintf (fun msg -> Error msg) fmt in
+  let s = String.trim s in
+  match String.index_opt s '(' with
+  | None -> fail "missing '(' in %S" s
+  | Some i ->
+    if String.length s = 0 || s.[String.length s - 1] <> ')' then
+      fail "missing ')' in %S" s
+    else begin
+      let name = String.sub s 0 i in
+      let args = String.sub s (i + 1) (String.length s - i - 2) in
+      let parts = String.split_on_char ',' args in
+      let int_of s = int_of_string_opt (String.trim s) in
+      let prefixed_int prefix s =
+        let s = String.trim s in
+        let n = String.length prefix in
+        if String.length s > n && String.sub s 0 n = prefix then
+          int_of_string_opt (String.sub s n (String.length s - n))
+        else None
+      in
+      let var_of s =
+        let s = String.trim s in
+        if String.length s < 2 || s.[0] <> 'x' then None
+        else
+          let body = String.sub s 1 (String.length s - 1) in
+          match String.split_on_char '.' body with
+          | [ o ] -> Option.map Var.scalar (int_of_string_opt o)
+          | [ o; f ] ->
+            (match (int_of_string_opt o, int_of_string_opt f) with
+            | Some obj, Some field -> Some (Var.make ~obj ~field)
+            | _ -> None)
+          | _ -> None
+      in
+      match (name, parts) with
+      | "rd", [ t; x ] -> (
+        match (int_of t, var_of x) with
+        | Some t, Some x -> Ok (Read { t; x })
+        | _ -> fail "bad rd args in %S" s)
+      | "wr", [ t; x ] -> (
+        match (int_of t, var_of x) with
+        | Some t, Some x -> Ok (Write { t; x })
+        | _ -> fail "bad wr args in %S" s)
+      | "acq", [ t; m ] -> (
+        match (int_of t, prefixed_int "m" m) with
+        | Some t, Some m -> Ok (Acquire { t; m })
+        | _ -> fail "bad acq args in %S" s)
+      | "rel", [ t; m ] -> (
+        match (int_of t, prefixed_int "m" m) with
+        | Some t, Some m -> Ok (Release { t; m })
+        | _ -> fail "bad rel args in %S" s)
+      | "fork", [ t; u ] -> (
+        match (int_of t, int_of u) with
+        | Some t, Some u -> Ok (Fork { t; u })
+        | _ -> fail "bad fork args in %S" s)
+      | "join", [ t; u ] -> (
+        match (int_of t, int_of u) with
+        | Some t, Some u -> Ok (Join { t; u })
+        | _ -> fail "bad join args in %S" s)
+      | "vrd", [ t; v ] -> (
+        match (int_of t, prefixed_int "v" v) with
+        | Some t, Some v -> Ok (Volatile_read { t; v })
+        | _ -> fail "bad vrd args in %S" s)
+      | "vwr", [ t; v ] -> (
+        match (int_of t, prefixed_int "v" v) with
+        | Some t, Some v -> Ok (Volatile_write { t; v })
+        | _ -> fail "bad vwr args in %S" s)
+      | "barrier", parts -> (
+        let threads = List.filter_map int_of parts in
+        if List.length threads = List.length parts && threads <> [] then
+          Ok (Barrier_release { threads })
+        else fail "bad barrier args in %S" s)
+      | "begin", [ t ] -> (
+        match int_of t with
+        | Some t -> Ok (Txn_begin { t })
+        | None -> fail "bad begin args in %S" s)
+      | "end", [ t ] -> (
+        match int_of t with
+        | Some t -> Ok (Txn_end { t })
+        | None -> fail "bad end args in %S" s)
+      | _ -> fail "unknown event %S" s
+    end

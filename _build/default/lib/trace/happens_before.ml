@@ -1,0 +1,153 @@
+module VC = Vector_clock
+
+type access = { kind : [ `Read | `Write ]; tid : Tid.t; index : int }
+type race = { x : Var.t; first : access; second : access }
+
+let pp_race ppf r =
+  let pp_kind ppf = function
+    | `Read -> Format.pp_print_string ppf "rd"
+    | `Write -> Format.pp_print_string ppf "wr"
+  in
+  Format.fprintf ppf "race on %a: %a(%a)@%d vs %a(%a)@%d" Var.pp r.x pp_kind
+    r.first.kind Tid.pp r.first.tid r.first.index pp_kind r.second.kind
+    Tid.pp r.second.tid r.second.index
+
+(* Timestamps for every event that has a unique acting thread: the
+   acting thread's vector clock at the event, after incoming
+   synchronization joins and before outgoing increments. *)
+let timestamps tr =
+  let n = max (Trace.thread_count tr) 1 in
+  let clocks = Array.init n (fun t ->
+      let v = VC.create () in
+      VC.inc v t;
+      v)
+  in
+  let locks : (Lockid.t, VC.t) Hashtbl.t = Hashtbl.create 16 in
+  let volatiles : (Volatile.t, VC.t) Hashtbl.t = Hashtbl.create 16 in
+  let lock_vc table m =
+    match Hashtbl.find_opt table m with
+    | Some v -> v
+    | None ->
+      let v = VC.create () in
+      Hashtbl.replace table m v;
+      v
+  in
+  let snapshots = Array.make (Trace.length tr) None in
+  Trace.iteri
+    (fun i e ->
+      let snap t = snapshots.(i) <- Some (VC.copy clocks.(t)) in
+      match e with
+      | Event.Read { t; _ } | Event.Write { t; _ }
+      | Event.Txn_begin { t } | Event.Txn_end { t } ->
+        snap t
+      | Event.Acquire { t; m } ->
+        VC.join_into ~dst:clocks.(t) (lock_vc locks m);
+        snap t
+      | Event.Release { t; m } ->
+        snap t;
+        VC.copy_into ~dst:(lock_vc locks m) clocks.(t);
+        VC.inc clocks.(t) t
+      | Event.Fork { t; u } ->
+        snap t;
+        VC.join_into ~dst:clocks.(u) clocks.(t);
+        VC.inc clocks.(t) t
+      | Event.Join { t; u } ->
+        VC.join_into ~dst:clocks.(t) clocks.(u);
+        snap t;
+        VC.inc clocks.(u) u
+      | Event.Volatile_read { t; v } ->
+        VC.join_into ~dst:clocks.(t) (lock_vc volatiles v);
+        snap t
+      | Event.Volatile_write { t; v } ->
+        snap t;
+        let lv = lock_vc volatiles v in
+        VC.join_into ~dst:lv clocks.(t);
+        VC.inc clocks.(t) t
+      | Event.Barrier_release { threads } ->
+        let joined = VC.create () in
+        List.iter (fun u -> VC.join_into ~dst:joined clocks.(u)) threads;
+        List.iter
+          (fun u ->
+            VC.copy_into ~dst:clocks.(u) joined;
+            VC.inc clocks.(u) u)
+          threads)
+    tr;
+  snapshots
+
+let ordered_snapshots snapshots tr i j =
+  match (snapshots.(i), snapshots.(j), Event.tid (Trace.get tr i)) with
+  | Some vi, Some vj, Some ti -> VC.get vi ti <= VC.get vj ti
+  | _ -> invalid_arg "Happens_before.ordered: event without a timestamp"
+
+let ordered tr i j =
+  if i >= j then invalid_arg "Happens_before.ordered: need i < j";
+  let snapshots = timestamps tr in
+  ordered_snapshots snapshots tr i j
+
+let accesses_by_var tr =
+  let table : (Var.t, (access * int) list ref) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let order = ref [] in
+  Trace.iteri
+    (fun index e ->
+      let record kind t x =
+        let cell =
+          match Hashtbl.find_opt table x with
+          | Some cell -> cell
+          | None ->
+            let cell = ref [] in
+            Hashtbl.replace table x cell;
+            order := x :: !order;
+            cell
+        in
+        cell := ({ kind; tid = t; index }, index) :: !cell
+      in
+      match e with
+      | Event.Read { t; x } -> record `Read t x
+      | Event.Write { t; x } -> record `Write t x
+      | _ -> ())
+    tr;
+  (table, List.rev !order)
+
+let conflict a b = a.kind = `Write || b.kind = `Write
+
+let enumerate ?(first_only = false) ?(limit = max_int) tr =
+  let snapshots = timestamps tr in
+  let table, order = accesses_by_var tr in
+  let races = ref [] in
+  let count = ref 0 in
+  List.iter
+    (fun x ->
+      if !count < limit then begin
+        let accesses =
+          List.rev_map fst !(Hashtbl.find table x) |> Array.of_list
+        in
+        (* [accesses] is in trace order after the rev. *)
+        let n = Array.length accesses in
+        (try
+           for j = 1 to n - 1 do
+             for i = 0 to j - 1 do
+               let a = accesses.(i) and b = accesses.(j) in
+               if
+                 conflict a b
+                 && not (ordered_snapshots snapshots tr a.index b.index)
+               then begin
+                 races := { x; first = a; second = b } :: !races;
+                 incr count;
+                 if first_only || !count >= limit then raise Exit
+               end
+             done
+           done
+         with Exit -> ())
+      end)
+    order;
+  List.rev !races
+
+let first_races tr =
+  enumerate ~first_only:true tr
+  |> List.sort (fun a b -> Int.compare a.second.index b.second.index)
+
+let racy_vars tr = List.map (fun r -> r.x) (first_races tr)
+let all_races ?(limit = 10_000) tr = enumerate ~limit tr
+let race_free tr = first_races tr = []

@@ -1,0 +1,42 @@
+(** Reference happens-before oracle (Section 2.1).
+
+    An independent, deliberately-simple implementation of the
+    happens-before relation [<α], used as the ground truth against
+    which every detector is validated: it assigns each access its full
+    vector-clock timestamp and then enumerates {e all} pairs of
+    conflicting accesses, reporting a race for each concurrent pair.
+    This is O(accesses²) per variable and allocates a vector clock per
+    access — exactly the cost profile FastTrack exists to avoid — so it
+    is only suitable for tests and small examples.
+
+    Two accesses conflict if they touch the same variable and at least
+    one is a write; a trace has a race condition iff it has two
+    concurrent conflicting accesses (Definition in Section 2.1). *)
+
+type access = {
+  kind : [ `Read | `Write ];
+  tid : Tid.t;
+  index : int;  (** position in the trace *)
+}
+
+type race = { x : Var.t; first : access; second : access }
+
+val first_races : Trace.t -> race list
+(** The first race on each racy variable (the race FastTrack guarantees
+    to detect), ordered by the position of the second access. *)
+
+val racy_vars : Trace.t -> Var.t list
+(** Variables involved in at least one race, in first-race order. *)
+
+val all_races : ?limit:int -> Trace.t -> race list
+(** Every concurrent conflicting pair, capped at [limit] (default
+    10_000) to bound the quadratic enumeration. *)
+
+val race_free : Trace.t -> bool
+
+val ordered : Trace.t -> int -> int -> bool
+(** [ordered tr i j] for [i < j], both access or sync events with a
+    unique acting thread: does event [i] happen before event [j]?
+    Events of the same thread are always ordered (program order). *)
+
+val pp_race : Format.formatter -> race -> unit

@@ -1,0 +1,7 @@
+type t = int
+
+let equal = Int.equal
+let compare = Int.compare
+let hash m = m
+let pp ppf m = Format.fprintf ppf "m%d" m
+let to_string m = Format.asprintf "%a" pp m

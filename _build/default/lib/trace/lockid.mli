@@ -1,0 +1,9 @@
+(** Lock identifiers [m ∈ Lock] (Figure 1). *)
+
+type t = int
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

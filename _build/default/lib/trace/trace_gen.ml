@@ -1,0 +1,212 @@
+
+type profile = Mixed | Synchronized | Racy
+
+type params = {
+  threads : int;
+  vars : int;
+  locks : int;
+  volatiles : int;
+  length : int;
+  profile : profile;
+  barriers : bool;
+}
+
+let default =
+  { threads = 4;
+    vars = 8;
+    locks = 3;
+    volatiles = 1;
+    length = 60;
+    profile = Mixed;
+    barriers = true }
+
+type status = Fresh | Running | Joined
+
+type state = {
+  rng : Prng.t;
+  p : params;
+  status : status array;
+  held : Lockid.t list array;   (* innermost lock first *)
+  ops : int array;              (* ops since fork, for constraint 4 *)
+  lock_free : bool array;
+  builder : Trace.Builder.t;
+}
+
+let running_threads s =
+  let acc = ref [] in
+  Array.iteri (fun t st -> if st = Running then acc := t :: !acc) s.status;
+  !acc
+
+let fresh_threads s =
+  let acc = ref [] in
+  Array.iteri (fun t st -> if st = Fresh then acc := t :: !acc) s.status;
+  !acc
+
+let free_locks s =
+  let acc = ref [] in
+  Array.iteri (fun m free -> if free then acc := m :: !acc) s.lock_free;
+  !acc
+
+let emit s t e =
+  Trace.Builder.add s.builder e;
+  if t >= 0 then s.ops.(t) <- s.ops.(t) + 1
+
+(* Variable categories: each variable is either local to a designated
+   owner thread, guarded by a designated lock, or free-for-all,
+   according to its index modulo 3.  The guarded/local discipline is a
+   bias, not a guarantee (the Racy profile ignores it). *)
+let var_owner p x = x mod p.threads
+let var_lock p x = if p.locks = 0 then None else Some (x mod p.locks)
+
+let pick_var_for s t ~want_guarded =
+  let p = s.p in
+  let candidates = ref [] in
+  for x = 0 to p.vars - 1 do
+    let guarded =
+      match var_lock p x with
+      | Some m -> List.mem m s.held.(t)
+      | None -> false
+    in
+    let local = var_owner p x = t in
+    match (want_guarded, guarded || local) with
+    | true, true -> candidates := x :: !candidates
+    | false, _ -> candidates := x :: !candidates
+    | true, false -> ()
+  done;
+  match !candidates with
+  | [] -> Prng.int s.rng p.vars
+  | l -> Prng.pick_list s.rng l
+
+let do_access s t ~disciplined =
+  let x = Var.scalar (pick_var_for s t ~want_guarded:disciplined) in
+  if Prng.chance s.rng 0.75 then emit s t (Event.Read { t; x })
+  else emit s t (Event.Write { t; x })
+
+let do_acquire s t =
+  match free_locks s with
+  | [] -> ()
+  | free when List.length s.held.(t) < 2 ->
+    let m = Prng.pick_list s.rng free in
+    s.lock_free.(m) <- false;
+    s.held.(t) <- m :: s.held.(t);
+    emit s t (Event.Acquire { t; m })
+  | _ -> ()
+
+let do_release s t =
+  match s.held.(t) with
+  | [] -> ()
+  | m :: rest ->
+    s.held.(t) <- rest;
+    s.lock_free.(m) <- true;
+    emit s t (Event.Release { t; m })
+
+let do_fork s t =
+  match fresh_threads s with
+  | [] -> ()
+  | fresh ->
+    let u = Prng.pick_list s.rng fresh in
+    s.status.(u) <- Running;
+    s.ops.(u) <- 0;
+    emit s t (Event.Fork { t; u })
+
+let do_join s t =
+  let joinable u =
+    u <> t && s.status.(u) = Running && s.ops.(u) > 0 && s.held.(u) = []
+    (* only forked threads can be joined: thread 0 is the root *)
+    && u <> 0
+  in
+  let candidates = List.filter joinable (running_threads s) in
+  match candidates with
+  | [] -> ()
+  | _ ->
+    let u = Prng.pick_list s.rng candidates in
+    s.status.(u) <- Joined;
+    emit s t (Event.Join { t; u })
+
+let do_volatile s t =
+  if s.p.volatiles > 0 then begin
+    let v = Prng.int s.rng s.p.volatiles in
+    if Prng.chance s.rng 0.5 then emit s t (Event.Volatile_read { t; v })
+    else emit s t (Event.Volatile_write { t; v })
+  end
+
+let do_barrier s =
+  let parties = running_threads s in
+  if List.length parties >= 2 then begin
+    Trace.Builder.add s.builder (Event.Barrier_release { threads = parties });
+    List.iter (fun t -> s.ops.(t) <- s.ops.(t) + 1) parties
+  end
+
+let weights p =
+  match p.profile with
+  | Mixed ->
+    [ (0.45, `Disciplined_access);
+      (0.12, `Wild_access);
+      (0.10, `Acquire);
+      (0.10, `Release);
+      (0.05, `Fork);
+      (0.05, `Join);
+      (0.05, `Volatile);
+      (0.03, `Barrier) ]
+  | Synchronized ->
+    [ (0.55, `Disciplined_access);
+      (0.01, `Wild_access);
+      (0.14, `Acquire);
+      (0.14, `Release);
+      (0.05, `Fork);
+      (0.05, `Join);
+      (0.04, `Volatile);
+      (0.02, `Barrier) ]
+  | Racy ->
+    [ (0.15, `Disciplined_access);
+      (0.60, `Wild_access);
+      (0.06, `Acquire);
+      (0.06, `Release);
+      (0.05, `Fork);
+      (0.05, `Join);
+      (0.02, `Volatile);
+      (0.01, `Barrier) ]
+
+let generate ~seed p =
+  if p.threads < 1 then invalid_arg "Trace_gen.generate: need >= 1 thread";
+  if p.vars < 1 then invalid_arg "Trace_gen.generate: need >= 1 variable";
+  let rng = Prng.create ~seed in
+  let s =
+    { rng;
+      p;
+      status = Array.init p.threads (fun t -> if t = 0 then Running else Fresh);
+      held = Array.make p.threads [];
+      ops = Array.make p.threads 0;
+      lock_free = Array.make (max p.locks 1) true;
+      builder = Trace.Builder.create () }
+  in
+  let weights = weights p in
+  let steps = ref 0 in
+  while Trace.Builder.length s.builder < p.length && !steps < 20 * p.length do
+    incr steps;
+    match running_threads s with
+    | [] -> steps := max_int
+    | running -> (
+      let t = Prng.pick_list s.rng running in
+      match Prng.choose_weighted s.rng weights with
+      | `Disciplined_access -> do_access s t ~disciplined:true
+      | `Wild_access -> do_access s t ~disciplined:false
+      | `Acquire -> do_acquire s t
+      | `Release -> do_release s t
+      | `Fork -> do_fork s t
+      | `Join -> do_join s t
+      | `Volatile -> do_volatile s t
+      | `Barrier -> if p.barriers then do_barrier s)
+  done;
+  (* Tidy up: release held locks so the trace composes nicely. *)
+  Array.iteri
+    (fun t st ->
+      if st = Running then
+        List.iter
+          (fun m ->
+            s.lock_free.(m) <- true;
+            emit s t (Event.Release { t; m }))
+          s.held.(t))
+    s.status;
+  Array.iteri (fun t (_ : Lockid.t list) -> s.held.(t) <- []) s.held;
+  Trace.Builder.build s.builder

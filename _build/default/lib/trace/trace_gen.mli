@@ -1,0 +1,33 @@
+(** Random feasible-trace generator.
+
+    Generates traces that satisfy the Section 2.1 feasibility
+    constraints by construction (locks acquired only when free,
+    LIFO releases, forks/joins unique and well-bracketed).  Used by the
+    property-based tests: every generated trace is fed both to the
+    {!Happens_before} oracle and to the detectors, and their verdicts
+    compared.
+
+    The [profile] biases the synchronization discipline so that the
+    test distribution covers both mostly-race-free and racy traces:
+    - [Synchronized]: accesses are predominantly thread-local or
+      guarded by a per-variable lock — most traces are race-free;
+    - [Racy]: unguarded accesses to shared variables dominate;
+    - [Mixed]: an even blend, including fork/join, volatiles and
+      barriers. *)
+
+type profile = Mixed | Synchronized | Racy
+
+type params = {
+  threads : int;      (** total threads; thread 0 is initially running *)
+  vars : int;
+  locks : int;
+  volatiles : int;
+  length : int;       (** approximate number of events *)
+  profile : profile;
+  barriers : bool;    (** allow [barrier_rel] events *)
+}
+
+val default : params
+
+val generate : seed:int -> params -> Trace.t
+(** The result always passes {!Validity.check}. *)

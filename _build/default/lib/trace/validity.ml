@@ -1,0 +1,94 @@
+type violation = { index : int; event : Event.t; message : string }
+
+let pp_violation ppf v =
+  Format.fprintf ppf "[%d] %a: %s" v.index Event.pp v.event v.message
+
+type thread_status = Fresh | Running | Joined
+
+let check tr =
+  let violations = ref [] in
+  let nthreads = Trace.thread_count tr in
+  (* Threads that perform events without ever being forked are treated
+     as initially running (the paper's traces allow several roots). *)
+  let forked = Array.make (max nthreads 1) false in
+  Trace.iter
+    (fun e ->
+      match e with Event.Fork { u; _ } -> forked.(u) <- true | _ -> ())
+    tr;
+  let status =
+    Array.init (max nthreads 1) (fun t ->
+        if t < nthreads && not forked.(t) then Running else Fresh)
+  in
+  let ops_since_fork = Array.make (max nthreads 1) 0 in
+  let lock_holder : (Lockid.t, Tid.t) Hashtbl.t = Hashtbl.create 16 in
+  let add index event message =
+    violations := { index; event; message } :: !violations
+  in
+  let step index e t =
+    (match status.(t) with
+    | Running -> ()
+    | Fresh -> add index e (Printf.sprintf "thread %d acts before its fork" t)
+    | Joined -> add index e (Printf.sprintf "thread %d acts after its join" t));
+    ops_since_fork.(t) <- ops_since_fork.(t) + 1
+  in
+  Trace.iteri
+    (fun index e ->
+      match e with
+      | Event.Read { t; _ } | Event.Write { t; _ }
+      | Event.Volatile_read { t; _ } | Event.Volatile_write { t; _ }
+      | Event.Txn_begin { t } | Event.Txn_end { t } ->
+        step index e t
+      | Event.Acquire { t; m } ->
+        step index e t;
+        (match Hashtbl.find_opt lock_holder m with
+        | Some holder ->
+          add index e
+            (Printf.sprintf "lock m%d already held by thread %d" m holder)
+        | None -> Hashtbl.replace lock_holder m t)
+      | Event.Release { t; m } ->
+        step index e t;
+        (match Hashtbl.find_opt lock_holder m with
+        | Some holder when Tid.equal holder t -> Hashtbl.remove lock_holder m
+        | Some holder ->
+          add index e
+            (Printf.sprintf "lock m%d held by thread %d, not %d" m holder t)
+        | None -> add index e (Printf.sprintf "lock m%d is not held" m))
+      | Event.Fork { t; u } ->
+        step index e t;
+        if Tid.equal t u then add index e "thread forks itself"
+        else begin
+          match status.(u) with
+          | Fresh ->
+            status.(u) <- Running;
+            ops_since_fork.(u) <- 0
+          | Running ->
+            add index e (Printf.sprintf "thread %d forked twice" u)
+          | Joined ->
+            add index e (Printf.sprintf "thread %d forked after its join" u)
+        end
+      | Event.Join { t; u } ->
+        step index e t;
+        if Tid.equal t u then add index e "thread joins itself"
+        else begin
+          match status.(u) with
+          | Running ->
+            if ops_since_fork.(u) = 0 then
+              add index e
+                (Printf.sprintf "no instruction of thread %d between fork and join" u);
+            status.(u) <- Joined
+          | Fresh -> add index e (Printf.sprintf "join of unstarted thread %d" u)
+          | Joined -> add index e (Printf.sprintf "thread %d joined twice" u)
+        end
+      | Event.Barrier_release { threads } ->
+        if threads = [] then add index e "empty barrier";
+        List.iter
+          (fun t ->
+            match status.(t) with
+            | Running -> ops_since_fork.(t) <- ops_since_fork.(t) + 1
+            | Fresh | Joined ->
+              add index e (Printf.sprintf "barrier participant %d not running" t))
+          threads)
+    tr;
+  List.rev !violations
+
+let is_valid tr = check tr = []

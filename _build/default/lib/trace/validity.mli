@@ -1,0 +1,26 @@
+(** Feasibility constraints on traces (Section 2.1).
+
+    We restrict attention to traces that respect the usual constraints
+    on forks, joins, and locking:
+    + no thread acquires a lock previously acquired but not released;
+    + no thread releases a lock it did not previously acquire;
+    + there are no instructions of a thread [u] preceding [fork(t,u)]
+      or following [join(v,u)];
+    + there is at least one instruction of [u] between [fork(t,u)] and
+      [join(v,u)].
+
+    We additionally require forks and joins to be unique per thread,
+    non-reflexive, and barrier participants to be live threads. *)
+
+type violation = {
+  index : int;      (** position of the offending event *)
+  event : Event.t;
+  message : string;
+}
+
+val check : Trace.t -> violation list
+(** All violations, in trace order.  Empty means the trace is feasible. *)
+
+val is_valid : Trace.t -> bool
+
+val pp_violation : Format.formatter -> violation -> unit

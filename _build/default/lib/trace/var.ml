@@ -1,0 +1,34 @@
+type t = { obj : int; field : int }
+
+type granularity = Fine | Coarse
+
+let field_bits = 16
+let max_field = (1 lsl field_bits) - 1
+
+let make ~obj ~field =
+  if obj < 0 then invalid_arg "Var.make: negative obj";
+  if field < 0 || field > max_field then
+    invalid_arg (Printf.sprintf "Var.make: field %d out of range" field);
+  { obj; field }
+
+let scalar obj = make ~obj ~field:0
+
+let key g x =
+  match g with
+  | Fine -> (x.obj lsl field_bits) lor x.field
+  | Coarse -> x.obj
+
+let equal a b = a.obj = b.obj && a.field = b.field
+
+let compare a b =
+  match Int.compare a.obj b.obj with
+  | 0 -> Int.compare a.field b.field
+  | c -> c
+
+let hash x = (x.obj * 31) + x.field
+
+let pp ppf x =
+  if x.field = 0 then Format.fprintf ppf "x%d" x.obj
+  else Format.fprintf ppf "x%d.%d" x.obj x.field
+
+let to_string x = Format.asprintf "%a" pp x

@@ -1,0 +1,7 @@
+type t = int
+
+let equal = Int.equal
+let compare = Int.compare
+let hash v = v
+let pp ppf v = Format.fprintf ppf "v%d" v
+let to_string v = Format.asprintf "%a" pp v

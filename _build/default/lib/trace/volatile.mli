@@ -1,0 +1,12 @@
+(** Volatile variables [vx ∈ VolatileVar] (Section 4, Extensions).
+
+    Volatiles live in their own namespace: the paper extends the [L]
+    component of the analysis state to [Lock ∪ VolatileVar → VC]. *)
+
+type t = int
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,28 @@
+type t = int
+
+let clock_bits = 40
+let max_clock = (1 lsl clock_bits) - 1
+let max_tid = (1 lsl 16) - 1
+let clock_mask = max_clock
+
+let make ~tid ~clock =
+  if tid < 0 || tid > max_tid then
+    invalid_arg (Printf.sprintf "Epoch.make: tid %d out of range" tid);
+  if clock < 0 || clock > max_clock then
+    invalid_arg (Printf.sprintf "Epoch.make: clock %d out of range" clock);
+  (tid lsl clock_bits) lor clock
+
+let tid e = e lsr clock_bits
+let clock e = e land clock_mask
+let bottom = 0
+let is_bottom e = clock e = 0
+let equal = Int.equal
+let compare = Int.compare
+let to_int e = e
+
+let of_int i =
+  if i < 0 then invalid_arg "Epoch.of_int: negative";
+  i
+
+let pp ppf e = Format.fprintf ppf "%d@@%d" (clock e) (tid e)
+let to_string e = Format.asprintf "%a" pp e

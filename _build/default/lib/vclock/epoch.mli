@@ -1,0 +1,55 @@
+(** Epochs: the lightweight happens-before representation of FastTrack.
+
+    An epoch [c@t] pairs a clock [c] with the thread identifier [t] that
+    owns it (Section 3 of the paper).  Epochs are packed into a single
+    immediate integer — the thread identifier in the high bits and the
+    clock in the low bits — so that creating, copying and comparing
+    epochs are all constant-time, allocation-free operations.  This
+    mirrors the 32-bit packing described in Section 4 of the paper,
+    widened to take advantage of OCaml's 63-bit integers. *)
+
+type t = private int
+
+val clock_bits : int
+(** Number of low bits reserved for the clock component. *)
+
+val max_tid : int
+(** Largest representable thread identifier. *)
+
+val max_clock : int
+(** Largest representable clock value. *)
+
+val make : tid:int -> clock:int -> t
+(** [make ~tid ~clock] is the epoch [clock@tid].
+    @raise Invalid_argument if either component is out of range. *)
+
+val tid : t -> int
+(** [tid e] is the thread identifier of [e] (the paper's [TID(e)]). *)
+
+val clock : t -> int
+(** [clock e] is the clock component of [e]. *)
+
+val bottom : t
+(** The minimal epoch [0@0] ([⊥e]).  As the paper notes, minimal epochs
+    are not unique; [bottom] is the canonical one. *)
+
+val is_bottom : t -> bool
+(** [is_bottom e] holds iff [e] has clock [0] (any [0@t] is minimal). *)
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+(** Total order on the packed representation; only meaningful between
+    epochs of the same thread, where it coincides with clock order. *)
+
+val to_int : t -> int
+(** Raw packed representation (for shadow-memory storage). *)
+
+val of_int : int -> t
+(** Inverse of {!to_int}.  The argument must have been produced by
+    {!to_int}; no validation is performed beyond a non-negativity check. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints an epoch as [c@t], matching the paper's notation. *)
+
+val to_string : t -> string

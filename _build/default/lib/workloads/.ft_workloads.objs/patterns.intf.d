@@ -1,0 +1,1 @@
+lib/workloads/patterns.mli: Lockid Program Tid Var Volatile

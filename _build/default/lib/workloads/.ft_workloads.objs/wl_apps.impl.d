@@ -1,0 +1,1 @@
+lib/workloads/wl_apps.ml: Array List Patterns Program Workload

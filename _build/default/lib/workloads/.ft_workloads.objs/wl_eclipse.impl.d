@@ -1,0 +1,1 @@
+lib/workloads/wl_eclipse.ml: Array List Patterns Program Workload

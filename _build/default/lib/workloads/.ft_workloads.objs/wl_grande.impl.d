@@ -1,0 +1,1 @@
+lib/workloads/wl_grande.ml: Array List Patterns Program Workload

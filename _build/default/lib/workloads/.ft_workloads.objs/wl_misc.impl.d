@@ -1,0 +1,1 @@
+lib/workloads/wl_misc.ml: Array List Patterns Program Workload

@@ -1,0 +1,1 @@
+lib/workloads/workloads.ml: List String Wl_apps Wl_eclipse Wl_grande Wl_misc Workload

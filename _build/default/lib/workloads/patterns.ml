@@ -1,0 +1,82 @@
+type alloc = {
+  mutable next_obj : int;
+  mutable next_lock : int;
+  mutable next_volatile : int;
+  mutable next_barrier : int;
+}
+
+let alloc () =
+  { next_obj = 0; next_lock = 0; next_volatile = 0; next_barrier = 0 }
+
+let obj a ~fields =
+  let id = a.next_obj in
+  a.next_obj <- a.next_obj + 1;
+  Array.init fields (fun field -> Var.make ~obj:id ~field)
+
+let var a = (obj a ~fields:1).(0)
+let vars a n = Array.init n (fun _ -> var a)
+
+let lock a =
+  let id = a.next_lock in
+  a.next_lock <- a.next_lock + 1;
+  id
+
+let volatile a =
+  let id = a.next_volatile in
+  a.next_volatile <- a.next_volatile + 1;
+  id
+
+let barrier_id a =
+  let id = a.next_barrier in
+  a.next_barrier <- a.next_barrier + 1;
+  id
+
+let work ?(reads = 3) ?(writes = 1) xs =
+  Array.to_list xs
+  |> List.concat_map (fun x ->
+         Program.reads x reads @ Program.writes x writes)
+
+let read_only ?(reads = 3) xs =
+  Array.to_list xs |> List.concat_map (fun x -> Program.reads x reads)
+
+let locked_work m ?reads ?writes xs =
+  Program.locked m (work ?reads ?writes xs)
+
+let fork_join_all ~main ~workers epilogue =
+  let forks = List.map (fun (tid, _) -> Program.Fork tid) workers in
+  let joins = List.map (fun (tid, _) -> Program.Join tid) workers in
+  let main_thread =
+    { Program.tid = main; body = forks @ joins @ epilogue }
+  in
+  main_thread
+  :: List.map (fun (tid, body) -> { Program.tid = tid; body }) workers
+
+let racy_pair a =
+  let x = var a in
+  ( [ Program.Write x; Program.Read x ],
+    [ Program.Read x; Program.Write x ] )
+
+let racy_pair_hidden_from_locksets a =
+  let x = var a in
+  let m1 = lock a and m2 = lock a in
+  (* Each thread holds its own fresh, unrelated lock during the
+     accesses: the accesses still race (different locks order
+     nothing), but whichever thread comes second initializes Eraser's
+     candidate lockset to its own non-empty lockset, which then never
+     empties — the race is invisible to lockset reasoning in either
+     scheduling order. *)
+  ( Program.locked m1 [ Program.Write x ],
+    Program.locked m2 [ Program.Read x; Program.Write x ] )
+
+let eraser_fp_multilock a =
+  let x = var a in
+  let m1 = lock a and m2 = lock a in
+  ( Program.locked m1 [ Program.Write x ],
+    Program.locked m2 [ Program.Write x ],
+    (* Third access under the first lock again: the candidate lockset
+       went {m1} → {m2} at the second access, so it is now empty. *)
+    Program.locked m1 [ Program.Write x ] )
+
+let eraser_fp_handoff a =
+  let x = var a in
+  ([ Program.Write x; Program.Read x ], [ Program.Read x; Program.Write x ])

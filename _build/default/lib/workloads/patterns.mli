@@ -1,0 +1,79 @@
+(** Reusable program fragments for the workload models.
+
+    A {!alloc} hands out fresh object identifiers so that each
+    workload's variables, locks, volatiles and barriers do not
+    collide.  All fragment builders return statement lists to be
+    concatenated into thread bodies. *)
+
+type alloc
+
+val alloc : unit -> alloc
+
+val obj : alloc -> fields:int -> Var.t array
+(** A fresh object with [fields] fields (variables sharing one object
+    id — the unit of the coarse-grain analysis). *)
+
+val var : alloc -> Var.t
+(** A fresh standalone variable. *)
+
+val vars : alloc -> int -> Var.t array
+(** [vars a n] is [n] fresh standalone variables. *)
+
+val lock : alloc -> Lockid.t
+val volatile : alloc -> Volatile.t
+val barrier_id : alloc -> int
+
+(** {1 Access fragments} *)
+
+val work : ?reads:int -> ?writes:int -> Var.t array -> Program.stmt list
+(** Interleaved reads and writes over the given variables: for each
+    variable, [reads] reads and [writes] writes (defaults 3 and 1) —
+    the ~82/15 read/write mix of Figure 2 comes from these defaults. *)
+
+val read_only : ?reads:int -> Var.t array -> Program.stmt list
+
+val locked_work :
+  Lockid.t -> ?reads:int -> ?writes:int -> Var.t array -> Program.stmt list
+(** {!work} wrapped in an acquire/release of the lock. *)
+
+(** {1 Whole-program shapes} *)
+
+val fork_join_all :
+  main:Tid.t -> workers:(Tid.t * Program.stmt list) list ->
+  Program.stmt list -> Program.thread list
+(** The ubiquitous structure: [main] runs its prologue, forks every
+    worker, joins them all, runs the given epilogue.  Returns the full
+    thread list. *)
+
+(** {1 Detector-behaviour gadgets}
+
+    Small fragments engineered to elicit a specific verdict from a
+    specific detector, used to give each workload its published
+    warning counts. *)
+
+val racy_pair : alloc -> Program.stmt list * Program.stmt list
+(** A real data race: both threads write a fresh variable with no
+    synchronization between them.  Every precise detector reports it;
+    so do Eraser and MultiRace (no lock is ever held for it). *)
+
+val racy_pair_hidden_from_locksets :
+  alloc -> Program.stmt list * Program.stmt list
+(** A real data race that lockset-based tools miss: each thread holds
+    its own fresh, unrelated lock during the accesses, so the
+    candidate lockset is initialized non-empty (by whichever access
+    comes second) and never empties.  Precise detectors still report
+    it; Eraser and MultiRace miss it in every scheduling order. *)
+
+val eraser_fp_multilock :
+  alloc -> Program.stmt list * Program.stmt list * Program.stmt list
+(** A false alarm for Eraser on a race-free variable: three threads,
+    ordered by the caller via fork/join or barriers, access the
+    variable under two different locks; the candidate lockset empties
+    even though every access pair is ordered.  The caller must ensure
+    thread₁'s fragment happens before thread₂'s, and thread₂'s before
+    thread₃'s. *)
+
+val eraser_fp_handoff : alloc -> Program.stmt list * Program.stmt list
+(** A false alarm for Eraser on fork/join-ordered data: the first
+    thread writes, the second (which the caller must order after the
+    first via join or barrier) writes with no lock held. *)

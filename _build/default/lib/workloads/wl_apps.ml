@@ -1,0 +1,228 @@
+(* colt: the scientific library's benchmark is dominated by the main
+   thread's own numeric kernels; a handful of worker threads run small
+   lock-protected tasks.  Its three Eraser warnings are false alarms
+   from fork/join handoffs and multi-lock protection of race-free
+   data. *)
+let colt =
+  let program ~scale =
+    let a = Patterns.alloc () in
+    let main = 0 in
+    let workers = List.init 10 (fun i -> i + 1) in
+    let matrices = Array.init 4 (fun _ -> Patterns.obj a ~fields:12) in
+    let shared_input = Patterns.vars a 16 in
+    let task_lock = Patterns.lock a in
+    let task_state = Patterns.obj a ~fields:6 in
+    (* Eraser FP gadgets: two handoffs main→worker, one multi-lock
+       chain main→worker→main. *)
+    let h1_main, h1_worker = Patterns.eraser_fp_handoff a in
+    let h2_main, h2_worker = Patterns.eraser_fp_handoff a in
+    let ml_pre, ml_worker, ml_post = Patterns.eraser_fp_multilock a in
+    let worker_body i tid =
+      ignore tid;
+      (if i = 0 then h1_worker else [])
+      @ (if i = 1 then h2_worker else [])
+      @ (if i = 2 then ml_worker else [])
+      @ Program.repeat (2 * scale)
+          (Patterns.locked_work task_lock ~reads:3 ~writes:1 task_state
+          @ Patterns.read_only ~reads:4 shared_input)
+    in
+    let main_kernel =
+      Array.to_list matrices
+      |> List.concat_map (fun m -> Patterns.work ~reads:6 ~writes:2 m)
+    in
+    let threads =
+      { Program.tid = main;
+        body =
+          Patterns.work ~reads:0 ~writes:1 shared_input
+          @ h1_main @ h2_main @ ml_pre
+          @ List.map (fun t -> Program.Fork t) workers
+          @ Program.repeat (14 * scale) main_kernel
+          @ List.map (fun t -> Program.Join t) workers
+          @ ml_post }
+      :: List.mapi
+           (fun i tid -> { Program.tid; body = worker_body i tid })
+           workers
+    in
+    Program.make threads
+  in
+  { Workload.name = "colt";
+    description = "scientific library (main-thread bound; 3 Eraser FPs)";
+    threads = 11;
+    compute_bound = true;
+    expected_races = 0;
+    program }
+
+(* mtrt: SPEC's multithreaded ray tracer.  Four rendering threads work
+   on thread-local rows over a read-shared scene; one shared counter
+   is updated without synchronization (the benign race all tools
+   report). *)
+let mtrt =
+  let program ~scale =
+    let a = Patterns.alloc () in
+    let workers = List.init 4 (fun i -> i + 1) in
+    let scene = Patterns.obj a ~fields:24 in
+    let rows = Array.init 4 (fun _ -> Patterns.obj a ~fields:16) in
+    let race1, race2 = Patterns.racy_pair a in
+    let worker_body i =
+      (if i = 0 then race1 else if i = 1 then race2 else [])
+      @ Program.repeat (6 * scale)
+          (Patterns.read_only ~reads:3 scene
+          @ Patterns.work ~reads:6 ~writes:2 rows.(i))
+    in
+    Program.make
+      (Patterns.fork_join_all ~main:0
+         ~workers:(List.mapi (fun i tid -> (tid, worker_body i)) workers)
+         (Patterns.read_only ~reads:1 (Array.concat (Array.to_list rows)))
+      |> fun threads ->
+      { Program.tid = 0;
+        body =
+          Patterns.work ~reads:0 ~writes:1 scene @ (List.hd threads).body }
+      :: List.tl threads)
+  in
+  { Workload.name = "mtrt";
+    description = "SPEC ray tracer (one benign shared-counter race)";
+    threads = 5;
+    compute_bound = true;
+    expected_races = 1;
+    program }
+
+(* raja: a two-thread ray tracer; pure fork-join with a read-shared
+   scene. *)
+let raja =
+  let program ~scale =
+    let a = Patterns.alloc () in
+    let scene = Patterns.obj a ~fields:20 in
+    let rows = Patterns.obj a ~fields:16 in
+    let own = Patterns.obj a ~fields:16 in
+    let threads =
+      [ { Program.tid = 0;
+          body =
+            Patterns.work ~reads:0 ~writes:1 scene
+            @ [ Program.Fork 1 ]
+            @ Program.repeat (8 * scale)
+                (Patterns.read_only ~reads:3 scene
+                @ Patterns.work ~reads:3 ~writes:2 own)
+            @ [ Program.Join 1 ]
+            @ Patterns.read_only ~reads:1 rows };
+        { Program.tid = 1;
+          body =
+            Program.repeat (8 * scale)
+              (Patterns.read_only ~reads:3 scene
+              @ Patterns.work ~reads:3 ~writes:2 rows) } ]
+    in
+    Program.make threads
+  in
+  { Workload.name = "raja";
+    description = "ray tracer (2 threads, read-shared scene)";
+    threads = 2;
+    compute_bound = true;
+    expected_races = 0;
+    program }
+
+(* tsp: branch-and-bound travelling salesman.  Work is dealt through a
+   lock-protected queue and the global bound is updated under a lock —
+   but also peeked without it (the benign race), and several fields
+   are protected by different locks on different paths, producing
+   Eraser's 9 warnings (1 real + 8 false alarms). *)
+let tsp =
+  let program ~scale =
+    let a = Patterns.alloc () in
+    let workers = List.init 4 (fun i -> i + 1) in
+    let queue_lock = Patterns.lock a in
+    let queue = Patterns.obj a ~fields:4 in
+    let bound_lock = Patterns.lock a in
+    let bound = Patterns.var a in
+    let race1, race2 = Patterns.racy_pair a in
+    (* 5 handoff FPs (main initializes, worker reuses) ... *)
+    let handoffs = List.init 5 (fun _ -> Patterns.eraser_fp_handoff a) in
+    (* ... and 3 multilock FPs threaded main → worker → main. *)
+    let multilocks = List.init 3 (fun _ -> Patterns.eraser_fp_multilock a) in
+    let tours = Array.init 4 (fun _ -> Patterns.obj a ~fields:12) in
+    let worker_body i =
+      List.concat
+        (List.mapi
+           (fun j (_, w) -> if j mod 4 = i then w else [])
+           handoffs)
+      @ List.concat
+          (List.mapi
+             (fun j (_, w, _) -> if j mod 4 = i then w else [])
+             multilocks)
+      @ (if i = 0 then race1 else if i = 1 then race2 else [])
+      @ Program.repeat (5 * scale)
+          (Patterns.locked_work queue_lock ~reads:2 ~writes:1 queue
+          @ Patterns.work ~reads:4 ~writes:2 tours.(i)
+          @ Patterns.locked_work bound_lock ~reads:1 ~writes:1 [| bound |])
+    in
+    let threads =
+      { Program.tid = 0;
+        body =
+          List.concat_map (fun (m, _) -> m) handoffs
+          @ List.concat_map (fun (pre, _, _) -> pre) multilocks
+          @ Patterns.locked_work queue_lock ~reads:0 ~writes:2 queue
+          @ List.map (fun t -> Program.Fork t) workers
+          @ List.map (fun t -> Program.Join t) workers
+          @ List.concat_map (fun (_, _, post) -> post) multilocks
+          @ Patterns.locked_work bound_lock ~reads:1 ~writes:0 [| bound |] }
+      :: List.mapi
+           (fun i tid -> { Program.tid; body = worker_body i })
+           workers
+    in
+    Program.make threads
+  in
+  { Workload.name = "tsp";
+    description =
+      "travelling salesman (benign bound race; 8 Eraser false alarms)";
+    threads = 5;
+    compute_bound = true;
+    expected_races = 1;
+    program }
+
+(* jbb: SPEC JBB's business-object warehouses.  Object-heavy,
+   lock-protected transactions (the transaction markers also feed the
+   Section 5.2 atomicity checkers); two real races — one plain, one
+   hidden from lockset reasoning by an unrelated lock. *)
+let jbb =
+  let program ~scale =
+    let a = Patterns.alloc () in
+    let workers = List.init 4 (fun i -> i + 1) in
+    let warehouse_locks = Array.init 2 (fun _ -> Patterns.lock a) in
+    let warehouses = Array.init 2 (fun _ -> Patterns.obj a ~fields:10) in
+    let orders = Array.init 4 (fun _ -> Patterns.obj a ~fields:6) in
+    let race1, race2 = Patterns.racy_pair a in
+    let hid1, hid2 = Patterns.racy_pair_hidden_from_locksets a in
+    let h1_main, h1_worker = Patterns.eraser_fp_handoff a in
+    let ml_pre, ml_worker, ml_post = Patterns.eraser_fp_multilock a in
+    let transaction i w =
+      Program.txn
+        (Patterns.locked_work warehouse_locks.(w) ~reads:4 ~writes:1
+           warehouses.(w)
+        @ Patterns.work ~reads:3 ~writes:2 orders.(i))
+    in
+    let worker_body i =
+      (if i = 0 then race1 else if i = 1 then race2 else [])
+      @ (if i = 2 then hid1 else if i = 3 then hid2 else [])
+      @ (if i = 0 then h1_worker else [])
+      @ (if i = 1 then ml_worker else [])
+      @ Program.repeat (4 * scale) (transaction i 0 @ transaction i 1)
+    in
+    let threads =
+      { Program.tid = 0;
+        body =
+          h1_main @ ml_pre
+          @ Patterns.work ~reads:0 ~writes:1
+              (Array.concat (Array.to_list warehouses))
+          @ List.map (fun t -> Program.Fork t) workers
+          @ List.map (fun t -> Program.Join t) workers
+          @ ml_post }
+      :: List.mapi
+           (fun i tid -> { Program.tid; body = worker_body i })
+           workers
+    in
+    Program.make threads
+  in
+  { Workload.name = "jbb";
+    description = "SPEC JBB business objects (2 races, 3 Eraser warnings)";
+    threads = 5;
+    compute_bound = false;
+    expected_races = 2;
+    program }

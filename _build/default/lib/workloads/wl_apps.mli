@@ -1,0 +1,12 @@
+(** Workload models for the application benchmarks of Table 1:
+    [colt] (scientific computing library, 11 threads), [mtrt] (SPEC
+    ray tracer, 5 threads, one benign race), [raja] (ray tracer,
+    2 threads), [tsp] (travelling-salesman solver, 5 threads, one
+    benign race and heavy lock-discipline violations) and [jbb]
+    (SPEC JBB business objects, 5 threads, two races). *)
+
+val colt : Workload.t
+val mtrt : Workload.t
+val raja : Workload.t
+val tsp : Workload.t
+val jbb : Workload.t

@@ -1,0 +1,115 @@
+(* One Eclipse operation: [threads] worker threads (job-manager pool,
+   builders, UI helpers) plus the main thread.
+
+   - [volatile_guarded] variables are published through a volatile
+     flag: race-free, but each is one Eraser false alarm (Eraser does
+     not understand volatile synchronization);
+   - [handoffs] are fork/join-ordered reinitializations: race-free,
+     one more Eraser false alarm each;
+   - [races] real racy locations (double-checked locking, progress
+     meters, helper-thread results): every precise tool reports each;
+   - the bulk of the events is lock-protected job state and
+     thread-local building work. *)
+let operation ~name ~description ~threads:nworkers ~races ~volatile_guarded
+    ~handoffs ~work_units =
+  let program ~scale =
+    let a = Patterns.alloc () in
+    let workers = List.init nworkers (fun i -> i + 1) in
+    let job_lock = Patterns.lock a in
+    let job_state = Patterns.obj a ~fields:8 in
+    let workspaces =
+      Array.init nworkers (fun _ -> Patterns.obj a ~fields:10)
+    in
+    let shared_index = Patterns.obj a ~fields:24 in
+    (* Volatile-published configuration: producer (main) writes the
+       data then the flag; consumers read the flag then rewrite the
+       data.  Race-free; one Eraser FP per variable. *)
+    let published =
+      Array.init volatile_guarded (fun _ ->
+          (Patterns.var a, Patterns.volatile a))
+    in
+    let handoff_frags = List.init handoffs (fun _ ->
+        Patterns.eraser_fp_handoff a)
+    in
+    let race_frags = List.init races (fun _ -> Patterns.racy_pair a) in
+    let body_of = Array.make (nworkers + 1) [] in
+    let add tid frag = body_of.(tid) <- body_of.(tid) @ frag in
+    (* distribute handoff second-halves and race fragments *)
+    List.iteri
+      (fun j (_, second) -> add ((j mod nworkers) + 1) second)
+      handoff_frags;
+    List.iteri
+      (fun j (r1, r2) ->
+        let t1 = (j mod nworkers) + 1 in
+        let t2 = ((j + 1) mod nworkers) + 1 in
+        add t1 r1;
+        add t2 r2)
+      race_frags;
+    Array.iteri
+      (fun j (x, v) ->
+        add
+          ((j mod nworkers) + 1)
+          [ Program.Volatile_read v; Program.Read x; Program.Write x ])
+      published;
+    (* per-worker steady-state work *)
+    List.iteri
+      (fun i tid ->
+        add tid
+          (Program.repeat (work_units * scale)
+             (Program.txn
+                (Patterns.locked_work job_lock ~reads:3 ~writes:1 job_state)
+             @ Patterns.work ~reads:6 ~writes:2 workspaces.(i)
+             @ Patterns.read_only ~reads:2 shared_index)))
+      workers;
+    let main_body =
+      Patterns.work ~reads:0 ~writes:1 shared_index
+      @ List.concat_map (fun (first, _) -> first) handoff_frags
+      @ (Array.to_list published
+        |> List.concat_map (fun (x, v) ->
+               [ Program.Write x; Program.Volatile_write v ]))
+      @ List.map (fun t -> Program.Fork t) workers
+      @ Program.repeat (work_units * scale)
+          (Patterns.locked_work job_lock ~reads:2 ~writes:1 job_state)
+      @ List.map (fun t -> Program.Join t) workers
+      @ Patterns.read_only ~reads:1
+          (Array.concat (Array.to_list workspaces))
+    in
+    Program.make
+      ({ Program.tid = 0; body = main_body }
+      :: List.mapi
+           (fun i tid -> { Program.tid; body = body_of.(i + 1) })
+           workers)
+  in
+  { Workload.name;
+    description;
+    threads = nworkers + 1;
+    compute_bound = true;
+    expected_races = races;
+    program }
+
+let startup =
+  operation ~name:"eclipse-startup"
+    ~description:"launch Eclipse, load a 4-project workspace"
+    ~threads:23 ~races:8 ~volatile_guarded:120 ~handoffs:40 ~work_units:3
+
+let import =
+  operation ~name:"eclipse-import"
+    ~description:"import and initial-build a 23 kloc project" ~threads:11
+    ~races:5 ~volatile_guarded:60 ~handoffs:20 ~work_units:5
+
+let clean_small =
+  operation ~name:"eclipse-clean-small"
+    ~description:"rebuild a 65 kloc four-project workspace" ~threads:7
+    ~races:4 ~volatile_guarded:40 ~handoffs:15 ~work_units:7
+
+let clean_large =
+  operation ~name:"eclipse-clean-large"
+    ~description:"rebuild a 290 kloc project" ~threads:15 ~races:8
+    ~volatile_guarded:80 ~handoffs:30 ~work_units:8
+
+let debug =
+  operation ~name:"eclipse-debug"
+    ~description:"launch the debugger on a crashing program" ~threads:5
+    ~races:5 ~volatile_guarded:30 ~handoffs:10 ~work_units:2
+
+let all = [ startup; import; clean_small; clean_large; debug ]

@@ -1,0 +1,22 @@
+(** Workload models for the Eclipse experiment (Section 5.3).
+
+    Each of the five user-initiated Eclipse operations — Startup,
+    Import, Clean Small, Clean Large, Debug — is modeled as a separate
+    program with up to 24 threads and the synchronization idioms the
+    paper reports: monitors with wait/notify, volatile-published
+    configuration (a semaphore/readers-writer-lock stand-in that
+    Eraser cannot handle — the source of its ~960 warnings), fork-join
+    job handoffs, and the real races FastTrack found (double-checked
+    locking, progress meters, helper-thread result arrays).
+
+    FastTrack reports 30 distinct racy locations across the five
+    operations, matching the paper; Eraser reports an order of
+    magnitude more, almost all false alarms. *)
+
+val startup : Workload.t
+val import : Workload.t
+val clean_small : Workload.t
+val clean_large : Workload.t
+val debug : Workload.t
+
+val all : Workload.t list

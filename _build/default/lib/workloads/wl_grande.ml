@@ -1,0 +1,181 @@
+(* The Java Grande kernels share one shape: a main thread initializes
+   read-shared input data, forks worker threads that alternate
+   slice-local computation with barrier synchronization (or plain
+   fork-join for the embarrassingly parallel kernels), then joins them
+   and reduces the results.  The differences that matter to a race
+   detector are the quirks: which kernel has a real race (raytracer's
+   checksum), and which synchronization idioms fool Eraser.
+
+   Quirk conventions: a quirk function returns an association list
+   mapping a worker tid to a fragment prepended to its body (before
+   any barrier), [-2] to a fragment for the main thread's prologue
+   (before the forks) and [-1] to a fragment for its epilogue (after
+   the joins).  Keys may repeat; all fragments for a key are used. *)
+
+let frags_for key frags =
+  List.concat_map (fun (k, f) -> if k = key then f else []) frags
+
+let kernel ~name ~description ~workers ~phases ~slice ~shared_inputs
+    ~use_barrier ~expected_races ~quirks () =
+  let program ~scale =
+    let a = Patterns.alloc () in
+    let shared = Patterns.obj a ~fields:shared_inputs in
+    (* Double-buffered slices: in phase [p] a worker writes bank
+       [p mod 2] of its own slice and reads bank [(p+1) mod 2] of its
+       neighbour's — the barrier between phases makes that race-free,
+       exactly like the red-black sweeps of sor/moldyn.  Each bank is
+       one array object, so the coarse-grain analysis collapses it to
+       a single shadow location. *)
+    let banks =
+      Array.init workers (fun _ ->
+          [| Patterns.obj a ~fields:slice; Patterns.obj a ~fields:slice |])
+    in
+    (* Per-thread result array indexed by worker id: race-free under
+       the fine-grain analysis, a spurious warning under the coarse
+       one — the imprecision Section 5.1 reports for most
+       benchmarks. *)
+    let results = Patterns.obj a ~fields:workers in
+    let b = Patterns.barrier_id a in
+    (* a lock-protected per-phase progress counter: keeps the 3%-ish
+       synchronization share of Figure 2's operation mix *)
+    let progress_lock = Patterns.lock a in
+    let progress = Patterns.vars a 2 in
+    let phases = phases * scale in
+    let main = 0 in
+    let worker_tids = List.init workers (fun i -> i + 1) in
+    let quirk_frags = quirks a ~main ~worker_tids in
+    let worker_body i tid =
+      let phase_body p =
+        Patterns.work ~reads:6 ~writes:2 banks.(i).(p mod 2)
+        @ Patterns.read_only ~reads:3 shared
+        @ (if use_barrier && p > 0 then
+             Patterns.read_only ~reads:2
+               banks.((i + 1) mod workers).((p + 1) mod 2)
+           else [])
+        @ Patterns.work ~reads:1 ~writes:1 [| results.(i) |]
+        @ Patterns.locked_work progress_lock ~reads:1 ~writes:1 progress
+        @ (if use_barrier then [ Program.Barrier_wait b ] else [])
+      in
+      frags_for tid quirk_frags @ List.concat (List.init phases phase_body)
+    in
+    let workers_list =
+      List.mapi (fun i tid -> (tid, worker_body i tid)) worker_tids
+    in
+    let all_slices =
+      Array.concat (Array.to_list banks |> List.concat_map Array.to_list
+                    |> List.map (fun x -> [ x ])
+                    |> List.concat)
+    in
+    let epilogue =
+      frags_for (-1) quirk_frags @ Patterns.read_only ~reads:1 all_slices
+    in
+    let prologue =
+      frags_for (-2) quirk_frags @ Patterns.work ~reads:0 ~writes:1 shared
+    in
+    let threads =
+      { Program.tid = main;
+        body =
+          prologue
+          @ List.map (fun tid -> Program.Fork tid) worker_tids
+          @ List.map (fun tid -> Program.Join tid) worker_tids
+          @ epilogue }
+      :: List.map
+           (fun (tid, body) -> { Program.tid = tid; body })
+           workers_list
+    in
+    Program.make
+      ~barriers:
+        (if use_barrier then [ { Program.id = b; parties = workers } ]
+         else [])
+      threads
+  in
+  { Workload.name;
+    description;
+    threads = workers + 1;
+    compute_bound = true;
+    expected_races;
+    program }
+
+let no_quirks (_ : Patterns.alloc) ~main:_ ~worker_tids:_ = []
+
+(* n fork/join handoff false alarms for Eraser: main writes in the
+   prologue, worker w rewrites before its first barrier. *)
+let handoff_fps n (a : Patterns.alloc) ~main:_ ~worker_tids =
+  let tids = Array.of_list worker_tids in
+  List.init n (fun i ->
+      let first, second = Patterns.eraser_fp_handoff a in
+      [ (-2, first); (tids.(i mod Array.length tids), second) ])
+  |> List.concat
+
+(* One real race between the first two workers (raytracer checksum,
+   mtrt-style shared counter, ...). *)
+let one_race (a : Patterns.alloc) ~main:_ ~worker_tids =
+  match worker_tids with
+  | w1 :: w2 :: _ ->
+    let first, second = Patterns.racy_pair a in
+    [ (w1, first); (w2, second) ]
+  | _ -> invalid_arg "one_race: need two workers"
+
+let crypt =
+  kernel ~name:"crypt" ~description:"IDEA encryption (fork-join slices)"
+    ~workers:6 ~phases:8 ~slice:24 ~shared_inputs:16 ~use_barrier:false
+    ~expected_races:0 ~quirks:no_quirks ()
+
+let lufact =
+  kernel ~name:"lufact"
+    ~description:"LU factorisation (barrier phases, 4 Eraser handoff FPs)"
+    ~workers:4 ~phases:24 ~slice:20 ~shared_inputs:12 ~use_barrier:true
+    ~expected_races:0
+    ~quirks:(handoff_fps 4) ()
+
+let moldyn =
+  kernel ~name:"moldyn"
+    ~description:"molecular dynamics (barriers + lock-protected reduction)"
+    ~workers:4 ~phases:28 ~slice:18 ~shared_inputs:10 ~use_barrier:true
+    ~expected_races:0
+    ~quirks:(fun a ~main:_ ~worker_tids ->
+      (* force-array accumulation under a global lock *)
+      let m = Patterns.lock a in
+      let forces = Patterns.vars a 6 in
+      List.map
+        (fun tid -> (tid, Patterns.locked_work m ~reads:1 ~writes:1 forces))
+        worker_tids)
+    ()
+
+let montecarlo =
+  kernel ~name:"montecarlo"
+    ~description:"Monte Carlo simulation (fork-join, read-shared tasks)"
+    ~workers:4 ~phases:20 ~slice:22 ~shared_inputs:24 ~use_barrier:false
+    ~expected_races:0 ~quirks:no_quirks ()
+
+let raytracer =
+  kernel ~name:"raytracer"
+    ~description:"3D ray tracer (barriers; real race on the checksum field)"
+    ~workers:4 ~phases:24 ~slice:20 ~shared_inputs:8 ~use_barrier:true
+    ~expected_races:1 ~quirks:one_race ()
+
+let sparse =
+  kernel ~name:"sparse"
+    ~description:"sparse matrix-vector multiply (barrier phases)" ~workers:4
+    ~phases:26 ~slice:22 ~shared_inputs:14 ~use_barrier:true
+    ~expected_races:0 ~quirks:no_quirks ()
+
+let series =
+  kernel ~name:"series"
+    ~description:"Fourier coefficients (fork-join; 1 Eraser handoff FP)"
+    ~workers:4 ~phases:16 ~slice:26 ~shared_inputs:6 ~use_barrier:false
+    ~expected_races:0
+    ~quirks:(fun a ~main:_ ~worker_tids ->
+      (* the result cell a worker writes and main rewrites after the
+         join — race-free, but a lockset violation for Eraser *)
+      let first, second = Patterns.eraser_fp_handoff a in
+      [ (List.hd worker_tids, first); (-1, second) ])
+    ()
+
+let sor =
+  kernel ~name:"sor"
+    ~description:
+      "successive over-relaxation (barrier phases; 3 Eraser handoff FPs)"
+    ~workers:4 ~phases:26 ~slice:18 ~shared_inputs:8 ~use_barrier:true
+    ~expected_races:0
+    ~quirks:(handoff_fps 3) ()

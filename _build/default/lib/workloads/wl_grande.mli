@@ -1,0 +1,15 @@
+(** Workload models for the Java Grande benchmarks of Table 1:
+    [crypt], [lufact], [moldyn], [montecarlo], [raytracer], [sparse],
+    [series] and [sor] — barrier- and fork-join-structured
+    data-parallel kernels with four worker threads (the paper's
+    configuration), each with the quirks that produce its published
+    warning counts. *)
+
+val crypt : Workload.t
+val lufact : Workload.t
+val moldyn : Workload.t
+val montecarlo : Workload.t
+val raytracer : Workload.t
+val sparse : Workload.t
+val series : Workload.t
+val sor : Workload.t

@@ -1,0 +1,129 @@
+(* elevator: a lock-heavy discrete-event simulator.  Four elevator
+   threads share one monitor: they wait on it for work, update the
+   shared building state under it, and do little computation —
+   representative of the I/O-bound programs the paper excludes from
+   average slowdowns. *)
+let elevator =
+  let program ~scale =
+    let a = Patterns.alloc () in
+    let monitor = Patterns.lock a in
+    let building = Patterns.obj a ~fields:8 in
+    let floors = Patterns.vars a 10 in
+    let workers = List.init 4 (fun i -> i + 1) in
+    let cab_body _i =
+      Program.repeat (4 * scale)
+        (Program.locked monitor
+           ([ Program.Wait monitor ]
+           @ Patterns.work ~reads:3 ~writes:1 building
+           @ Patterns.work ~reads:2 ~writes:1 floors))
+    in
+    let threads =
+      { Program.tid = 0;
+        body =
+          Program.locked monitor (Patterns.work ~reads:0 ~writes:1 building)
+          @ List.map (fun t -> Program.Fork t) workers
+          @ Program.repeat (4 * scale)
+              (Program.locked monitor
+                 (Patterns.work ~reads:2 ~writes:1 floors))
+          @ List.map (fun t -> Program.Join t) workers }
+      :: List.mapi (fun i tid -> { Program.tid; body = cab_body i }) workers
+    in
+    Program.make threads
+  in
+  { Workload.name = "elevator";
+    description = "discrete event simulator (monitor + wait; I/O bound)";
+    threads = 5;
+    compute_bound = false;
+    expected_races = 0;
+    program }
+
+(* philo: dining philosophers around one table monitor. *)
+let philo =
+  let program ~scale =
+    let a = Patterns.alloc () in
+    let table = Patterns.lock a in
+    let forks_state = Patterns.vars a 5 in
+    let meals = Patterns.vars a 5 in
+    let workers = List.init 5 (fun i -> i + 1) in
+    let philosopher i =
+      Program.repeat (3 * scale)
+        (Program.locked table
+           ([ Program.Wait table ]
+           @ Patterns.work ~reads:2 ~writes:1 [| forks_state.(i) |]
+           @ Patterns.work ~reads:1 ~writes:1
+               [| forks_state.((i + 1) mod 5) |]
+           @ Patterns.work ~reads:1 ~writes:1 [| meals.(i) |]))
+    in
+    let threads =
+      { Program.tid = 0;
+        body =
+          Program.locked table
+            (Patterns.work ~reads:0 ~writes:1 forks_state)
+          @ List.map (fun t -> Program.Fork t) workers
+          @ List.map (fun t -> Program.Join t) workers
+          @ Program.locked table (Patterns.read_only ~reads:1 meals) }
+      :: List.mapi
+           (fun i tid -> { Program.tid; body = philosopher i })
+           workers
+    in
+    Program.make threads
+  in
+  { Workload.name = "philo";
+    description = "dining philosophers (single monitor; I/O bound)";
+    threads = 6;
+    compute_bound = false;
+    expected_races = 0;
+    program }
+
+(* hedc: the web-data access tool.  A small thread pool receives task
+   objects through a lock-protected queue, but several task fields are
+   accessed by both the submitting thread and the pool worker without
+   synchronization: three real races.  Two of the racing workers
+   happen to hold an unrelated lock, which hides those races from
+   lockset-based tools (Eraser reports only one of the three, plus a
+   false alarm from multi-lock protection — and misses two, exactly as
+   in the paper). *)
+let hedc =
+  let program ~scale =
+    let a = Patterns.alloc () in
+    let queue_lock = Patterns.lock a in
+    let queue = Patterns.obj a ~fields:4 in
+    let results = Array.init 5 (fun _ -> Patterns.obj a ~fields:6) in
+    let race1, race2 = Patterns.racy_pair a in
+    let hid1_a, hid1_b = Patterns.racy_pair_hidden_from_locksets a in
+    let hid2_a, hid2_b = Patterns.racy_pair_hidden_from_locksets a in
+    let ml_pre, ml_worker, ml_post = Patterns.eraser_fp_multilock a in
+    let workers = List.init 5 (fun i -> i + 1) in
+    let worker_body i =
+      (match i with
+      | 0 -> race1 @ hid1_a
+      | 1 -> race2 @ hid1_b
+      | 2 -> hid2_a @ ml_worker
+      | 3 -> hid2_b
+      | _ -> [])
+      @ Program.repeat (3 * scale)
+          (Patterns.locked_work queue_lock ~reads:2 ~writes:1 queue
+          @ Patterns.work ~reads:3 ~writes:1 results.(i))
+    in
+    let threads =
+      { Program.tid = 0;
+        body =
+          ml_pre
+          @ Patterns.locked_work queue_lock ~reads:0 ~writes:1 queue
+          @ List.map (fun t -> Program.Fork t) workers
+          @ List.map (fun t -> Program.Join t) workers
+          @ ml_post
+          @ Patterns.read_only ~reads:1
+              (Array.concat (Array.to_list results)) }
+      :: List.mapi
+           (fun i tid -> { Program.tid; body = worker_body i })
+           workers
+    in
+    Program.make threads
+  in
+  { Workload.name = "hedc";
+    description = "web-data tool (3 thread-pool races; Eraser misses 2)";
+    threads = 6;
+    compute_bound = false;
+    expected_races = 3;
+    program }

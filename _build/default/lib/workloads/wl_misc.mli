@@ -1,0 +1,9 @@
+(** Workload models for the non-compute-bound benchmarks of Table 1:
+    [elevator] (discrete-event simulator, wait/notify monitor),
+    [philo] (dining philosophers) and [hedc] (web-data access tool
+    whose thread pool contains the paper's three real races, two of
+    which Eraser misses). *)
+
+val elevator : Workload.t
+val philo : Workload.t
+val hedc : Workload.t

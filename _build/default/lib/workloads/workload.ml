@@ -1,0 +1,13 @@
+type t = {
+  name : string;
+  description : string;
+  threads : int;
+  compute_bound : bool;
+  expected_races : int;
+  program : scale:int -> Program.t;
+}
+
+let trace ?(seed = 7) ?(scale = 1) w =
+  Scheduler.run
+    ~options:{ Scheduler.default_options with seed }
+    (w.program ~scale)

@@ -1,0 +1,34 @@
+(** Benchmark workload models.
+
+    Each workload synthesizes a {!Program.t} whose event stream mirrors
+    the published character of one benchmark from the paper's Table 1:
+    thread count, operation mix, synchronization idiom (barrier
+    data-parallel, lock-protected, fork-join, thread pool, wait/notify)
+    and — crucially — its known race inventory:
+
+    - the {e real} races each precise detector must report (e.g. the
+      [raytracer] checksum race, the three [hedc] thread-pool races);
+    - the idioms that make Eraser report false alarms (fork-join
+      handoffs, multi-lock protection, barrier phases);
+    - the idioms that make Eraser/MultiRace miss true races (racing
+      threads that happen to hold an unrelated lock).
+
+    Absolute running times are not comparable to the paper's Java
+    measurements; the relative tool behaviour is. *)
+
+type t = {
+  name : string;
+  description : string;
+  threads : int;      (** as in Table 1 *)
+  compute_bound : bool;
+      (** workloads marked ['*'] in Table 1 are excluded from average
+          slowdowns *)
+  expected_races : int;
+      (** number of racy variables a precise detector must report *)
+  program : scale:int -> Program.t;
+      (** [scale] multiplies the inner loop counts (trace length grows
+          roughly linearly) *)
+}
+
+val trace : ?seed:int -> ?scale:int -> t -> Trace.t
+(** Runs the workload's program under the scheduler. *)

@@ -1,0 +1,25 @@
+let table1 =
+  [ Wl_apps.colt;
+    Wl_grande.crypt;
+    Wl_grande.lufact;
+    Wl_grande.moldyn;
+    Wl_grande.montecarlo;
+    Wl_apps.mtrt;
+    Wl_apps.raja;
+    Wl_grande.raytracer;
+    Wl_grande.sparse;
+    Wl_grande.series;
+    Wl_grande.sor;
+    Wl_apps.tsp;
+    Wl_misc.elevator;
+    Wl_misc.philo;
+    Wl_misc.hedc;
+    Wl_apps.jbb ]
+
+let eclipse = Wl_eclipse.all
+let all = table1 @ eclipse
+
+let find name =
+  List.find_opt (fun w -> String.equal w.Workload.name name) all
+
+let names () = List.map (fun w -> w.Workload.name) all

@@ -1,0 +1,14 @@
+(** Registry of all workload models. *)
+
+val table1 : Workload.t list
+(** The 16 benchmarks of Table 1, in the paper's row order. *)
+
+val eclipse : Workload.t list
+(** The five Eclipse operations of Section 5.3. *)
+
+val all : Workload.t list
+
+val find : string -> Workload.t option
+(** Look up any workload by name. *)
+
+val names : unit -> string list

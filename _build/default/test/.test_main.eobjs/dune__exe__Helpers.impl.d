@@ -1,0 +1,1 @@
+test/helpers.ml: Driver Event List QCheck2 QCheck_alcotest String Trace Trace_gen Var Warning

@@ -1,0 +1,1 @@
+test/paper_data_check.ml:

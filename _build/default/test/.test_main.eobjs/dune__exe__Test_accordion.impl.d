@@ -1,0 +1,1 @@
+test/test_accordion.ml: Alcotest Config Driver Event Fasttrack Fasttrack_accordion Gclock Happens_before Helpers List Patterns Program QCheck2 Scheduler Slot_registry Trace Var Warning

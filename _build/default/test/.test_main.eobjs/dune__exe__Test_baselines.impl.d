@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Djit_plus Driver Empty_tool Eraser Event Fasttrack Goldilocks Helpers List Multi_race Stats Trace Var

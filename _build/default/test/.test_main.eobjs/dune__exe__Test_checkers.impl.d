@@ -1,0 +1,1 @@
+test/test_checkers.ml: Alcotest Atomizer Checker Event Filter List Singletrack String Trace Var Velodrome

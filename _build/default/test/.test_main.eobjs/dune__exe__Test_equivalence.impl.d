@@ -1,0 +1,1 @@
+test/test_equivalence.ml: Basic_vc Config Djit_plus Driver Eraser Event Fasttrack Goldilocks Happens_before Helpers List Multi_race QCheck2 QCheck_alcotest Tid Trace Trace_gen Var Warning

@@ -1,0 +1,1 @@
+test/test_fasttrack.ml: Alcotest Config Epoch Event Fasttrack List Stats Var Warning

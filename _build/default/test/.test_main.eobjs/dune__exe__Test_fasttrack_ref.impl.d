@@ -1,0 +1,1 @@
+test/test_fasttrack_ref.ml: Alcotest Driver Epoch Fasttrack Fasttrack_ref Fun Happens_before Hashtbl Helpers List Option Result Stats Tid Trace Trace_gen Var Warning

@@ -1,0 +1,1 @@
+test/test_happens_before.ml: Alcotest Event Happens_before Helpers List Trace Var

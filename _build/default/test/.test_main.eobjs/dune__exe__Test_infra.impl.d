@@ -1,0 +1,1 @@
+test/test_infra.ml: Alcotest Astring Driver Empty_tool Epoch Event List Race_log Shadow Stats Table Tid Trace Trace_gen Var Vc_state Vector_clock Warning

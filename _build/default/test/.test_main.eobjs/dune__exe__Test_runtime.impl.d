@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Event List Option Program QCheck2 QCheck_alcotest Scheduler Trace Validity Var Workload Workloads

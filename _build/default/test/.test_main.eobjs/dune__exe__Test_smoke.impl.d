@@ -1,0 +1,1 @@
+test/test_smoke.ml: Alcotest Basic_vc Djit_plus Driver Event Fasttrack Fasttrack_ref Goldilocks Happens_before List String Trace Trace_gen Validity Var Warning

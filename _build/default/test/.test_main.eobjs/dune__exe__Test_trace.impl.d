@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Event Helpers List QCheck2 QCheck_alcotest Trace Var

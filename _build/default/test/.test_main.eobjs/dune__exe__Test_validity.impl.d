@@ -1,0 +1,1 @@
+test/test_validity.ml: Alcotest Event Helpers List Trace Validity Var

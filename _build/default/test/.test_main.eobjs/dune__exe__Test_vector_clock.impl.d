@@ -1,0 +1,1 @@
+test/test_vector_clock.ml: Alcotest Epoch QCheck2 QCheck_alcotest Vector_clock

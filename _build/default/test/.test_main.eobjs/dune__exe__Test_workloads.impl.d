@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Basic_vc Djit_plus Driver Eraser Fasttrack Format Goldilocks List Multi_race Option Paper_data_check Printf Stats Trace Validity Workload Workloads

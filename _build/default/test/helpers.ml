@@ -1,0 +1,63 @@
+(* Shared test utilities: detector runners, qcheck generators. *)
+
+let racy_vars d tr =
+  (Driver.run d tr).Driver.warnings
+  |> List.map (fun w -> w.Warning.x)
+  |> List.sort_uniq Var.compare
+
+let warning_count d tr = List.length (Driver.run d tr).Driver.warnings
+
+let vars_to_string vars =
+  String.concat "," (List.map Var.to_string vars)
+
+(* qcheck generator for feasible traces: pick a profile and size, then
+   drive the state-machine generator with a random seed.  Shrinking a
+   trace is done by truncation: any prefix of a feasible trace is
+   feasible. *)
+let gen_params =
+  QCheck2.Gen.(
+    let* profile = oneofl [ Trace_gen.Mixed; Synchronized; Racy ] in
+    let* threads = int_range 1 6 in
+    let* vars = int_range 1 10 in
+    let* locks = int_range 1 4 in
+    let* length = int_range 5 160 in
+    let* barriers = bool in
+    return
+      { Trace_gen.threads; vars; locks; volatiles = 2; length; profile;
+        barriers })
+
+let gen_trace =
+  QCheck2.Gen.(
+    let* params = gen_params in
+    let* seed = int_range 1 1_000_000 in
+    return (Trace_gen.generate ~seed params))
+
+let print_trace = Trace.to_string
+
+let qtest ?(count = 100) name law =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count ~name ~print:print_trace gen_trace law)
+
+(* A generator of small valid events for parser round-trips. *)
+let gen_event =
+  QCheck2.Gen.(
+    oneof
+      [ (let* t = int_range 0 9 in
+         let* obj = int_range 0 99 in
+         let* field = int_range 0 30 in
+         let x = Var.make ~obj ~field in
+         oneofl [ Event.Read { t; x }; Event.Write { t; x } ]);
+        (let* t = int_range 0 9 in
+         let* m = int_range 0 9 in
+         oneofl [ Event.Acquire { t; m }; Event.Release { t; m } ]);
+        (let* t = int_range 0 9 in
+         let* u = int_range 0 9 in
+         oneofl [ Event.Fork { t; u }; Event.Join { t; u } ]);
+        (let* t = int_range 0 9 in
+         let* v = int_range 0 9 in
+         oneofl
+           [ Event.Volatile_read { t; v }; Event.Volatile_write { t; v } ]);
+        (let* threads = list_size (int_range 1 5) (int_range 0 9) in
+         return (Event.Barrier_release { threads }));
+        (let* t = int_range 0 9 in
+         oneofl [ Event.Txn_begin { t }; Event.Txn_end { t } ]) ])

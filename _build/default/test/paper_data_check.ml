@@ -1,0 +1,17 @@
+(* The benchmark names in Table 1's row order, with each workload
+   model's intended thread count (the paper's configuration, plus the
+   coordinating main thread for the Java Grande kernels, which the
+   paper counts as one of its four workers).  Guards against
+   accidental changes to the models. *)
+
+type t = { name : string; threads : int }
+
+let table1 =
+  [ { name = "colt"; threads = 11 }; { name = "crypt"; threads = 7 };
+    { name = "lufact"; threads = 5 }; { name = "moldyn"; threads = 5 };
+    { name = "montecarlo"; threads = 5 }; { name = "mtrt"; threads = 5 };
+    { name = "raja"; threads = 2 }; { name = "raytracer"; threads = 5 };
+    { name = "sparse"; threads = 5 }; { name = "series"; threads = 5 };
+    { name = "sor"; threads = 5 }; { name = "tsp"; threads = 5 };
+    { name = "elevator"; threads = 5 }; { name = "philo"; threads = 6 };
+    { name = "hedc"; threads = 6 }; { name = "jbb"; threads = 5 } ]

@@ -1,0 +1,138 @@
+(* Tests for the accordion-clock extension: precision is unchanged,
+   and slots are actually recycled under thread churn. *)
+
+let x = Var.scalar 0
+let rd t x = Event.Read { t; x }
+let wr t x = Event.Write { t; x }
+let fork t u = Event.Fork { t; u }
+let join t u = Event.Join { t; u }
+
+(* A server-style program: [n] short-lived workers forked and joined
+   in sequence, each touching shared read-only data and its own
+   output. *)
+let churn_program ~workers ~work =
+  let shared = Patterns.alloc () |> fun a ->
+    ignore a;
+    Var.scalar 999
+  in
+  let worker i =
+    { Program.tid = i + 1;
+      body =
+        Program.reads shared 2
+        @ Patterns.work ~reads:2 ~writes:1 [| Var.scalar (1000 + i) |]
+        @ Program.repeat work (Program.reads shared 1) }
+  in
+  let main =
+    { Program.tid = 0;
+      body =
+        (Program.Write shared :: List.concat
+           (List.init workers (fun i ->
+                [ Program.Fork (i + 1); Program.Join (i + 1) ]))) }
+  in
+  Program.make (main :: List.init workers worker)
+
+let churn_trace ~workers =
+  Scheduler.run
+    ~options:{ Scheduler.default_options with seed = 5 }
+    (churn_program ~workers ~work:3)
+
+let test_slots_recycled () =
+  let tr = churn_trace ~workers:200 in
+  let d = Fasttrack_accordion.create Config.default in
+  Trace.iteri (fun index e -> Fasttrack_accordion.on_event d ~index e) tr;
+  Alcotest.(check (list string)) "no false races" []
+    (List.map Warning.to_string (Fasttrack_accordion.warnings d));
+  let slots = Fasttrack_accordion.slot_count d in
+  if slots > 8 then
+    Alcotest.failf "expected a handful of slots for 201 threads, got %d"
+      slots;
+  Alcotest.(check bool) "few threads still live" true
+    (Fasttrack_accordion.live_threads d <= 2)
+
+let test_race_after_collections () =
+  (* churn, then a genuine race between two live threads: recycling
+     past threads must not mask it *)
+  let workers = 20 in
+  let racer_a = workers + 1 and racer_b = workers + 2 in
+  let main =
+    { Program.tid = 0;
+      body =
+        List.concat
+          (List.init workers (fun i ->
+               [ Program.Fork (i + 1); Program.Join (i + 1);
+                 Program.Read (Var.scalar (2000 + i)) ]))
+        @ [ Program.Fork racer_a; Program.Fork racer_b;
+            Program.Join racer_a; Program.Join racer_b ] }
+  in
+  let worker i =
+    { Program.tid = i + 1;
+      body = Program.writes (Var.scalar (2000 + i)) 1 }
+  in
+  let racer tid = { Program.tid; body = [ Program.Write x ] } in
+  let p =
+    Program.make
+      ((main :: List.init workers worker) @ [ racer racer_a; racer racer_b ])
+  in
+  let tr =
+    Scheduler.run ~options:{ Scheduler.default_options with seed = 3 } p
+  in
+  let run d =
+    let r = Driver.run d tr in
+    List.map (fun w -> w.Warning.x) r.warnings
+  in
+  Alcotest.(check bool) "accordion sees the race" true
+    (run (module Fasttrack_accordion) = [ x ]);
+  Alcotest.(check bool) "plain fasttrack agrees" true
+    (run (module Fasttrack) = [ x ])
+
+(* Oh yes: the headline — precision identical to the oracle on random
+   feasible traces (which satisfy the fork-creation assumption). *)
+let prop_accordion_precise =
+  Helpers.qtest ~count:250 "accordion fasttrack = oracle" (fun tr ->
+      let oracle = Happens_before.racy_vars tr |> List.sort Var.compare in
+      let ours = Helpers.racy_vars (module Fasttrack_accordion) tr in
+      if oracle = ours then true
+      else
+        QCheck2.Test.fail_reportf "oracle {%s} vs accordion {%s}"
+          (Helpers.vars_to_string oracle)
+          (Helpers.vars_to_string ours))
+
+let test_gclock_basics () =
+  let reg = Slot_registry.create () in
+  let s0 = Slot_registry.slot_of reg 0 in
+  let v = Gclock.create () in
+  Gclock.set reg v s0 5;
+  Alcotest.(check int) "set/get" 5 (Gclock.get reg v s0);
+  (* collecting slot 0's occupant makes the entry stale *)
+  Slot_registry.note_alive reg 0;
+  Slot_registry.on_join reg ~joined:0 ~final_clock:5;
+  Slot_registry.collect reg ~live_dominates:(fun ~slot:_ ~clock:_ -> true);
+  Alcotest.(check int) "stale entry reads 0" 0 (Gclock.get reg v s0);
+  (* the slot is recycled for a fresh thread *)
+  let s1 = Slot_registry.slot_of reg 7 in
+  Alcotest.(check int) "slot recycled" s0 s1;
+  Alcotest.(check int) "one slot total" 1 (Slot_registry.slot_count reg)
+
+let test_gepoch_staleness () =
+  let reg = Slot_registry.create () in
+  let s = Slot_registry.slot_of reg 3 in
+  Slot_registry.note_alive reg 3;
+  let e = Gclock.Gepoch.make reg ~slot:s ~clock:9 in
+  let empty = Gclock.create () in
+  Alcotest.(check bool) "current epoch not ⪯ empty clock" false
+    (Gclock.Gepoch.leq_clock reg e empty);
+  Slot_registry.on_join reg ~joined:3 ~final_clock:9;
+  Slot_registry.collect reg ~live_dominates:(fun ~slot:_ ~clock:_ -> true);
+  Alcotest.(check bool) "stale" true (Gclock.Gepoch.stale reg e);
+  Alcotest.(check bool) "stale epoch ⪯ everything" true
+    (Gclock.Gepoch.leq_clock reg e empty)
+
+let suite =
+  ( "accordion clocks",
+    [ Alcotest.test_case "gclock basics" `Quick test_gclock_basics;
+      Alcotest.test_case "gepoch staleness" `Quick test_gepoch_staleness;
+      Alcotest.test_case "slots recycled under churn" `Quick
+        test_slots_recycled;
+      Alcotest.test_case "race after collections" `Quick
+        test_race_after_collections;
+      prop_accordion_precise ] )

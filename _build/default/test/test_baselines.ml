@@ -1,0 +1,216 @@
+(* Unit tests for the comparison detectors: the Eraser ownership state
+   machine and its documented unsoundness, MultiRace's deferral,
+   Goldilocks' lockset-transfer rules, and the Empty tool. *)
+
+let x = Var.scalar 0
+let rd t x = Event.Read { t; x }
+let wr t x = Event.Write { t; x }
+let acq t m = Event.Acquire { t; m }
+let rel t m = Event.Release { t; m }
+let fork t u = Event.Fork { t; u }
+let join t u = Event.Join { t; u }
+
+let count d events = Helpers.warning_count d (Trace.of_list events)
+
+(* ---------------- Eraser ---------------- *)
+
+let test_eraser_thread_local () =
+  Alcotest.(check int) "single thread never warns" 0
+    (count (module Eraser) [ wr 0 x; rd 0 x; wr 0 x ])
+
+let test_eraser_consistent_lock () =
+  Alcotest.(check int) "consistently locked is clean" 0
+    (count (module Eraser)
+       [ fork 0 1; acq 0 0; wr 0 x; rel 0 0; acq 1 0; wr 1 x; rel 1 0 ])
+
+let test_eraser_lockset_empties () =
+  (* second thread writes with no lock: lockset empty, warn *)
+  Alcotest.(check int) "unlocked handoff warns" 1
+    (count (module Eraser) [ wr 0 x; fork 0 1; wr 1 x ])
+
+let test_eraser_read_shared_silent () =
+  (* read-only sharing never empties into a warning *)
+  Alcotest.(check int) "read-shared is silent" 0
+    (count (module Eraser) [ wr 0 x; fork 0 1; rd 1 x; rd 0 x; rd 1 x ])
+
+let test_eraser_false_positive_on_fork_join () =
+  (* race-free via join, but a lock-discipline violation *)
+  Alcotest.(check int) "join-ordered rewrite warns" 1
+    (count (module Eraser) [ fork 0 1; wr 1 x; join 0 1; wr 0 x ])
+
+let test_eraser_misses_hidden_race () =
+  (* a real race where the second thread holds an unrelated lock *)
+  let events = [ fork 0 1; wr 0 x; acq 1 5; wr 1 x; rel 1 5 ] in
+  Alcotest.(check int) "eraser misses" 0 (count (module Eraser) events);
+  Alcotest.(check int) "fasttrack catches" 1
+    (count (module Fasttrack) events)
+
+let test_eraser_barrier_extension () =
+  (* the barrier resets ownership: no false alarm across phases *)
+  let b = Event.Barrier_release { threads = [ 0; 1 ] } in
+  Alcotest.(check int) "barrier handoff clean" 0
+    (count (module Eraser) [ fork 0 1; wr 0 x; b; wr 1 x ]);
+  (* footnote 4: without barrier reasoning this would warn *)
+  Alcotest.(check int) "in-phase violation still warns" 1
+    (count (module Eraser) [ fork 0 1; wr 0 x; b; wr 1 x; b; wr 0 x; wr 1 x ])
+
+(* ---------------- MultiRace ---------------- *)
+
+let test_multirace_locked_defers_vc () =
+  let events =
+    [ fork 0 1; acq 0 0; wr 0 x; rel 0 0; acq 1 0; wr 1 x; rel 1 0 ]
+  in
+  let r = Driver.run (module Multi_race) (Trace.of_list events) in
+  Alcotest.(check int) "no warnings" 0 (List.length r.warnings);
+  (* the lockset stays non-empty, so the accesses add no VC
+     comparisons on top of what the synchronization operations cost *)
+  let sync_only =
+    Trace.of_list (List.filter (fun e -> not (Event.is_access e)) events)
+  in
+  let r_sync = Driver.run (module Multi_race) sync_only in
+  Alcotest.(check int) "VC comparisons deferred" r_sync.stats.Stats.vc_ops
+    r.stats.Stats.vc_ops
+
+let test_multirace_detects_unlocked_race () =
+  Alcotest.(check int) "plain race caught" 1
+    (count (module Multi_race) [ fork 0 1; wr 0 x; wr 1 x ])
+
+let test_multirace_handoff_is_not_fp () =
+  (* where Eraser false-alarms, MultiRace's VC check exonerates *)
+  let events = [ fork 0 1; wr 1 x; join 0 1; wr 0 x ] in
+  Alcotest.(check int) "eraser warns" 1 (count (module Eraser) events);
+  Alcotest.(check int) "multirace is precise here" 0
+    (count (module Multi_race) events)
+
+let test_multirace_misses_hidden_race () =
+  let events = [ fork 0 1; wr 0 x; acq 1 5; wr 1 x; rel 1 5 ] in
+  Alcotest.(check int) "hidden race missed" 0
+    (count (module Multi_race) events)
+
+(* ---------------- Goldilocks ---------------- *)
+
+let test_goldilocks_release_acquire_transfer () =
+  Alcotest.(check int) "lock chain transfers access" 0
+    (count (module Goldilocks)
+       [ fork 0 1; acq 0 0; wr 0 x; rel 0 0; acq 1 0; rd 1 x; wr 1 x;
+         rel 1 0 ])
+
+let test_goldilocks_fork_join_transfer () =
+  Alcotest.(check int) "fork edge" 0
+    (count (module Goldilocks) [ wr 0 x; fork 0 1; wr 1 x ]);
+  Alcotest.(check int) "join edge" 0
+    (count (module Goldilocks) [ fork 0 1; wr 1 x; join 0 1; wr 0 x ])
+
+let test_goldilocks_volatile_transfer () =
+  Alcotest.(check int) "volatile publication" 0
+    (count (module Goldilocks)
+       [ fork 0 1; wr 0 x; Event.Volatile_write { t = 0; v = 0 };
+         Event.Volatile_read { t = 1; v = 0 }; wr 1 x ])
+
+let test_goldilocks_barrier_transfer () =
+  Alcotest.(check int) "barrier orders" 0
+    (count (module Goldilocks)
+       [ fork 0 1; wr 0 x; Event.Barrier_release { threads = [ 0; 1 ] };
+         wr 1 x ])
+
+let test_goldilocks_detects_races () =
+  Alcotest.(check int) "write-write" 1
+    (count (module Goldilocks) [ fork 0 1; wr 0 x; wr 1 x ]);
+  Alcotest.(check int) "read-write" 1
+    (count (module Goldilocks) [ fork 0 1; rd 0 x; wr 1 x ]);
+  (* the chain-break case that defeats naive lockset-union schemes:
+     t2's read is ordered after the write, but t1's second write is
+     not ordered after t2's read *)
+  Alcotest.(check int) "write after unordered read" 1
+    (count (module Goldilocks)
+       [ fork 0 1; acq 0 0; wr 0 x; rel 0 0; acq 1 0; rd 1 x; rel 1 0;
+         wr 0 x ])
+
+let test_goldilocks_concurrent_readers_fine () =
+  Alcotest.(check int) "readers do not conflict" 0
+    (count (module Goldilocks) [ wr 0 x; fork 0 1; rd 0 x; rd 1 x ])
+
+let test_goldilocks_lazy_replay () =
+  (* synchronization operations are logged, not eagerly applied: a
+     location untouched since its last access pays nothing until its
+     next access (epoch_ops counts replayed transfer steps) *)
+  let tr_accesses_then_sync =
+    Trace.of_list
+      (wr 0 x
+      :: List.concat
+           (List.init 10 (fun _ -> [ acq 0 1; rel 0 1 ])))
+  in
+  let r = Driver.run (module Goldilocks) (Trace.of_list []) in
+  ignore r;
+  let r =
+    Driver.run (module Goldilocks) tr_accesses_then_sync
+  in
+  Alcotest.(check int) "no replay without a second access" 0
+    r.stats.Stats.epoch_ops;
+  (* with a second access at the end, the whole log is replayed once *)
+  let tr_with_second_access =
+    Trace.append tr_accesses_then_sync (Trace.of_list [ rd 0 x ])
+  in
+  let r2 = Driver.run (module Goldilocks) tr_with_second_access in
+  Alcotest.(check int) "one replay of 20 logged ops" 20
+    r2.stats.Stats.epoch_ops
+
+(* ---------------- Empty ---------------- *)
+
+let test_empty_tool () =
+  let tr = Trace.of_list [ fork 0 1; wr 0 x; wr 1 x ] in
+  let r = Driver.run (module Empty_tool) tr in
+  Alcotest.(check int) "no warnings ever" 0 (List.length r.warnings);
+  Alcotest.(check int) "events counted" 3 r.stats.Stats.events
+
+(* ---------------- DJIT+ fast path ---------------- *)
+
+let test_djit_same_epoch_counters () =
+  let tr = Trace.of_list [ rd 0 x; rd 0 x; rd 0 x; wr 0 x; wr 0 x ] in
+  let r = Driver.run (module Djit_plus) tr in
+  Alcotest.(check int) "read same epoch" 2
+    (Stats.rule_hits r.stats "READ SAME EPOCH");
+  Alcotest.(check int) "write same epoch" 1
+    (Stats.rule_hits r.stats "WRITE SAME EPOCH")
+
+let suite =
+  ( "baselines",
+    [ Alcotest.test_case "eraser: thread local" `Quick
+        test_eraser_thread_local;
+      Alcotest.test_case "eraser: consistent lock" `Quick
+        test_eraser_consistent_lock;
+      Alcotest.test_case "eraser: empty lockset warns" `Quick
+        test_eraser_lockset_empties;
+      Alcotest.test_case "eraser: read-shared silent" `Quick
+        test_eraser_read_shared_silent;
+      Alcotest.test_case "eraser: fork-join FP" `Quick
+        test_eraser_false_positive_on_fork_join;
+      Alcotest.test_case "eraser: misses hidden race" `Quick
+        test_eraser_misses_hidden_race;
+      Alcotest.test_case "eraser: barrier extension" `Quick
+        test_eraser_barrier_extension;
+      Alcotest.test_case "multirace: defers VC ops" `Quick
+        test_multirace_locked_defers_vc;
+      Alcotest.test_case "multirace: catches plain race" `Quick
+        test_multirace_detects_unlocked_race;
+      Alcotest.test_case "multirace: no handoff FP" `Quick
+        test_multirace_handoff_is_not_fp;
+      Alcotest.test_case "multirace: misses hidden race" `Quick
+        test_multirace_misses_hidden_race;
+      Alcotest.test_case "goldilocks: release/acquire" `Quick
+        test_goldilocks_release_acquire_transfer;
+      Alcotest.test_case "goldilocks: fork/join" `Quick
+        test_goldilocks_fork_join_transfer;
+      Alcotest.test_case "goldilocks: volatile" `Quick
+        test_goldilocks_volatile_transfer;
+      Alcotest.test_case "goldilocks: barrier" `Quick
+        test_goldilocks_barrier_transfer;
+      Alcotest.test_case "goldilocks: detects races" `Quick
+        test_goldilocks_detects_races;
+      Alcotest.test_case "goldilocks: concurrent readers" `Quick
+        test_goldilocks_concurrent_readers_fine;
+      Alcotest.test_case "goldilocks: lazy replay" `Quick
+        test_goldilocks_lazy_replay;
+      Alcotest.test_case "empty tool" `Quick test_empty_tool;
+      Alcotest.test_case "djit+: same-epoch counters" `Quick
+        test_djit_same_epoch_counters ] )

@@ -1,0 +1,212 @@
+(* Tests for the Section 5.2 downstream checkers and the prefilter
+   composition. *)
+
+let x = Var.scalar 0
+let y = Var.scalar 1
+let rd t x = Event.Read { t; x }
+let wr t x = Event.Write { t; x }
+let acq t m = Event.Acquire { t; m }
+let rel t m = Event.Release { t; m }
+let fork t u = Event.Fork { t; u }
+let tb t = Event.Txn_begin { t }
+let te t = Event.Txn_end { t }
+
+let run_checker (module C : Checker.S) events =
+  let c = C.create () in
+  List.iteri (fun index e -> C.on_event c ~index e) events;
+  C.violations c
+
+(* ---------------- Velodrome ---------------- *)
+
+let test_velodrome_serializable () =
+  (* two transactions ordered by a conflict in one direction only *)
+  let violations =
+    run_checker
+      (module Velodrome)
+      [ fork 0 1; tb 0; wr 0 x; wr 0 y; te 0; tb 1; rd 1 x; rd 1 y; te 1 ]
+  in
+  Alcotest.(check int) "no cycle" 0 (List.length violations)
+
+let test_velodrome_cycle () =
+  (* txn A reads x then writes y; txn B writes x after A's read and
+     reads y before A's write: A → B (x) and B → A (y) — a cycle *)
+  let violations =
+    run_checker
+      (module Velodrome)
+      [ fork 0 1; tb 0; rd 0 x; tb 1; wr 1 x; wr 1 y; te 1; wr 0 y; te 0 ]
+  in
+  Alcotest.(check int) "cycle detected" 1 (List.length violations)
+
+let test_velodrome_lock_edges () =
+  (* conflict through a lock still creates the edge *)
+  let violations =
+    run_checker
+      (module Velodrome)
+      [ fork 0 1; tb 0; acq 0 0; wr 0 x; rel 0 0; tb 1; acq 1 0; wr 1 x;
+        rel 1 0; te 1; acq 0 0; wr 0 x; rel 0 0; te 0 ]
+  in
+  (* t0's txn writes x, t1's txn writes x (edge A→B), then t0's txn
+     writes x again (edge B→A): not serializable *)
+  Alcotest.(check int) "cross-txn ping-pong" 1 (List.length violations)
+
+let test_velodrome_unary_ops_fine () =
+  let violations =
+    run_checker
+      (module Velodrome)
+      [ fork 0 1; wr 0 x; wr 1 x; wr 0 x; wr 1 x ]
+  in
+  (* unary nodes cannot be interleaved-into: no violation *)
+  Alcotest.(check int) "no txns, no violations" 0 (List.length violations)
+
+let test_velodrome_three_txn_cycle () =
+  (* A → B (x), B → C (y), C → A (z): the cycle closes only at the
+     third edge, through two intermediate transactions *)
+  let z = Var.scalar 2 in
+  let violations =
+    run_checker
+      (module Velodrome)
+      [ fork 0 1; fork 0 2;
+        tb 0; tb 1; tb 2;
+        rd 0 x; wr 1 x;   (* A → B *)
+        rd 1 y; wr 2 y;   (* B → C *)
+        rd 2 z; te 2; te 1;
+        wr 0 z;           (* C → A closes the cycle inside open A *)
+        te 0 ]
+  in
+  Alcotest.(check bool) "three-transaction cycle found" true
+    (List.length violations >= 1)
+
+(* ---------------- Atomizer ---------------- *)
+
+let test_atomizer_well_locked_txn () =
+  let violations =
+    run_checker
+      (module Atomizer)
+      [ fork 0 1; acq 1 1;
+        tb 0; acq 0 0; rd 0 x; wr 0 x; rel 0 0; te 0; rel 1 1 ]
+  in
+  Alcotest.(check int) "R* B* L* is atomic" 0 (List.length violations)
+
+let test_atomizer_acquire_after_release () =
+  (* two lock regions in one transaction: right mover after left
+     mover *)
+  let violations =
+    run_checker
+      (module Atomizer)
+      [ fork 0 1; acq 1 9; (* another thread holds a lock: contention *)
+        tb 0; acq 0 0; rel 0 0; acq 0 1; rel 0 1; te 0;
+        rel 1 9 ]
+  in
+  Alcotest.(check int) "acquire after commit point" 1
+    (List.length violations)
+
+let test_atomizer_two_racy_accesses () =
+  (* two non-movers in one transaction *)
+  let events =
+    [ fork 0 1;
+      (* make x and y racy (Eraser-visible) and keep thread 1 holding
+         a lock so accesses do not commute *)
+      wr 1 x; wr 1 y; acq 1 9;
+      tb 0; wr 0 x; wr 0 y; te 0;
+      rel 1 9 ]
+  in
+  Alcotest.(check int) "second non-mover violates" 1
+    (List.length (run_checker (module Atomizer) events))
+
+(* ---------------- SingleTrack ---------------- *)
+
+let test_singletrack_fork_join_deterministic () =
+  let violations =
+    run_checker
+      (module Singletrack)
+      [ wr 0 x; fork 0 1; wr 1 x; Event.Join { t = 0; u = 1 }; wr 0 x ]
+  in
+  Alcotest.(check int) "fork/join order is deterministic" 0
+    (List.length violations)
+
+let test_singletrack_lock_order_nondeterministic () =
+  let violations =
+    run_checker
+      (module Singletrack)
+      [ fork 0 1; acq 0 0; wr 0 x; rel 0 0; acq 1 0; wr 1 x; rel 1 0 ]
+  in
+  Alcotest.(check int) "lock-ordered conflict flagged" 1
+    (List.length violations);
+  match violations with
+  | [ v ] ->
+    Alcotest.(check bool) "describes nondeterministic order" true
+      (String.length v.Checker.description > 0)
+  | _ -> Alcotest.fail "expected one violation"
+
+let test_singletrack_barrier_deterministic () =
+  let violations =
+    run_checker
+      (module Singletrack)
+      [ fork 0 1; wr 0 x; Event.Barrier_release { threads = [ 0; 1 ] };
+        wr 1 x ]
+  in
+  Alcotest.(check int) "barrier order is deterministic" 0
+    (List.length violations)
+
+(* ---------------- Prefilters ---------------- *)
+
+let racy_trace =
+  Trace.of_list
+    [ fork 0 1; wr 0 x; wr 1 x; wr 0 y; rd 0 y; rd 0 y ]
+
+let test_filter_none_keeps_all () =
+  let r = Filter.run Filter.None_ (module Velodrome) racy_trace in
+  Alcotest.(check int) "kept" 5 r.kept_accesses;
+  Alcotest.(check int) "dropped" 0 r.dropped_accesses
+
+let test_filter_thread_local () =
+  let r = Filter.run Filter.Thread_local (module Velodrome) racy_trace in
+  (* y is only ever touched by thread 0: its 3 accesses are dropped;
+     x's first access is dropped too (single-thread so far) *)
+  Alcotest.(check int) "kept shared only" 1 r.kept_accesses;
+  Alcotest.(check int) "dropped" 4 r.dropped_accesses
+
+let test_filter_fasttrack_keeps_racy () =
+  let r = Filter.run Filter.Fasttrack_pre (module Velodrome) racy_trace in
+  (* only x races; its access at the race point and later survive *)
+  Alcotest.(check bool) "some dropped" true (r.dropped_accesses > 0);
+  Alcotest.(check bool) "racy access kept" true (r.kept_accesses >= 1)
+
+let test_filter_race_free_drops_everything () =
+  let tr =
+    Trace.of_list
+      [ fork 0 1; acq 0 0; wr 0 x; rel 0 0; acq 1 0; wr 1 x; rel 1 0 ]
+  in
+  let r = Filter.run Filter.Fasttrack_pre (module Velodrome) tr in
+  Alcotest.(check int) "all accesses dropped" 0 r.kept_accesses
+
+let suite =
+  ( "checkers",
+    [ Alcotest.test_case "velodrome: serializable" `Quick
+        test_velodrome_serializable;
+      Alcotest.test_case "velodrome: cycle" `Quick test_velodrome_cycle;
+      Alcotest.test_case "velodrome: lock edges" `Quick
+        test_velodrome_lock_edges;
+      Alcotest.test_case "velodrome: unary ops" `Quick
+        test_velodrome_unary_ops_fine;
+      Alcotest.test_case "velodrome: three-txn cycle" `Quick
+        test_velodrome_three_txn_cycle;
+      Alcotest.test_case "atomizer: well-locked txn" `Quick
+        test_atomizer_well_locked_txn;
+      Alcotest.test_case "atomizer: acquire after release" `Quick
+        test_atomizer_acquire_after_release;
+      Alcotest.test_case "atomizer: two non-movers" `Quick
+        test_atomizer_two_racy_accesses;
+      Alcotest.test_case "singletrack: fork/join ok" `Quick
+        test_singletrack_fork_join_deterministic;
+      Alcotest.test_case "singletrack: lock order flagged" `Quick
+        test_singletrack_lock_order_nondeterministic;
+      Alcotest.test_case "singletrack: barrier ok" `Quick
+        test_singletrack_barrier_deterministic;
+      Alcotest.test_case "filter: none" `Quick test_filter_none_keeps_all;
+      Alcotest.test_case "filter: thread-local" `Quick
+        test_filter_thread_local;
+      Alcotest.test_case "filter: fasttrack keeps racy" `Quick
+        test_filter_fasttrack_keeps_racy;
+      Alcotest.test_case "filter: race-free drops all" `Quick
+        test_filter_race_free_drops_everything ] )

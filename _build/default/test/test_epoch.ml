@@ -1,0 +1,85 @@
+(* Unit and property tests for the packed epoch representation. *)
+
+let test_roundtrip () =
+  List.iter
+    (fun (tid, clock) ->
+      let e = Epoch.make ~tid ~clock in
+      Alcotest.(check int) "tid" tid (Epoch.tid e);
+      Alcotest.(check int) "clock" clock (Epoch.clock e))
+    [ (0, 0); (0, 1); (1, 0); (7, 12345); (Epoch.max_tid, Epoch.max_clock);
+      (255, 1 lsl 24); (Epoch.max_tid, 0); (0, Epoch.max_clock) ]
+
+let test_bounds () =
+  let invalid f = Alcotest.check_raises "rejects" (Invalid_argument "") f in
+  let invalid f =
+    ignore invalid;
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected Invalid_argument"
+  in
+  invalid (fun () -> Epoch.make ~tid:(-1) ~clock:0);
+  invalid (fun () -> Epoch.make ~tid:0 ~clock:(-1));
+  invalid (fun () -> Epoch.make ~tid:(Epoch.max_tid + 1) ~clock:0);
+  invalid (fun () -> Epoch.make ~tid:0 ~clock:(Epoch.max_clock + 1));
+  invalid (fun () -> Epoch.of_int (-1))
+
+let test_bottom () =
+  Alcotest.(check int) "bottom tid" 0 (Epoch.tid Epoch.bottom);
+  Alcotest.(check int) "bottom clock" 0 (Epoch.clock Epoch.bottom);
+  Alcotest.(check bool) "is_bottom" true (Epoch.is_bottom Epoch.bottom);
+  (* any 0@t epoch is minimal, as the paper notes *)
+  Alcotest.(check bool) "0@3 minimal" true
+    (Epoch.is_bottom (Epoch.make ~tid:3 ~clock:0));
+  Alcotest.(check bool) "1@0 not minimal" false
+    (Epoch.is_bottom (Epoch.make ~tid:0 ~clock:1))
+
+let test_order_within_thread () =
+  (* same-thread epochs compare by clock, as the Figure 5 code relies
+     on when comparing packed integers directly *)
+  let e1 = Epoch.make ~tid:5 ~clock:10 in
+  let e2 = Epoch.make ~tid:5 ~clock:11 in
+  Alcotest.(check bool) "lt" true (Epoch.compare e1 e2 < 0);
+  Alcotest.(check bool) "eq" true (Epoch.equal e1 e1);
+  Alcotest.(check bool) "neq" false (Epoch.equal e1 e2)
+
+let test_int_roundtrip () =
+  let e = Epoch.make ~tid:42 ~clock:99 in
+  Alcotest.(check bool) "of_int/to_int" true
+    (Epoch.equal e (Epoch.of_int (Epoch.to_int e)))
+
+let test_pp () =
+  Alcotest.(check string) "pp" "7@2"
+    (Epoch.to_string (Epoch.make ~tid:2 ~clock:7));
+  Alcotest.(check string) "bottom" "0@0" (Epoch.to_string Epoch.bottom)
+
+let prop_roundtrip =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:500 ~name:"pack/unpack roundtrip"
+       QCheck2.Gen.(
+         pair (int_range 0 Epoch.max_tid) (int_range 0 Epoch.max_clock))
+       (fun (tid, clock) ->
+         let e = Epoch.make ~tid ~clock in
+         Epoch.tid e = tid && Epoch.clock e = clock))
+
+let prop_distinct =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:500 ~name:"distinct pairs pack distinctly"
+       QCheck2.Gen.(
+         quad (int_range 0 1000) (int_range 0 100_000) (int_range 0 1000)
+           (int_range 0 100_000))
+       (fun (t1, c1, t2, c2) ->
+         let e1 = Epoch.make ~tid:t1 ~clock:c1 in
+         let e2 = Epoch.make ~tid:t2 ~clock:c2 in
+         Epoch.equal e1 e2 = (t1 = t2 && c1 = c2)))
+
+let suite =
+  ( "epoch",
+    [ Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+      Alcotest.test_case "bounds" `Quick test_bounds;
+      Alcotest.test_case "bottom" `Quick test_bottom;
+      Alcotest.test_case "order within thread" `Quick
+        test_order_within_thread;
+      Alcotest.test_case "int roundtrip" `Quick test_int_roundtrip;
+      Alcotest.test_case "pp" `Quick test_pp;
+      prop_roundtrip;
+      prop_distinct ] )

@@ -1,0 +1,114 @@
+(* The central precision property: on every feasible trace, all four
+   precise detectors — FastTrack, DJIT+, BasicVC, Goldilocks — flag
+   exactly the variables the happens-before oracle proves racy
+   (Theorem 1, per variable), under every configuration that claims
+   precision. *)
+
+let agree name d =
+  Helpers.qtest ~count:250 name (fun tr ->
+      let oracle = Happens_before.racy_vars tr |> List.sort Var.compare in
+      let ours = Helpers.racy_vars d tr in
+      if oracle = ours then true
+      else
+        QCheck2.Test.fail_reportf "oracle {%s} vs %s {%s}"
+          (Helpers.vars_to_string oracle)
+          name
+          (Helpers.vars_to_string ours))
+
+let prop_fasttrack = agree "fasttrack = oracle" (module Fasttrack)
+let prop_djit = agree "djit+ = oracle" (module Djit_plus)
+let prop_basicvc = agree "basicvc = oracle" (module Basic_vc)
+let prop_goldilocks = agree "goldilocks = oracle" (module Goldilocks)
+
+(* The ablation configurations must not affect precision. *)
+let agree_config name config =
+  Helpers.qtest ~count:150 name (fun tr ->
+      let oracle = Happens_before.racy_vars tr |> List.sort Var.compare in
+      let ours =
+        (Driver.run ~config (module Fasttrack) tr).warnings
+        |> List.map (fun w -> w.Warning.x)
+        |> List.sort_uniq Var.compare
+      in
+      oracle = ours)
+
+let prop_no_fast_path =
+  agree_config "precise without same-epoch fast path"
+    { Config.default with same_epoch_fast_path = false }
+
+let prop_no_demotion =
+  agree_config "precise without read demotion"
+    { Config.default with read_demotion = false }
+
+(* Eraser is unsound and incomplete by design, but it must never warn
+   about data a single thread owns outright. *)
+let prop_eraser_single_thread_silent =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:100 ~name:"eraser silent on 1-thread traces"
+       QCheck2.Gen.(int_range 1 10_000)
+       (fun seed ->
+         let tr =
+           Trace_gen.generate ~seed
+             { Trace_gen.default with threads = 1; length = 60 }
+         in
+         Helpers.warning_count (module Eraser) tr = 0))
+
+(* MultiRace never reports more than the precise detectors (its state
+   machine only suppresses checks, it cannot invent a VC failure). *)
+let prop_multirace_subset =
+  Helpers.qtest ~count:150 "multirace ⊆ oracle" (fun tr ->
+      let oracle = Happens_before.racy_vars tr in
+      List.for_all
+        (fun x -> List.exists (Var.equal x) oracle)
+        (Helpers.racy_vars (module Multi_race) tr))
+
+(* The adaptive granularity may consume a race's first occurrence
+   (documented precision loss) but must never invent one: its warnings
+   are a subset of the oracle's racy variables. *)
+let prop_adaptive_sound =
+  Helpers.qtest ~count:150 "adaptive granularity never false-alarms"
+    (fun tr ->
+      let oracle = Happens_before.racy_vars tr in
+      (Driver.run ~config:Config.adaptive (module Fasttrack) tr).warnings
+      |> List.for_all (fun (w : Warning.t) ->
+             List.exists (Var.equal w.x) oracle))
+
+(* Error-report quality: when FastTrack attributes a race to a prior
+   access (tid + clock), an access by that thread to that variable,
+   earlier in the trace and concurrent with the reported one, really
+   exists. *)
+let prop_prior_is_real =
+  Helpers.qtest ~count:150 "reported prior access is a real race endpoint"
+    (fun tr ->
+      let warnings = (Driver.run (module Fasttrack) tr).warnings in
+      List.for_all
+        (fun (w : Warning.t) ->
+          match w.prior with
+          | None -> false (* FastTrack always attributes *)
+          | Some p ->
+            let found = ref false in
+            Trace.iteri
+              (fun i e ->
+                if (not !found) && i < w.index then
+                  match e with
+                  | Event.Read { t; x } | Event.Write { t; x }
+                    when Tid.equal t p.Warning.prior_tid && Var.equal x w.x
+                    ->
+                    if not (Happens_before.ordered tr i w.index) then
+                      found := true
+                  | _ -> ())
+              tr;
+            !found)
+        warnings)
+
+let suite =
+  ( "equivalence",
+    [ prop_fasttrack;
+      prop_djit;
+      prop_basicvc;
+      prop_goldilocks;
+      prop_no_fast_path;
+      prop_no_demotion;
+      prop_eraser_single_thread_silent;
+      prop_prior_is_real;
+      prop_adaptive_sound;
+      prop_multirace_subset ] )

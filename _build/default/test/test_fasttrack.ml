@@ -1,0 +1,233 @@
+(* Unit tests for the optimized FastTrack detector: every analysis
+   rule of Figure 2, the adaptive representation transitions of
+   Figure 4, the race checks, and the configuration switches. *)
+
+let x = Var.scalar 0
+let y = Var.scalar 1
+let rd t x = Event.Read { t; x }
+let wr t x = Event.Write { t; x }
+let acq t m = Event.Acquire { t; m }
+let rel t m = Event.Release { t; m }
+let fork t u = Event.Fork { t; u }
+let join t u = Event.Join { t; u }
+
+let run_events ?(config = Config.default) events =
+  let d = Fasttrack.create config in
+  List.iteri (fun index e -> Fasttrack.on_event d ~index e) events;
+  d
+
+let hits d rule = Stats.rule_hits (Fasttrack.stats d) rule
+let warnings d = List.length (Fasttrack.warnings d)
+
+let test_read_same_epoch () =
+  let d = run_events [ rd 0 x; rd 0 x; rd 0 x ] in
+  Alcotest.(check int) "same epoch hits" 2 (hits d "READ SAME EPOCH");
+  Alcotest.(check int) "exclusive hits" 1 (hits d "READ EXCLUSIVE");
+  Alcotest.(check int) "no races" 0 (warnings d)
+
+let test_read_exclusive_across_epochs () =
+  (* same thread, new epoch after a release: still an epoch, totally
+     ordered *)
+  let d = run_events [ acq 0 0; rd 0 x; rel 0 0; rd 0 x ] in
+  Alcotest.(check int) "exclusive twice" 2 (hits d "READ EXCLUSIVE");
+  match Fasttrack.inspect d x with
+  | Some { read = `Epoch e; _ } ->
+    Alcotest.(check int) "epoch owner" 0 (Epoch.tid e)
+  | _ -> Alcotest.fail "read history should be an epoch"
+
+let test_read_share_and_shared () =
+  (* two concurrent readers force the VC representation *)
+  let d = run_events [ wr 0 x; fork 0 1; rd 1 x; rd 0 x; rd 1 x ] in
+  Alcotest.(check int) "share transition" 1 (hits d "READ SHARE");
+  Alcotest.(check int) "no races" 0 (warnings d);
+  (match Fasttrack.inspect d x with
+  | Some { read = `Shared _; _ } -> ()
+  | _ -> Alcotest.fail "read history should be shared");
+  (* rd 1 x again lands in the same epoch as its previous read, which
+     the basic same-epoch rule does not cover for shared histories *)
+  Alcotest.(check bool) "shared rule used" true (hits d "READ SHARED" >= 1)
+
+let test_write_same_epoch () =
+  let d = run_events [ wr 0 x; wr 0 x ] in
+  Alcotest.(check int) "write same epoch" 1 (hits d "WRITE SAME EPOCH");
+  Alcotest.(check int) "write exclusive" 1 (hits d "WRITE EXCLUSIVE")
+
+let test_write_shared_demotes () =
+  let d =
+    run_events
+      [ wr 0 x; fork 0 1; rd 1 x; rd 0 x; join 0 1; wr 0 x; rd 0 x ]
+  in
+  Alcotest.(check int) "write shared fired" 1 (hits d "WRITE SHARED");
+  Alcotest.(check int) "no races" 0 (warnings d);
+  match Fasttrack.inspect d x with
+  | Some { read = `Epoch e; _ } ->
+    (* back in epoch mode after the final read *)
+    Alcotest.(check int) "reader thread" 0 (Epoch.tid e)
+  | _ -> Alcotest.fail "read history should have been demoted"
+
+let test_no_demotion_config () =
+  let config = { Config.default with read_demotion = false } in
+  let d =
+    run_events ~config
+      [ wr 0 x; fork 0 1; rd 1 x; rd 0 x; join 0 1; wr 0 x; rd 0 x ]
+  in
+  Alcotest.(check int) "still precise" 0 (warnings d);
+  match Fasttrack.inspect d x with
+  | Some { read = `Shared _; _ } -> ()
+  | _ -> Alcotest.fail "without demotion the VC stays"
+
+let test_write_write_race () =
+  let d = run_events [ fork 0 1; wr 0 x; wr 1 x ] in
+  match Fasttrack.warnings d with
+  | [ w ] ->
+    Alcotest.(check string) "kind" "write-write race"
+      (Warning.kind_to_string w.kind)
+  | ws -> Alcotest.failf "expected 1 warning, got %d" (List.length ws)
+
+let test_write_read_race () =
+  let d = run_events [ fork 0 1; wr 0 x; rd 1 x ] in
+  match Fasttrack.warnings d with
+  | [ w ] ->
+    Alcotest.(check string) "kind" "write-read race"
+      (Warning.kind_to_string w.kind)
+  | ws -> Alcotest.failf "expected 1 warning, got %d" (List.length ws)
+
+let test_read_write_race_epoch () =
+  let d = run_events [ fork 0 1; rd 0 x; wr 1 x ] in
+  match Fasttrack.warnings d with
+  | [ w ] ->
+    Alcotest.(check string) "kind" "read-write race"
+      (Warning.kind_to_string w.kind)
+  | ws -> Alcotest.failf "expected 1 warning, got %d" (List.length ws)
+
+let test_read_write_race_shared () =
+  (* the [FT WRITE SHARED] full comparison catches a racing reader
+     even when another reader is ordered *)
+  let d =
+    run_events
+      [ wr 0 x; fork 0 1; fork 0 2; rd 1 x; rd 2 x; join 0 1; wr 0 x ]
+  in
+  Alcotest.(check int) "race with unjoined reader" 1 (warnings d);
+  Alcotest.(check int) "via the shared slow path" 1 (hits d "WRITE SHARED")
+
+let test_one_warning_per_location () =
+  let d = run_events [ fork 0 1; wr 0 x; wr 1 x; wr 0 x; rd 1 x ] in
+  Alcotest.(check int) "deduplicated" 1 (warnings d)
+
+let test_distinct_locations_warn_separately () =
+  let d = run_events [ fork 0 1; wr 0 x; wr 0 y; wr 1 x; wr 1 y ] in
+  Alcotest.(check int) "two locations" 2 (warnings d)
+
+let test_same_epoch_disabled_still_precise () =
+  let config = { Config.default with same_epoch_fast_path = false } in
+  let d = run_events ~config [ fork 0 1; rd 0 x; rd 0 x; wr 1 x ] in
+  Alcotest.(check int) "race still found" 1 (warnings d);
+  Alcotest.(check int) "fast path never fired" 0 (hits d "READ SAME EPOCH")
+
+let test_coarse_granularity_spurious () =
+  (* two fields of one object, each thread-local to a different
+     thread: race-free under Fine, a warning under Coarse *)
+  let f0 = Var.make ~obj:7 ~field:0 in
+  let f1 = Var.make ~obj:7 ~field:1 in
+  let events = [ fork 0 1; wr 0 f0; wr 1 f1 ] in
+  Alcotest.(check int) "fine is precise" 0 (warnings (run_events events));
+  Alcotest.(check int) "coarse over-approximates" 1
+    (warnings (run_events ~config:Config.coarse events))
+
+let test_adaptive_granularity_recovers_precision () =
+  (* two fields of one object, each thread-local: the coarse analysis
+     warns spuriously; the adaptive analysis refines the object on the
+     first coarse warning and then stays silent *)
+  let f0 = Var.make ~obj:7 ~field:0 in
+  let f1 = Var.make ~obj:7 ~field:1 in
+  let events =
+    [ fork 0 1; wr 0 f0; wr 1 f1; wr 0 f0; wr 1 f1; wr 0 f0; wr 1 f1 ]
+  in
+  Alcotest.(check int) "coarse warns" 1
+    (warnings (run_events ~config:Config.coarse events));
+  Alcotest.(check int) "adaptive suppresses the false alarm" 0
+    (warnings (run_events ~config:Config.adaptive events))
+
+let test_adaptive_granularity_precision_loss () =
+  (* a real race seen exactly once is consumed by the refinement (the
+     paper's "some loss of precision"); a repeating race is still
+     reported once the object is fine-grained *)
+  let one_shot = [ fork 0 1; wr 0 x; wr 1 x ] in
+  Alcotest.(check int) "single race consumed by refinement" 0
+    (warnings (run_events ~config:Config.adaptive one_shot));
+  let repeating = [ fork 0 1; wr 0 x; wr 1 x; wr 0 x; wr 1 x ] in
+  Alcotest.(check int) "repeating race still reported" 1
+    (warnings (run_events ~config:Config.adaptive repeating))
+
+let test_volatile_orders () =
+  let d =
+    run_events
+      [ fork 0 1; wr 0 x; Event.Volatile_write { t = 0; v = 0 };
+        Event.Volatile_read { t = 1; v = 0 }; wr 1 x ]
+  in
+  Alcotest.(check int) "volatile publication is race-free" 0 (warnings d)
+
+let test_barrier_orders () =
+  let d =
+    run_events
+      [ fork 0 1; wr 0 x; Event.Barrier_release { threads = [ 0; 1 ] };
+        wr 1 x ]
+  in
+  Alcotest.(check int) "cross-barrier write is race-free" 0 (warnings d)
+
+(* The Section 2.2 / Section 3 worked example, checking the exact
+   instrumentation state: after wr(0,x) at clock 4 of thread 0 the
+   write epoch is 4@0, and the release/acquire of m lets thread 1
+   write without an alarm. *)
+let test_worked_example_state () =
+  let d = Fasttrack.create Config.default in
+  let feed = List.iteri (fun index e -> Fasttrack.on_event d ~index e) in
+  (* advance thread 0's clock to 4 with private release/acquires *)
+  feed [ acq 0 9; rel 0 9; acq 0 9; rel 0 9; acq 0 9; rel 0 9 ];
+  Alcotest.(check string) "E(0) = 4@0" "4@0"
+    (Epoch.to_string (Fasttrack.current_epoch d 0));
+  feed [ wr 0 x ];
+  (match Fasttrack.inspect d x with
+  | Some { write; _ } ->
+    Alcotest.(check string) "W_x = 4@0" "4@0" (Epoch.to_string write)
+  | None -> Alcotest.fail "no shadow state");
+  feed [ rel 0 0; acq 1 0; wr 1 x ];
+  Alcotest.(check int) "no race via release/acquire" 0 (warnings d);
+  match Fasttrack.inspect d x with
+  | Some { write; _ } ->
+    Alcotest.(check int) "last write by thread 1" 1 (Epoch.tid write)
+  | None -> Alcotest.fail "no shadow state"
+
+let suite =
+  ( "fasttrack",
+    [ Alcotest.test_case "read same epoch" `Quick test_read_same_epoch;
+      Alcotest.test_case "read exclusive across epochs" `Quick
+        test_read_exclusive_across_epochs;
+      Alcotest.test_case "read share / shared" `Quick
+        test_read_share_and_shared;
+      Alcotest.test_case "write same epoch" `Quick test_write_same_epoch;
+      Alcotest.test_case "write shared demotes" `Quick
+        test_write_shared_demotes;
+      Alcotest.test_case "no-demotion config" `Quick test_no_demotion_config;
+      Alcotest.test_case "write-write race" `Quick test_write_write_race;
+      Alcotest.test_case "write-read race" `Quick test_write_read_race;
+      Alcotest.test_case "read-write race (epoch)" `Quick
+        test_read_write_race_epoch;
+      Alcotest.test_case "read-write race (shared)" `Quick
+        test_read_write_race_shared;
+      Alcotest.test_case "one warning per location" `Quick
+        test_one_warning_per_location;
+      Alcotest.test_case "distinct locations" `Quick
+        test_distinct_locations_warn_separately;
+      Alcotest.test_case "no same-epoch fast path" `Quick
+        test_same_epoch_disabled_still_precise;
+      Alcotest.test_case "coarse granularity" `Quick
+        test_coarse_granularity_spurious;
+      Alcotest.test_case "adaptive granularity recovers" `Quick
+        test_adaptive_granularity_recovers_precision;
+      Alcotest.test_case "adaptive granularity loss" `Quick
+        test_adaptive_granularity_precision_loss;
+      Alcotest.test_case "volatile ordering" `Quick test_volatile_orders;
+      Alcotest.test_case "barrier ordering" `Quick test_barrier_orders;
+      Alcotest.test_case "worked example state" `Quick
+        test_worked_example_state ] )

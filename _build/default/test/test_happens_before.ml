@@ -1,0 +1,135 @@
+(* Tests for the reference happens-before oracle: each edge source of
+   Section 2.1 (program order, locking, fork-join) plus the Section 4
+   extensions (volatiles, barriers), and the race characterization. *)
+
+let rd t x = Event.Read { t; x = Var.scalar x }
+let wr t x = Event.Write { t; x = Var.scalar x }
+let acq t m = Event.Acquire { t; m }
+let rel t m = Event.Release { t; m }
+let fork t u = Event.Fork { t; u }
+let join t u = Event.Join { t; u }
+let vrd t v = Event.Volatile_read { t; v }
+let vwr t v = Event.Volatile_write { t; v }
+
+let races l = List.length (Happens_before.first_races (Trace.of_list l))
+let free l = Happens_before.race_free (Trace.of_list l)
+
+let test_program_order () =
+  Alcotest.(check bool) "same thread ordered" true
+    (free [ wr 0 0; rd 0 0; wr 0 0 ])
+
+let test_concurrent_writes () =
+  Alcotest.(check int) "unordered writes race" 1
+    (races [ fork 0 1; wr 0 0; wr 1 0 ]);
+  Alcotest.(check int) "unordered read/write race" 1
+    (races [ fork 0 1; rd 0 0; wr 1 0 ])
+
+let test_reads_do_not_conflict () =
+  Alcotest.(check bool) "concurrent reads fine" true
+    (free [ wr 0 0; fork 0 1; rd 0 0; rd 1 0 ])
+
+let test_lock_edge () =
+  Alcotest.(check bool) "release/acquire orders" true
+    (free
+       [ fork 0 1; acq 0 0; wr 0 0; rel 0 0; acq 1 0; wr 1 0; rel 1 0 ]);
+  (* different locks order nothing *)
+  Alcotest.(check int) "different locks race" 1
+    (races
+       [ fork 0 1; acq 0 0; wr 0 5; rel 0 0; acq 1 1; wr 1 5; rel 1 1 ])
+
+let test_fork_join_edges () =
+  Alcotest.(check bool) "fork edge" true (free [ wr 0 0; fork 0 1; wr 1 0 ]);
+  Alcotest.(check bool) "join edge" true
+    (free [ fork 0 1; wr 1 0; join 0 1; wr 0 0 ]);
+  Alcotest.(check int) "no edge without join" 1
+    (races [ fork 0 1; wr 1 0; wr 0 0 ])
+
+let test_volatile_edge () =
+  (* volatile write happens before subsequent volatile read (JMM) *)
+  Alcotest.(check bool) "volatile publication" true
+    (free [ fork 0 1; wr 0 0; vwr 0 0; vrd 1 0; wr 1 0 ]);
+  Alcotest.(check int) "read before write: no edge" 1
+    (races [ fork 0 1; vrd 1 0; wr 1 0; wr 0 0; vwr 0 0 ])
+
+let test_barrier_edge () =
+  let b = Event.Barrier_release { threads = [ 0; 1 ] } in
+  Alcotest.(check bool) "cross-barrier accesses ordered" true
+    (free [ fork 0 1; wr 0 0; b; wr 1 0 ]);
+  Alcotest.(check int) "same side still races" 1
+    (races [ fork 0 1; b; wr 0 0; wr 1 0 ])
+
+let test_transitivity () =
+  (* w0 -> rel m0 -> acq m0 (t1) -> rel m1 -> acq m1 (t2) -> w2 *)
+  Alcotest.(check bool) "release chains compose" true
+    (free
+       [ fork 0 1; fork 0 2; acq 0 0; wr 0 7; rel 0 0; acq 1 0; rel 1 0;
+         acq 1 1; rel 1 1; acq 2 1; rel 2 1; wr 2 7 ])
+
+let test_first_races_are_first () =
+  let tr = Trace.of_list [ fork 0 1; wr 0 0; wr 1 0; rd 1 0; rd 0 0 ] in
+  match Happens_before.first_races tr with
+  | [ r ] ->
+    Alcotest.(check int) "second access is the earliest racy one" 2
+      r.Happens_before.second.index
+  | rs -> Alcotest.failf "expected 1 first-race, got %d" (List.length rs)
+
+let test_all_races_limit () =
+  let tr =
+    Trace.of_list (fork 0 1 :: List.concat (List.init 10 (fun _ -> [ wr 0 0; wr 1 0 ])))
+  in
+  Alcotest.(check int) "limit caps enumeration" 5
+    (List.length (Happens_before.all_races ~limit:5 tr));
+  Alcotest.(check bool) "full enumeration is larger" true
+    (List.length (Happens_before.all_races tr) > 5)
+
+let test_ordered_api () =
+  let tr = Trace.of_list [ wr 0 0; fork 0 1; wr 1 0 ] in
+  Alcotest.(check bool) "0 -> 2 via fork" true (Happens_before.ordered tr 0 2);
+  let tr2 = Trace.of_list [ fork 0 1; wr 0 0; wr 1 0 ] in
+  Alcotest.(check bool) "1 and 2 concurrent" false
+    (Happens_before.ordered tr2 1 2)
+
+(* The oracle must agree with itself under race-free extension: if a
+   trace is race-free, so is every prefix. *)
+let prop_prefix_race_free =
+  Helpers.qtest ~count:100 "race-free traces have race-free prefixes"
+    (fun tr ->
+      if Happens_before.race_free tr then begin
+        let n = Trace.length tr in
+        let prefix =
+          Trace.of_list
+            (List.filteri (fun i _ -> i < n / 2) (Trace.to_list tr))
+        in
+        Happens_before.race_free prefix
+      end
+      else true)
+
+(* Racy variables of a prefix stay racy in the full trace. *)
+let prop_races_monotone =
+  Helpers.qtest ~count:100 "racy vars are monotone in the trace" (fun tr ->
+      let n = Trace.length tr in
+      let prefix =
+        Trace.of_list (List.filteri (fun i _ -> i < n / 2) (Trace.to_list tr))
+      in
+      let sub = Happens_before.racy_vars prefix in
+      let full = Happens_before.racy_vars tr in
+      List.for_all (fun x -> List.exists (Var.equal x) full) sub)
+
+let suite =
+  ( "happens-before oracle",
+    [ Alcotest.test_case "program order" `Quick test_program_order;
+      Alcotest.test_case "concurrent conflicts" `Quick
+        test_concurrent_writes;
+      Alcotest.test_case "reads do not conflict" `Quick
+        test_reads_do_not_conflict;
+      Alcotest.test_case "lock edge" `Quick test_lock_edge;
+      Alcotest.test_case "fork/join edges" `Quick test_fork_join_edges;
+      Alcotest.test_case "volatile edge" `Quick test_volatile_edge;
+      Alcotest.test_case "barrier edge" `Quick test_barrier_edge;
+      Alcotest.test_case "transitivity" `Quick test_transitivity;
+      Alcotest.test_case "first races are first" `Quick
+        test_first_races_are_first;
+      Alcotest.test_case "all_races limit" `Quick test_all_races_limit;
+      Alcotest.test_case "ordered api" `Quick test_ordered_api;
+      prop_prefix_race_free;
+      prop_races_monotone ] )

@@ -1,0 +1,19 @@
+let () =
+  Alcotest.run "fasttrack"
+    [ Test_epoch.suite;
+      Test_vector_clock.suite;
+      Test_prng.suite;
+      Test_trace.suite;
+      Test_validity.suite;
+      Test_happens_before.suite;
+      Test_runtime.suite;
+      Test_fasttrack.suite;
+      Test_fasttrack_ref.suite;
+      Test_baselines.suite;
+      Test_equivalence.suite;
+      Test_checkers.suite;
+      Test_infra.suite;
+      Test_robustness.suite;
+      Test_accordion.suite;
+      Test_smoke.suite;
+      Test_workloads.suite ]

@@ -1,0 +1,104 @@
+(* Tests for the deterministic PRNG. *)
+
+let test_determinism () =
+  let a = Prng.create ~seed:123 in
+  let b = Prng.create ~seed:123 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same sequence" (Prng.next a) (Prng.next b)
+  done
+
+let test_seeds_differ () =
+  let a = Prng.create ~seed:1 in
+  let b = Prng.create ~seed:2 in
+  let same = ref 0 in
+  for _ = 1 to 50 do
+    if Prng.next a = Prng.next b then incr same
+  done;
+  Alcotest.(check int) "sequences differ" 0 !same
+
+let test_int_bounds () =
+  let r = Prng.create ~seed:7 in
+  for _ = 1 to 1000 do
+    let x = Prng.int r 10 in
+    if x < 0 || x >= 10 then Alcotest.failf "out of bounds: %d" x
+  done;
+  (match Prng.int r 0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "bound 0 should raise")
+
+let test_float_bounds () =
+  let r = Prng.create ~seed:9 in
+  for _ = 1 to 1000 do
+    let x = Prng.float r in
+    if x < 0. || x >= 1. then Alcotest.failf "out of bounds: %f" x
+  done
+
+let test_split_independent () =
+  let a = Prng.create ~seed:5 in
+  let b = Prng.split a in
+  (* the split stream must not simply replay the parent *)
+  let overlaps = ref 0 in
+  for _ = 1 to 50 do
+    if Prng.next a = Prng.next b then incr overlaps
+  done;
+  Alcotest.(check int) "independent streams" 0 !overlaps
+
+let test_pick () =
+  let r = Prng.create ~seed:11 in
+  let arr = [| 1; 2; 3 |] in
+  for _ = 1 to 100 do
+    if not (Array.mem (Prng.pick r arr) arr) then
+      Alcotest.fail "pick outside array"
+  done;
+  (match Prng.pick r [||] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty pick should raise")
+
+let test_shuffle_permutation () =
+  let r = Prng.create ~seed:13 in
+  let arr = Array.init 20 Fun.id in
+  Prng.shuffle r arr;
+  let sorted = Array.copy arr in
+  Array.sort Int.compare sorted;
+  Alcotest.(check (array int)) "still a permutation"
+    (Array.init 20 Fun.id) sorted
+
+let test_choose_weighted () =
+  let r = Prng.create ~seed:17 in
+  (* zero-weight alternatives are never chosen *)
+  for _ = 1 to 200 do
+    match Prng.choose_weighted r [ (0., `A); (1., `B) ] with
+    | `A -> Alcotest.fail "chose zero-weight alternative"
+    | `B -> ()
+  done;
+  (* rough distribution sanity: 1:3 weights *)
+  let a = ref 0 in
+  for _ = 1 to 4000 do
+    match Prng.choose_weighted r [ (1., `A); (3., `B) ] with
+    | `A -> incr a
+    | `B -> ()
+  done;
+  if !a < 700 || !a > 1300 then
+    Alcotest.failf "weighted choice skewed: %d/4000" !a
+
+let test_chance () =
+  let r = Prng.create ~seed:19 in
+  let hits = ref 0 in
+  for _ = 1 to 4000 do
+    if Prng.chance r 0.25 then incr hits
+  done;
+  if !hits < 800 || !hits > 1200 then
+    Alcotest.failf "chance 0.25 skewed: %d/4000" !hits
+
+let suite =
+  ( "prng",
+    [ Alcotest.test_case "determinism" `Quick test_determinism;
+      Alcotest.test_case "seeds differ" `Quick test_seeds_differ;
+      Alcotest.test_case "int bounds" `Quick test_int_bounds;
+      Alcotest.test_case "float bounds" `Quick test_float_bounds;
+      Alcotest.test_case "split independence" `Quick test_split_independent;
+      Alcotest.test_case "pick" `Quick test_pick;
+      Alcotest.test_case "shuffle permutation" `Quick
+        test_shuffle_permutation;
+      Alcotest.test_case "choose_weighted" `Quick test_choose_weighted;
+      Alcotest.test_case "chance" `Quick test_chance ] )

@@ -1,0 +1,105 @@
+(* Cross-cutting robustness properties: behaviours every tool must
+   share, monotonicity of reports, and end-to-end determinism. *)
+
+(* No detector may warn on a single-threaded trace: a lone thread's
+   accesses are all ordered by program order. *)
+let prop_single_thread_silence =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:80 ~name:"all tools silent on 1 thread"
+       QCheck2.Gen.(int_range 1 100_000)
+       (fun seed ->
+         let tr =
+           Trace_gen.generate ~seed
+             { Trace_gen.default with threads = 1; length = 80 }
+         in
+         List.for_all
+           (fun d -> Helpers.warning_count d tr = 0)
+           [ (module Empty_tool : Detector.S); (module Eraser);
+             (module Multi_race); (module Goldilocks); (module Basic_vc);
+             (module Djit_plus); (module Fasttrack) ]))
+
+(* Extending a trace can only add racy variables, never remove them. *)
+let prop_fasttrack_monotone =
+  Helpers.qtest ~count:120 "FastTrack's racy vars grow monotonically"
+    (fun tr ->
+      let n = Trace.length tr in
+      let prefix =
+        Trace.of_list (List.filteri (fun i _ -> i < n / 2) (Trace.to_list tr))
+      in
+      let sub = Helpers.racy_vars (module Fasttrack) prefix in
+      let full = Helpers.racy_vars (module Fasttrack) tr in
+      List.for_all (fun x -> List.exists (Var.equal x) full) sub)
+
+(* Detectors are deterministic functions of the trace. *)
+let prop_detector_deterministic =
+  Helpers.qtest ~count:60 "same trace, same verdicts" (fun tr ->
+      Helpers.racy_vars (module Fasttrack) tr
+      = Helpers.racy_vars (module Fasttrack) tr
+      && Helpers.racy_vars (module Eraser) tr
+         = Helpers.racy_vars (module Eraser) tr)
+
+(* Prefilters must forward every synchronization event: dropping one
+   would corrupt the downstream checker's happens-before state. *)
+let prop_filters_forward_sync =
+  Helpers.qtest ~count:60 "prefilters forward all sync events" (fun tr ->
+      List.for_all
+        (fun kind ->
+          let filter = Filter.create kind in
+          let ok = ref true in
+          Trace.iteri
+            (fun index e ->
+              let kept = Filter.keep filter ~index e in
+              if (not (Event.is_access e)) && not kept then ok := false)
+            tr;
+          !ok)
+        Filter.all_kinds)
+
+(* The checkers must run (without exceptions) on every workload trace
+   and produce the same violations on a second pass. *)
+let test_checkers_on_workloads () =
+  List.iter
+    (fun (w : Workload.t) ->
+      let tr = Workload.trace ~seed:11 ~scale:1 w in
+      List.iter
+        (fun (module C : Checker.S) ->
+          let run () =
+            let c = C.create () in
+            Trace.iteri (fun index e -> C.on_event c ~index e) tr;
+            List.length (C.violations c)
+          in
+          Alcotest.(check int)
+            (Printf.sprintf "%s on %s deterministic" C.name w.name)
+            (run ()) (run ()))
+        [ (module Velodrome); (module Atomizer); (module Singletrack) ])
+    Workloads.table1
+
+(* Coarse and adaptive granularities must never crash and must keep
+   the one-warning-per-location discipline. *)
+let prop_granularities_bounded =
+  Helpers.qtest ~count:60 "warnings bounded by distinct locations"
+    (fun tr ->
+      List.for_all
+        (fun config ->
+          let r = Driver.run ~config (module Fasttrack) tr in
+          let distinct_objs =
+            Trace.vars tr
+            |> List.map (fun (x : Var.t) -> x.obj)
+            |> List.sort_uniq Int.compare
+            |> List.length
+          in
+          match config.Config.granularity with
+          | Shadow.Fine ->
+            List.length r.warnings <= List.length (Trace.vars tr)
+          | Shadow.Coarse | Shadow.Adaptive ->
+            List.length r.warnings <= max distinct_objs (List.length (Trace.vars tr)))
+        [ Config.default; Config.coarse; Config.adaptive ])
+
+let suite =
+  ( "robustness",
+    [ prop_single_thread_silence;
+      prop_fasttrack_monotone;
+      prop_detector_deterministic;
+      prop_filters_forward_sync;
+      Alcotest.test_case "checkers on workloads" `Quick
+        test_checkers_on_workloads;
+      prop_granularities_bounded ] )

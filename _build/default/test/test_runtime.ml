@@ -1,0 +1,196 @@
+(* Tests for the program DSL and the scheduler: construction-time
+   validation, runtime blocking semantics, determinism, and the
+   feasibility of everything the scheduler emits. *)
+
+let x = Var.scalar 0
+let simple_thread tid = { Program.tid; body = [ Program.Read x ] }
+
+let run ?(seed = 1) p =
+  Scheduler.run ~options:{ Scheduler.default_options with seed } p
+
+let test_make_validation () =
+  let expect_invalid f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected Invalid_argument"
+  in
+  expect_invalid (fun () ->
+      Program.make [ simple_thread 0; simple_thread 0 ]);
+  expect_invalid (fun () ->
+      Program.make [ { Program.tid = 0; body = [ Program.Fork 9 ] } ]);
+  (* forking a root thread *)
+  expect_invalid (fun () ->
+      Program.make
+        [ { Program.tid = 0; body = [ Program.Fork 1 ] };
+          { Program.tid = 1; body = [ Program.Fork 0 ] } ]);
+  expect_invalid (fun () ->
+      Program.make ~barriers:[ { Program.id = 0; parties = 1 } ]
+        [ simple_thread 0 ])
+
+let test_determinism () =
+  let w = Option.get (Workloads.find "moldyn") in
+  let t1 = Workload.trace ~seed:3 w in
+  let t2 = Workload.trace ~seed:3 w in
+  Alcotest.(check string) "same seed, same trace" (Trace.to_string t1)
+    (Trace.to_string t2);
+  let t3 = Workload.trace ~seed:4 w in
+  Alcotest.(check bool) "different seed, different interleaving" true
+    (Trace.to_string t1 <> Trace.to_string t3)
+
+let test_mutual_exclusion () =
+  (* the emitted trace never has two threads inside the same lock *)
+  let p =
+    Program.make
+      [ { Program.tid = 0;
+          body =
+            Program.Fork 1
+            :: Program.repeat 20 (Program.locked 0 [ Program.Write x ])
+            @ [ Program.Join 1 ] };
+        { Program.tid = 1;
+          body = Program.repeat 20 (Program.locked 0 [ Program.Write x ]) } ]
+  in
+  let tr = run p in
+  Alcotest.(check (list string)) "feasible" []
+    (List.map (fun v -> v.Validity.message) (Validity.check tr));
+  (* feasibility constraint 1 *is* mutual exclusion, but double-check
+     by replaying the lock state *)
+  let holder = ref None in
+  Trace.iter
+    (fun e ->
+      match e with
+      | Event.Acquire { t; _ } ->
+        Alcotest.(check (option int)) "lock free on acquire" None !holder;
+        holder := Some t
+      | Event.Release _ -> holder := None
+      | _ -> ())
+    tr
+
+let test_join_blocks () =
+  (* all child events precede the join event *)
+  let p =
+    Program.make
+      [ { Program.tid = 0; body = [ Program.Fork 1; Program.Join 1 ] };
+        { Program.tid = 1; body = Program.reads x 10 } ]
+  in
+  let tr = run p in
+  let join_index = ref (-1) and last_child = ref (-1) in
+  Trace.iteri
+    (fun i e ->
+      match e with
+      | Event.Join _ -> join_index := i
+      | e when Event.tid e = Some 1 -> last_child := i
+      | _ -> ())
+    tr;
+  Alcotest.(check bool) "child finished before join" true
+    (!last_child < !join_index)
+
+let test_barrier_release_groups () =
+  let p =
+    Program.make
+      ~barriers:[ { Program.id = 0; parties = 3 } ]
+      [ { Program.tid = 0;
+          body = [ Program.Fork 1; Program.Fork 2; Program.Barrier_wait 0;
+                   Program.Join 1; Program.Join 2 ] };
+        { Program.tid = 1; body = [ Program.Read x; Program.Barrier_wait 0 ] };
+        { Program.tid = 2; body = [ Program.Read x; Program.Barrier_wait 0 ] } ]
+  in
+  let tr = run p in
+  let barriers =
+    Trace.fold
+      (fun acc e ->
+        match e with
+        | Event.Barrier_release { threads } -> threads :: acc
+        | _ -> acc)
+      [] tr
+  in
+  Alcotest.(check (list (list int))) "one release, all parties" [ [ 0; 1; 2 ] ]
+    barriers
+
+let test_wait_desugars () =
+  let p =
+    Program.make
+      [ { Program.tid = 0;
+          body = [ Program.Acquire 0; Program.Wait 0; Program.Release 0 ] } ]
+  in
+  let tr = run p in
+  Alcotest.(check (list string)) "rel/acq pair emitted"
+    [ "acq(0,m0)"; "rel(0,m0)"; "acq(0,m0)"; "rel(0,m0)" ]
+    (List.map Event.to_string (Trace.to_list tr))
+
+let test_deadlock_detected () =
+  (* t0 holds the lock and waits for t1; t1 needs the lock: deadlock *)
+  let p =
+    Program.make
+      [ { Program.tid = 0;
+          body = [ Program.Fork 1; Program.Acquire 0; Program.Join 1;
+                   Program.Release 0 ] };
+        { Program.tid = 1; body = [ Program.Read x; Program.Acquire 0 ] } ]
+  in
+  (* The deadlock needs t0 to win the lock race; try several seeds and
+     require at least one deadlock. *)
+  let deadlocks = ref 0 in
+  for seed = 1 to 20 do
+    match run ~seed p with
+    | (_ : Trace.t) -> ()
+    | exception Scheduler.Deadlock _ -> incr deadlocks
+  done;
+  Alcotest.(check bool) "deadlock detected" true (!deadlocks > 0)
+
+let test_invalid_program_errors () =
+  let expect_error body =
+    let p = Program.make [ { Program.tid = 0; body } ] in
+    match run p with
+    | exception Scheduler.Invalid_program _ -> ()
+    | (_ : Trace.t) -> Alcotest.fail "expected Invalid_program"
+  in
+  expect_error [ Program.Release 0 ];
+  expect_error [ Program.Wait 0 ];
+  expect_error [ Program.Acquire 0 ]  (* finishes holding the lock *)
+
+let test_reentrant_locks_filtered () =
+  (* nested acquires/releases of a held lock emit no events *)
+  let p =
+    Program.make
+      [ { Program.tid = 0;
+          body =
+            [ Program.Acquire 0; Program.Acquire 0; Program.Read x;
+              Program.Release 0; Program.Release 0 ] } ]
+  in
+  let tr = run p in
+  Alcotest.(check (list string)) "outermost pair only"
+    [ "acq(0,m0)"; "rd(0,x0)"; "rel(0,m0)" ]
+    (List.map Event.to_string (Trace.to_list tr));
+  (* unbalanced inner release is still an error *)
+  let p2 =
+    Program.make
+      [ { Program.tid = 0;
+          body = [ Program.Acquire 0; Program.Release 0; Program.Release 0 ] } ]
+  in
+  match run p2 with
+  | exception Scheduler.Invalid_program _ -> ()
+  | (_ : Trace.t) -> Alcotest.fail "expected Invalid_program"
+
+let prop_workload_traces_feasible =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:40 ~name:"workload traces always feasible"
+       QCheck2.Gen.(
+         pair (int_range 1 10_000) (int_range 0 (List.length Workloads.all - 1)))
+       (fun (seed, i) ->
+         let w = List.nth Workloads.all i in
+         Validity.is_valid (Workload.trace ~seed w)))
+
+let suite =
+  ( "runtime",
+    [ Alcotest.test_case "program validation" `Quick test_make_validation;
+      Alcotest.test_case "scheduler determinism" `Quick test_determinism;
+      Alcotest.test_case "mutual exclusion" `Quick test_mutual_exclusion;
+      Alcotest.test_case "join blocks" `Quick test_join_blocks;
+      Alcotest.test_case "barrier release groups" `Quick
+        test_barrier_release_groups;
+      Alcotest.test_case "wait desugars" `Quick test_wait_desugars;
+      Alcotest.test_case "deadlock detected" `Quick test_deadlock_detected;
+      Alcotest.test_case "invalid programs" `Quick
+        test_invalid_program_errors;
+      Alcotest.test_case "re-entrant locks filtered" `Quick
+        test_reentrant_locks_filtered;
+      prop_workload_traces_feasible ] )

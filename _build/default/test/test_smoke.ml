@@ -1,0 +1,70 @@
+(* Temporary smoke test exercising the whole pipeline end to end. *)
+
+let racy_trace =
+  Trace.of_list
+    [ Event.Fork { t = 0; u = 1 };
+      Event.Write { t = 0; x = Var.scalar 0 };
+      Event.Write { t = 1; x = Var.scalar 0 } ]
+
+let safe_trace =
+  Trace.of_list
+    [ Event.Write { t = 0; x = Var.scalar 0 };
+      Event.Fork { t = 0; u = 1 };
+      Event.Write { t = 1; x = Var.scalar 0 };
+      Event.Join { t = 0; u = 1 };
+      Event.Write { t = 0; x = Var.scalar 0 } ]
+
+let run d tr = (Driver.run d tr).warnings |> List.length
+
+let test_racy () =
+  Alcotest.(check bool) "valid" true (Validity.is_valid racy_trace);
+  Alcotest.(check bool) "oracle sees race" false
+    (Happens_before.race_free racy_trace);
+  Alcotest.(check int) "fasttrack" 1 (run (module Fasttrack) racy_trace);
+  Alcotest.(check int) "djit+" 1 (run (module Djit_plus) racy_trace);
+  Alcotest.(check int) "basicvc" 1 (run (module Basic_vc) racy_trace);
+  Alcotest.(check int) "goldilocks" 1 (run (module Goldilocks) racy_trace)
+
+let test_safe () =
+  Alcotest.(check bool) "valid" true (Validity.is_valid safe_trace);
+  Alcotest.(check bool) "oracle race-free" true
+    (Happens_before.race_free safe_trace);
+  Alcotest.(check int) "fasttrack" 0 (run (module Fasttrack) safe_trace);
+  Alcotest.(check int) "djit+" 0 (run (module Djit_plus) safe_trace);
+  Alcotest.(check int) "basicvc" 0 (run (module Basic_vc) safe_trace);
+  Alcotest.(check int) "goldilocks" 0 (run (module Goldilocks) safe_trace)
+
+let test_ref_semantics () =
+  (match Fasttrack_ref.run racy_trace with
+  | Ok _ -> Alcotest.fail "reference should get stuck on race"
+  | Error stuck -> Alcotest.(check int) "stuck index" 2 stuck.index);
+  match Fasttrack_ref.run safe_trace with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "reference stuck on race-free trace"
+
+let test_random_agreement () =
+  for seed = 1 to 50 do
+    let tr =
+      Trace_gen.generate ~seed
+        { Trace_gen.default with length = 80; profile = Trace_gen.Mixed }
+    in
+    Alcotest.(check (list string)) "trace valid" []
+      (List.map (fun v -> v.Validity.message) (Validity.check tr));
+    let oracle = Happens_before.racy_vars tr |> List.sort Var.compare in
+    let ft =
+      (Driver.run (module Fasttrack) tr).warnings
+      |> List.map (fun w -> w.Warning.x)
+      |> List.sort Var.compare
+    in
+    if oracle <> ft then
+      Alcotest.failf "seed %d: oracle %s vs ft %s" seed
+        (String.concat "," (List.map Var.to_string oracle))
+        (String.concat "," (List.map Var.to_string ft))
+  done
+
+let suite =
+  ( "smoke",
+    [ Alcotest.test_case "racy trace" `Quick test_racy;
+      Alcotest.test_case "safe trace" `Quick test_safe;
+      Alcotest.test_case "reference semantics" `Quick test_ref_semantics;
+      Alcotest.test_case "random agreement" `Quick test_random_agreement ] )

@@ -1,0 +1,100 @@
+(* Tests for the Section 2.1 feasibility constraints. *)
+
+let e_rd t x = Event.Read { t; x = Var.scalar x }
+let acq t m = Event.Acquire { t; m }
+let rel t m = Event.Release { t; m }
+
+let violations l = List.length (Validity.check (Trace.of_list l))
+let valid l = Validity.is_valid (Trace.of_list l)
+
+let test_valid_traces () =
+  Alcotest.(check bool) "empty" true (valid []);
+  Alcotest.(check bool) "locking" true
+    (valid [ acq 0 0; e_rd 0 0; rel 0 0; acq 1 0; rel 1 0 ]);
+  Alcotest.(check bool) "fork/join" true
+    (valid
+       [ Event.Fork { t = 0; u = 1 }; e_rd 1 0; Event.Join { t = 0; u = 1 } ]);
+  Alcotest.(check bool) "nested locks" true
+    (valid [ acq 0 0; acq 0 1; rel 0 1; rel 0 0 ]);
+  Alcotest.(check bool) "multiple roots" true (valid [ e_rd 0 0; e_rd 1 0 ])
+
+let test_constraint_1_reacquire () =
+  (* no thread acquires a lock previously acquired but not released *)
+  Alcotest.(check int) "same thread" 1 (violations [ acq 0 0; acq 0 0 ]);
+  Alcotest.(check int) "other thread" 1 (violations [ acq 0 0; acq 1 0 ]);
+  Alcotest.(check int) "after release ok" 0
+    (violations [ acq 0 0; rel 0 0; acq 1 0; rel 1 0 ])
+
+let test_constraint_2_release () =
+  (* no thread releases a lock it did not previously acquire *)
+  Alcotest.(check int) "never acquired" 1 (violations [ rel 0 0 ]);
+  Alcotest.(check int) "held by another thread" 1
+    (violations [ acq 0 0; rel 1 0 ])
+
+let test_constraint_3_fork_join_bracket () =
+  (* no instruction of u before fork(t,u) or after join(v,u) *)
+  Alcotest.(check int) "act before fork" 1
+    (violations [ e_rd 1 0; Event.Fork { t = 0; u = 1 } ]);
+  Alcotest.(check int) "act after join" 1
+    (violations
+       [ Event.Fork { t = 0; u = 1 }; e_rd 1 0;
+         Event.Join { t = 0; u = 1 }; e_rd 1 1 ])
+
+let test_constraint_4_nonempty () =
+  (* at least one instruction of u between fork and join *)
+  Alcotest.(check int) "empty thread joined" 1
+    (violations [ Event.Fork { t = 0; u = 1 }; Event.Join { t = 0; u = 1 } ])
+
+let test_fork_join_misuse () =
+  Alcotest.(check bool) "self fork" false
+    (valid [ Event.Fork { t = 0; u = 0 } ]);
+  Alcotest.(check bool) "double fork" false
+    (valid
+       [ Event.Fork { t = 0; u = 1 }; e_rd 1 0; Event.Fork { t = 0; u = 1 } ]);
+  Alcotest.(check bool) "double join" false
+    (valid
+       [ Event.Fork { t = 0; u = 1 }; e_rd 1 0;
+         Event.Join { t = 0; u = 1 }; Event.Join { t = 0; u = 1 } ])
+
+let test_barrier_participants () =
+  Alcotest.(check bool) "running participants" true
+    (valid
+       [ Event.Fork { t = 0; u = 1 };
+         Event.Barrier_release { threads = [ 0; 1 ] } ]);
+  (* a participant that is forked only later is not yet running *)
+  Alcotest.(check bool) "fresh participant" false
+    (valid
+       [ Event.Barrier_release { threads = [ 0; 1 ] };
+         Event.Fork { t = 0; u = 1 }; e_rd 1 0 ])
+
+let prop_generated_valid =
+  Helpers.qtest ~count:200 "generated traces are feasible" (fun tr ->
+      Validity.check tr = [])
+
+let prop_prefix_valid =
+  Helpers.qtest ~count:100 "feasibility is not prefix-closed-violating"
+    (fun tr ->
+      (* A prefix may leave locks held or joins missing, but it never
+         introduces a *violation*: all constraints are per-event. *)
+      let n = Trace.length tr in
+      let prefix =
+        Trace.of_list (List.filteri (fun i _ -> i < n / 2) (Trace.to_list tr))
+      in
+      Validity.check prefix = [])
+
+let suite =
+  ( "validity",
+    [ Alcotest.test_case "valid traces" `Quick test_valid_traces;
+      Alcotest.test_case "constraint 1: re-acquire" `Quick
+        test_constraint_1_reacquire;
+      Alcotest.test_case "constraint 2: foreign release" `Quick
+        test_constraint_2_release;
+      Alcotest.test_case "constraint 3: fork/join bracket" `Quick
+        test_constraint_3_fork_join_bracket;
+      Alcotest.test_case "constraint 4: non-empty thread" `Quick
+        test_constraint_4_nonempty;
+      Alcotest.test_case "fork/join misuse" `Quick test_fork_join_misuse;
+      Alcotest.test_case "barrier participants" `Quick
+        test_barrier_participants;
+      prop_generated_valid;
+      prop_prefix_valid ] )
