@@ -1,0 +1,63 @@
+type record = {
+  experiment : string;
+  workload : string;
+  tool : string;
+  jobs : int;
+  events : int;
+  elapsed : float;
+  slowdown : float;
+  speedup : float;
+  warnings : int;
+}
+
+let records : record list ref = ref []
+let add r = records := r :: !records
+let recorded () = List.rev !records
+let reset () = records := []
+
+(* Minimal JSON string escaping: our strings are tool/workload names,
+   but stay correct on arbitrary input. *)
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let record_to_json r =
+  Printf.sprintf
+    "{\"experiment\":\"%s\",\"workload\":\"%s\",\"tool\":\"%s\",\
+     \"jobs\":%d,\"events\":%d,\"elapsed_s\":%.6f,\"slowdown\":%.3f,\
+     \"speedup\":%.3f,\"warnings\":%d}"
+    (escape r.experiment) (escape r.workload) (escape r.tool) r.jobs
+    r.events r.elapsed r.slowdown r.speedup r.warnings
+
+let write ~scale ~repeat path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      Printf.fprintf oc
+        "{\"host\":{\"cores\":%d,\"ocaml\":\"%s\",\"word_size\":%d},\n\
+        \ \"scale\":%d,\"repeat\":%d,\n\
+        \ \"records\":[\n"
+        (Domain.recommended_domain_count ())
+        (escape Sys.ocaml_version) Sys.word_size scale repeat;
+      let rs = recorded () in
+      List.iteri
+        (fun i r ->
+          Printf.fprintf oc "  %s%s\n" (record_to_json r)
+            (if i < List.length rs - 1 then "," else ""))
+        rs;
+      output_string oc " ]}\n");
+  Printf.printf "wrote %d benchmark record(s) to %s\n"
+    (List.length (recorded ()))
+    path

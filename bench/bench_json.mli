@@ -1,0 +1,37 @@
+(** Machine-readable benchmark records (the [--json FILE] mode).
+
+    Experiments push one {!record} per (workload, tool, jobs)
+    measurement; [main.ml] writes the accumulated records — plus host
+    metadata needed to interpret them (core count, OCaml version) —
+    to the file named by [--json].  The output is plain JSON emitted
+    by hand (no JSON library in the image), shaped as
+
+    {v
+    { "host": { "cores": 4, "ocaml": "5.1.1", ... },
+      "records": [ { "experiment": "parallel", ... }, ... ] }
+    v} *)
+
+type record = {
+  experiment : string;  (** e.g. ["parallel"], ["table1"] *)
+  workload : string;
+  tool : string;        (** detector name *)
+  jobs : int;           (** shard count; 1 = sequential driver *)
+  events : int;         (** trace length *)
+  elapsed : float;      (** seconds (wall for parallel runs) *)
+  slowdown : float;     (** elapsed / bare-replay time *)
+  speedup : float;      (** sequential elapsed / this elapsed; 1.0 for
+                            the sequential row itself *)
+  warnings : int;
+}
+
+val add : record -> unit
+(** Append to the global accumulator. *)
+
+val recorded : unit -> record list
+(** All records pushed so far, in push order. *)
+
+val reset : unit -> unit
+
+val write : scale:int -> repeat:int -> string -> unit
+(** [write ~scale ~repeat path] dumps host metadata and every
+    accumulated record to [path]. *)

@@ -4,7 +4,12 @@
 
      dune exec bench/main.exe            -- all experiments
      dune exec bench/main.exe -- table1  -- one experiment
-     dune exec bench/main.exe -- --scale 4 --repeat 5 table1 *)
+     dune exec bench/main.exe -- --scale 4 --repeat 5 table1
+     dune exec bench/main.exe -- --json BENCH_parallel.json parallel
+
+   --json FILE additionally writes every machine-readable record the
+   chosen experiments pushed (tool / elapsed / slowdown / warning
+   count, plus host metadata) to FILE; see bench_json.mli. *)
 
 let experiments :
     (string * (scale:int -> repeat:int -> unit -> unit)) list =
@@ -19,11 +24,13 @@ let experiments :
     ("ablation", Bench_ablation.run);
     ("scaling", Bench_scaling.run);
     ("churn", Bench_churn.run);
+    ("parallel", Bench_parallel.run);
     ("micro", fun ~scale:_ ~repeat:_ () -> Bench_micro.run ()) ]
 
 let usage () =
   prerr_endline
-    "usage: main.exe [--scale N] [--repeat N] [experiment ...]";
+    "usage: main.exe [--scale N] [--repeat N] [--json FILE] \
+     [experiment ...]";
   Printf.eprintf "experiments: %s (default: all)\n"
     (String.concat " " (List.map fst experiments));
   exit 2
@@ -31,6 +38,7 @@ let usage () =
 let () =
   let scale = ref 2 in
   let repeat = ref 3 in
+  let json = ref None in
   let chosen = ref [] in
   let rec parse = function
     | [] -> ()
@@ -39,6 +47,9 @@ let () =
       parse rest
     | "--repeat" :: v :: rest ->
       repeat := int_of_string v;
+      parse rest
+    | "--json" :: path :: rest ->
+      json := Some path;
       parse rest
     | name :: rest when List.mem_assoc name experiments ->
       chosen := name :: !chosen;
@@ -58,4 +69,5 @@ let () =
     (fun name ->
       (List.assoc name experiments) ~scale:!scale ~repeat:!repeat ();
       print_newline ())
-    chosen
+    chosen;
+  Option.iter (Bench_json.write ~scale:!scale ~repeat:!repeat) !json

@@ -79,6 +79,15 @@ let scale_arg =
   Arg.(value & opt int 1 & info [ "scale" ] ~docv:"N"
          ~doc:"Workload scale factor (trace length grows linearly).")
 
+let jobs_arg =
+  Arg.(value & opt int 1
+       & info [ "j"; "jobs" ] ~docv:"N"
+           ~doc:"Shard the analysis by variable across $(docv) detector \
+                 instances, one per OCaml domain (1 = sequential; 0 = one \
+                 per available core).  Warnings are merged \
+                 deterministically and are identical to a sequential \
+                 run's.")
+
 let config_of granularity = { Config.default with granularity }
 
 (* ------------------------------------------------------------------ *)
@@ -157,7 +166,7 @@ let generate_cmd =
 (* ------------------------------------------------------------------ *)
 (* analyze                                                            *)
 
-let analyze path tool granularity show_stats =
+let analyze path tool granularity jobs show_stats =
   match load_trace path with
   | Error msg ->
     prerr_endline msg;
@@ -168,9 +177,17 @@ let analyze path tool granularity show_stats =
       Printf.eprintf "unknown tool %S\n" tool;
       1
     | Some d ->
-      let result = Driver.run ~config:(config_of granularity) d tr in
-      Printf.printf "%s: %d events, %d warning(s), %.2f ms\n" result.tool
-        (Trace.length tr)
+      let config = config_of granularity in
+      let jobs = if jobs = 0 then Driver.default_jobs () else max 1 jobs in
+      let result =
+        if jobs > 1 then Driver.run_parallel ~config ~jobs d tr
+        else Driver.run ~config d tr
+      in
+      let mode =
+        if jobs > 1 then Printf.sprintf " [%d shards]" jobs else ""
+      in
+      Printf.printf "%s%s: %d events, %d warning(s), %.2f ms\n" result.tool
+        mode (Trace.length tr)
         (List.length result.warnings)
         (result.elapsed *. 1000.);
       List.iter
@@ -190,7 +207,9 @@ let analyze_cmd =
     (Cmd.info "analyze"
        ~doc:"Run one race detector over a trace (exit code 2 if races \
              were found)")
-    Term.(const analyze $ trace_arg $ tool_arg $ granularity_arg $ stats)
+    Term.(
+      const analyze $ trace_arg $ tool_arg $ granularity_arg $ jobs_arg
+      $ stats)
 
 (* ------------------------------------------------------------------ *)
 (* compare                                                            *)

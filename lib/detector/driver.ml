@@ -23,6 +23,41 @@ let run_packed packed tr =
 let run ?(config = Config.default) d tr =
   run_packed (Detector.instantiate d config) tr
 
+(* ------------------------------------------------------------------ *)
+(* Sharded parallel driver (see lib/parallel and DESIGN.md).          *)
+
+let default_jobs = Domain_pool.recommended_jobs
+
+let analyze_shard d config ~jobs ~shard tr =
+  let packed = Detector.instantiate d config in
+  Trace.iter_shard ~jobs ~shard
+    (fun index e -> Detector.packed_on_event packed ~index e)
+    tr;
+  (Detector.packed_warnings packed, Detector.packed_stats packed)
+
+let merge_shards (module D : Detector.S) shard_results elapsed =
+  let results = Array.to_list shard_results in
+  (* Shards own disjoint shadow keys, and at most one warning is ever
+     recorded per key, so no two shards can warn at the same trace
+     index: sorting by index reconstructs the sequential run's
+     chronological warning list exactly. *)
+  let warnings =
+    List.concat_map fst results |> List.stable_sort Warning.compare
+  in
+  { tool = D.name;
+    warnings;
+    stats = Stats.sum (List.map snd results);
+    elapsed }
+
+let run_parallel ?(config = Config.default) ?jobs d tr =
+  let jobs =
+    match jobs with Some j -> max 1 j | None -> default_jobs ()
+  in
+  let shard_results, elapsed =
+    Par_run.map ~jobs (fun ~shard -> analyze_shard d config ~jobs ~shard tr)
+  in
+  merge_shards d shard_results elapsed
+
 (* A volatile-ish sink the optimizer cannot delete. *)
 let sink = ref 0
 

@@ -18,6 +18,38 @@ val run_packed : Detector.packed -> Trace.t -> result
 (** Feed a trace to an already-instantiated detector (the detector may
     carry state from earlier traces). *)
 
+val run_parallel :
+  ?config:Config.t -> ?jobs:int -> (module Detector.S) -> Trace.t ->
+  result
+(** Variable-sharded parallel analysis on OCaml 5 domains.
+
+    The trace is split into [jobs] shards by variable (object id, see
+    {!Shard} and {!Trace.iter_shard}): each shard receives the access
+    events of the variables it owns plus a broadcast copy of
+    {e every} synchronization event, so its private sync state
+    replays the full happens-before structure.  One fresh detector
+    instance runs per shard, each on its own domain, filtering the
+    shared immutable trace in place — zero-copy, no serial splitting
+    step ahead of the parallel region.  The per-shard warning lists
+    are merged by trace index and the stats summed
+    ({!Stats.merge_into}).
+
+    Precision-preserving: the merged warning list is identical —
+    same variables, kinds, trace indices and prior epochs — to the
+    sequential {!run}'s, for any detector whose per-variable analysis
+    depends only on the sync-event prefix (all of ours; asserted over
+    every built-in workload in [test/test_parallel.ml]).
+
+    [jobs] defaults to {!default_jobs}; [jobs <= 1] analyzes on the
+    calling domain only.  [elapsed] is {e wall-clock} seconds for the
+    whole region rather than CPU seconds,
+    which would sum across domains.  Memory cost: each shard keeps
+    its own copy of the sync state (threads × clocks), so sync memory
+    scales with [jobs] while shadow memory stays partitioned. *)
+
+val default_jobs : unit -> int
+(** The runtime's [Domain.recommended_domain_count ()]. *)
+
 val replay : ?repeat:int -> Trace.t -> float
 (** CPU time for [repeat] (default 1) bare iterations of the trace,
     divided by [repeat]. *)

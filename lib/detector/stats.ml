@@ -49,6 +49,30 @@ let add_words s n =
 
 let sub_words s n = s.state_words <- s.state_words - n
 
+let merge_into ~into s =
+  into.events <- into.events + s.events;
+  into.reads <- into.reads + s.reads;
+  into.writes <- into.writes + s.writes;
+  into.syncs <- into.syncs + s.syncs;
+  into.vc_allocs <- into.vc_allocs + s.vc_allocs;
+  into.vc_ops <- into.vc_ops + s.vc_ops;
+  into.epoch_ops <- into.epoch_ops + s.epoch_ops;
+  into.state_words <- into.state_words + s.state_words;
+  (* Shards coexist, so the sum of per-shard peaks is the honest
+     upper bound on the run's true footprint (individual peaks need
+     not be simultaneous). *)
+  into.peak_words <- into.peak_words + s.peak_words;
+  Hashtbl.iter
+    (fun name r ->
+      let c = counter into name in
+      c := !c + !r)
+    s.rules
+
+let sum stats =
+  let acc = create () in
+  List.iter (fun s -> merge_into ~into:acc s) stats;
+  acc
+
 let rules_alist s =
   Hashtbl.fold (fun name r acc -> (name, !r) :: acc) s.rules []
   |> List.sort (fun (_, a) (_, b) -> Int.compare b a)

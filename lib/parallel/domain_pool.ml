@@ -1,0 +1,29 @@
+let recommended_jobs () = Domain.recommended_domain_count ()
+
+type 'a outcome =
+  | Ok of 'a
+  | Exn of exn * Printexc.raw_backtrace
+
+let capture f x =
+  try Ok (f x) with e -> Exn (e, Printexc.get_raw_backtrace ())
+
+let map ~jobs f =
+  if jobs <= 1 then [| f 0 |]
+  else begin
+    let spawned =
+      Array.init (jobs - 1) (fun i ->
+          Domain.spawn (fun () -> capture f (i + 1)))
+    in
+    (* Run task 0 here while the others make progress; capture its
+       exception so every spawned domain is still joined.  Task
+       exceptions are captured inside the spawned domains, so the
+       joins themselves cannot raise. *)
+    let first = capture f 0 in
+    let rest = Array.map Domain.join spawned in
+    let outcomes = Array.append [| first |] rest in
+    Array.map
+      (function
+        | Ok v -> v
+        | Exn (e, bt) -> Printexc.raise_with_backtrace e bt)
+      outcomes
+  end

@@ -1,0 +1,16 @@
+(** Fork-join execution over OCaml 5 domains.
+
+    A thin, allocation-light helper: no task queue, no work stealing —
+    one domain per task, joined in order.  Shard balance is the
+    caller's problem (see ROADMAP "work-stealing shard balance"). *)
+
+val map : jobs:int -> (int -> 'a) -> 'a array
+(** [map ~jobs f] is [[| f 0; ...; f (jobs - 1) |]].  Task 0 runs on
+    the calling domain; tasks 1..jobs-1 each run on a fresh domain.
+    All domains are joined before returning, even if a task raises;
+    the first exception (in task order) is then re-raised.
+    [jobs <= 1] degenerates to [[| f 0 |]] with no domain spawned. *)
+
+val recommended_jobs : unit -> int
+(** [Domain.recommended_domain_count ()], the runtime's estimate of
+    usefully-parallel domains on this host. *)

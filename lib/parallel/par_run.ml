@@ -1,0 +1,8 @@
+let wall_time f =
+  let start = Unix.gettimeofday () in
+  let x = f () in
+  (x, Unix.gettimeofday () -. start)
+
+let map ~jobs f =
+  let jobs = max 1 jobs in
+  wall_time (fun () -> Domain_pool.map ~jobs (fun shard -> f ~shard))

@@ -1,0 +1,23 @@
+(** Orchestration of a sharded parallel analysis region.
+
+    [Par_run] owns the generic pipeline — run one task per shard on
+    its own domain ({!Domain_pool}), time the whole region with a
+    wall clock — while staying agnostic of what an "analysis" is: the
+    caller's task typically drives {!Trace.iter_shard} over the
+    shared, immutable trace (zero-copy: no per-domain materialization
+    and no serial splitting step ahead of the parallel region, which
+    would bound speedup by Amdahl's law).  This keeps [ft_parallel]
+    free of any dependency on the detector framework, so the detector
+    library can depend on it. *)
+
+val wall_time : (unit -> 'a) -> 'a * float
+(** [wall_time f] runs [f ()] and reports elapsed {e wall-clock}
+    seconds.  The sequential driver's [Driver.time] reports CPU
+    seconds, which is the wrong measure for a multi-domain region
+    (CPU time sums across domains). *)
+
+val map : jobs:int -> (shard:int -> 'r) -> 'r array * float
+(** [map ~jobs f] runs [f ~shard] for every [shard] in
+    [0 .. max 1 jobs - 1], shard 0 on the calling domain and the rest
+    on fresh domains, and returns the results in shard order together
+    with the wall-clock seconds of the whole region. *)

@@ -1,0 +1,53 @@
+type t = {
+  shard_id : int;
+  trace : Trace.t;
+  indices : int array;
+  accesses : int;
+}
+
+type plan = {
+  jobs : int;
+  shards : t array;
+  broadcast : int;
+}
+
+let shard_of_var = Var.owner_shard
+
+let length s = Array.length s.indices
+
+let iteri f s =
+  Array.iter (fun i -> f i (Trace.get s.trace i)) s.indices
+
+let plan ~jobs tr =
+  let jobs = max 1 jobs in
+  (* counting pass: per-shard owned accesses + broadcast size *)
+  let owned = Array.make jobs 0 in
+  let broadcast = ref 0 in
+  Trace.iter
+    (fun e ->
+      match e with
+      | Event.Read { x; _ } | Event.Write { x; _ } ->
+        let s = shard_of_var ~jobs x in
+        owned.(s) <- owned.(s) + 1
+      | _ -> incr broadcast)
+    tr;
+  let shard s =
+    let indices = Array.make (owned.(s) + !broadcast) (-1) in
+    let fill = ref 0 in
+    Trace.iter_shard ~jobs ~shard:s
+      (fun index _ ->
+        indices.(!fill) <- index;
+        incr fill)
+      tr;
+    assert (!fill = Array.length indices);
+    { shard_id = s; trace = tr; indices; accesses = owned.(s) }
+  in
+  { jobs; shards = Array.init jobs shard; broadcast = !broadcast }
+
+let imbalance p =
+  let counts = Array.map (fun s -> float_of_int s.accesses) p.shards in
+  let total = Array.fold_left ( +. ) 0. counts in
+  if total <= 0. then 1.0
+  else
+    let mean = total /. float_of_int (Array.length counts) in
+    Array.fold_left Float.max 0. counts /. mean

@@ -1,0 +1,64 @@
+(** Variable-sharded partitioning of a trace for the parallel driver.
+
+    FastTrack's per-variable shadow states are independent of one
+    another: the only state shared between accesses to different
+    variables is the synchronization component ([C]/[L] of Figure 4,
+    our [Vc_state]), which is written exclusively by synchronization
+    events.  The event stream therefore parallelizes by {e variable
+    sharding}:
+
+    - each access event [rd(t,x)]/[wr(t,x)] is routed to exactly one
+      shard, chosen by [x]'s object identifier ({!Var.owner_shard});
+    - every synchronization event (acquire, release, fork, join,
+      volatile access, barrier release, transaction marker) is
+      {e broadcast} to all shards, so that each shard's private sync
+      state replays the full Figure 3 rule sequence and assigns every
+      thread the same clocks and epochs the sequential analysis would.
+
+    Because the split preserves the relative order of the events each
+    shard receives, and the original trace index travels with each
+    event, a detector run over a shard produces exactly the warnings
+    the sequential run produces for that shard's variables — with the
+    same trace indices and prior epochs (see DESIGN.md §"Parallel
+    sharded driver" for the argument).
+
+    The hot path is {!Trace.iter_shard}, a zero-copy filtering
+    iterator run concurrently by every analysis domain; this module
+    provides the {e materialized} view of the same split — per-shard
+    index arrays, access counts, balance — used by tests, planning
+    introspection and load diagnostics. *)
+
+type t = {
+  shard_id : int;
+  trace : Trace.t;  (** shared, immutable *)
+  indices : int array;
+      (** original trace positions of this shard's events, increasing *)
+  accesses : int;  (** read/write events owned by this shard *)
+}
+
+type plan = {
+  jobs : int;
+  shards : t array;  (** length [jobs], in shard-id order *)
+  broadcast : int;
+      (** number of non-access events, each replicated to every
+          shard — the duplicated-work term of the cost model *)
+}
+
+val shard_of_var : jobs:int -> Var.t -> int
+(** Alias for {!Var.owner_shard}. *)
+
+val plan : jobs:int -> Trace.t -> plan
+(** Materializes the [max 1 jobs]-way split.  One counting pass plus
+    one {!Trace.iter_shard} per shard; only index arrays are
+    allocated, events are never copied. *)
+
+val length : t -> int
+
+val iteri : (int -> Event.t -> unit) -> t -> unit
+(** [iteri f s] calls [f original_trace_index event] for every event
+    of the shard, in trace order. *)
+
+val imbalance : plan -> float
+(** Max over mean of per-shard owned-access counts (1.0 = perfectly
+    balanced); the quantity the ROADMAP's work-stealing follow-up
+    would optimize. *)

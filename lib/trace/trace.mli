@@ -15,6 +15,19 @@ val length : t -> int
 val get : t -> int -> Event.t
 val iter : (Event.t -> unit) -> t -> unit
 val iteri : (int -> Event.t -> unit) -> t -> unit
+
+val iter_shard : jobs:int -> shard:int -> (int -> Event.t -> unit) -> t -> unit
+(** The shard-split iterator of the parallel driver: calls
+    [f index event] — in trace order, with {e original} trace indices —
+    for the sub-stream belonging to shard [shard] of a [jobs]-way
+    variable split: the access events whose variable the shard owns
+    ({!Val:Var.owner_shard}) plus {e every} synchronization and
+    transaction event, which are broadcast so each shard can replay
+    the full happens-before structure in its private sync state.
+    Zero-copy: nothing is materialized, so concurrent [iter_shard]s
+    from several domains share the immutable trace.
+    [iter_shard ~jobs:1 ~shard:0] enumerates the whole trace. *)
+
 val fold : ('a -> Event.t -> 'a) -> 'a -> t -> 'a
 
 val max_tid : t -> int

@@ -18,6 +18,8 @@ let key g x =
   | Fine -> (x.obj lsl field_bits) lor x.field
   | Coarse -> x.obj
 
+let owner_shard ~jobs x = x.obj mod jobs
+
 let equal a b = a.obj = b.obj && a.field = b.field
 
 let compare a b =

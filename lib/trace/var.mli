@@ -29,6 +29,15 @@ val key : granularity -> t -> int
     distinct variables get distinct keys under [Fine]; variables of the
     same object share a key under [Coarse]. *)
 
+val owner_shard : jobs:int -> t -> int
+(** [owner_shard ~jobs x] is the variable-shard owning [x] when the
+    analysis is split [jobs] ways: [x.obj mod jobs].  Sharding is by
+    object — not by [(obj, field)] — so that the coarse and adaptive
+    granularities, which share shadow state (and the
+    at-most-one-warning key) between all fields of an object, see each
+    key's full access stream on a single shard.  Deterministic and
+    trace-independent. *)
+
 val equal : t -> t -> bool
 val compare : t -> t -> int
 val hash : t -> int

@@ -16,4 +16,5 @@ let () =
       Test_robustness.suite;
       Test_accordion.suite;
       Test_smoke.suite;
+      Test_parallel.suite;
       Test_workloads.suite ]

@@ -1,0 +1,225 @@
+(* The parallel driver's contract (Driver.run_parallel): for any
+   detector whose per-variable analysis depends only on the
+   synchronization-event prefix, the variable-sharded run is
+   warning-for-warning identical to the sequential run — same
+   variables, kinds, trace indices and prior epochs — and its merged
+   stats are the sum of the per-shard counters.  This suite checks
+   both halves on every built-in workload at jobs ∈ {1, 3, 8}, on a
+   dedicated barrier + fork/join + volatile workload that exercises
+   the sync-broadcast path, and under every shadow granularity. *)
+
+let warning : Warning.t Alcotest.testable =
+  Alcotest.testable Warning.pp (fun (a : Warning.t) b -> a = b)
+
+let warnings_t = Alcotest.list warning
+
+let jobs_list = [ 1; 3; 8 ]
+
+let check_equivalence ?config name d tr =
+  let seq = Driver.run ?config d tr in
+  List.iter
+    (fun jobs ->
+      let par = Driver.run_parallel ?config ~jobs d tr in
+      Alcotest.check warnings_t
+        (Printf.sprintf "%s: warnings, %d jobs" name jobs)
+        seq.Driver.warnings par.Driver.warnings;
+      (* summed stats: accesses are partitioned (each counted once
+         across all shards); every other event is broadcast (counted
+         once per shard) *)
+      let reads, writes, _ = Trace.counts tr in
+      let other = Trace.length tr - reads - writes in
+      let s = par.Driver.stats in
+      Alcotest.(check int)
+        (Printf.sprintf "%s: summed reads, %d jobs" name jobs)
+        reads s.Stats.reads;
+      Alcotest.(check int)
+        (Printf.sprintf "%s: summed writes, %d jobs" name jobs)
+        writes s.Stats.writes;
+      Alcotest.(check int)
+        (Printf.sprintf "%s: summed events, %d jobs" name jobs)
+        (reads + writes + (jobs * other))
+        s.Stats.events;
+      (* access-path rule counters are access-driven, so their shard
+         sum must equal the sequential count exactly *)
+      List.iter
+        (fun rule ->
+          Alcotest.(check int)
+            (Printf.sprintf "%s: rule %S, %d jobs" name rule jobs)
+            (Stats.rule_hits seq.Driver.stats rule)
+            (Stats.rule_hits s rule))
+        [ "READ SAME EPOCH"; "READ SHARED"; "READ EXCLUSIVE";
+          "READ SHARE"; "WRITE SAME EPOCH"; "WRITE EXCLUSIVE";
+          "WRITE SHARED" ])
+    jobs_list
+
+let test_all_workloads () =
+  List.iter
+    (fun (w : Workload.t) ->
+      let tr = Workload.trace ~seed:11 ~scale:1 w in
+      check_equivalence w.name (module Fasttrack) tr)
+    Workloads.all
+
+(* A workload purpose-built to stress the sync-broadcast path: barrier
+   phases, fork/join ordering, volatile handoff, and one real race. *)
+let broadcast_heavy_trace () =
+  let a = Patterns.alloc () in
+  let slices = Array.init 3 (fun _ -> Patterns.obj a ~fields:4) in
+  let shared = Patterns.obj a ~fields:4 in
+  let racy = Patterns.var a in
+  let v = Patterns.volatile a in
+  let b = Patterns.barrier_id a in
+  let workers = [ 1; 2; 3 ] in
+  let phase i p =
+    (* write own slice, barrier, read the neighbour's — race-free
+       only because of the broadcast barrier_rel edge *)
+    Patterns.work ~reads:2 ~writes:2 slices.(i)
+    @ [ Program.Barrier_wait b ]
+    @ Patterns.read_only ~reads:2 slices.((i + p) mod 3)
+  in
+  let worker i tid =
+    { Program.tid;
+      body =
+        [ Program.Volatile_read v ]
+        @ List.concat (List.init 2 (phase i))
+        @ (if i < 2 then [ Program.Write racy ] else []) }
+  in
+  let main =
+    { Program.tid = 0;
+      body =
+        Patterns.work ~reads:1 ~writes:1 shared
+        @ [ Program.Volatile_write v ]
+        @ List.map (fun t -> Program.Fork t) workers
+        @ List.map (fun t -> Program.Join t) workers
+        @ Patterns.read_only ~reads:2 shared }
+  in
+  let program =
+    Program.make
+      ~barriers:[ { Program.id = b; parties = 3 } ]
+      (main :: List.mapi (fun i t -> worker i t) workers)
+  in
+  Scheduler.run
+    ~options:{ Scheduler.default_options with seed = 11 }
+    program
+
+let test_broadcast_sync () =
+  let tr = broadcast_heavy_trace () in
+  (match Validity.check tr with
+  | [] -> ()
+  | v :: _ ->
+    Alcotest.failf "invalid trace: %s"
+      (Format.asprintf "%a" Validity.pp_violation v));
+  let seq = Driver.run (module Fasttrack) tr in
+  Alcotest.(check int) "exactly the racy-variable warning" 1
+    (List.length seq.Driver.warnings);
+  check_equivalence "broadcast-heavy" (module Fasttrack) tr
+
+(* The driver is detector-generic: the baselines' per-variable states
+   (locksets, VC pairs, lockset-transfer logs) also depend only on
+   the sync prefix, so they shard identically. *)
+let test_other_detectors () =
+  List.iter
+    (fun name ->
+      let w = Option.get (Workloads.find name) in
+      let tr = Workload.trace ~seed:11 ~scale:1 w in
+      List.iter
+        (fun (tool, d) -> check_equivalence (name ^ "/" ^ tool) d tr)
+        [ ("djit+", (module Djit_plus : Detector.S));
+          ("basicvc", (module Basic_vc));
+          ("eraser", (module Eraser)) ])
+    [ "hedc"; "tsp" ]
+
+(* Sharding is by object id precisely so that the coarse and adaptive
+   granularities — which share shadow state between the fields of an
+   object — see every key's full access stream on one shard. *)
+let test_granularities () =
+  let w = Option.get (Workloads.find "moldyn") in
+  let tr = Workload.trace ~seed:11 ~scale:1 w in
+  List.iter
+    (fun g ->
+      let config = { Config.default with granularity = g } in
+      check_equivalence
+        (Printf.sprintf "moldyn (%s)"
+           (match g with
+           | Shadow.Fine -> "fine"
+           | Shadow.Coarse -> "coarse"
+           | Shadow.Adaptive -> "adaptive"))
+        ~config (module Fasttrack) tr)
+    [ Shadow.Fine; Shadow.Coarse; Shadow.Adaptive ]
+
+(* Shard planning invariants: accesses partitioned, sync broadcast,
+   per-shard order = trace order, original indices preserved. *)
+let test_shard_plan () =
+  let tr = broadcast_heavy_trace () in
+  let jobs = 3 in
+  let plan = Shard.plan ~jobs tr in
+  Alcotest.(check int) "shard count" jobs (Array.length plan.Shard.shards);
+  let reads, writes, other = Trace.counts tr in
+  ignore other;
+  let owned =
+    Array.fold_left
+      (fun acc (s : Shard.t) -> acc + s.Shard.accesses)
+      0 plan.Shard.shards
+  in
+  Alcotest.(check int) "accesses partitioned" (reads + writes) owned;
+  Array.iter
+    (fun (s : Shard.t) ->
+      Alcotest.(check int)
+        (Printf.sprintf "shard %d length" s.Shard.shard_id)
+        (s.Shard.accesses + plan.Shard.broadcast)
+        (Shard.length s);
+      let last = ref (-1) in
+      Shard.iteri
+        (fun index e ->
+          if index <= !last then
+            Alcotest.failf "shard %d: indices not increasing" s.shard_id;
+          last := index;
+          if not (Event.equal e (Trace.get tr index)) then
+            Alcotest.failf "shard %d: event/index mismatch at %d"
+              s.shard_id index;
+          (match e with
+          | Event.Read { x; _ } | Event.Write { x; _ } ->
+            Alcotest.(check int)
+              "access routed to its owner shard"
+              (Shard.shard_of_var ~jobs x)
+              s.shard_id
+          | _ -> ()))
+        s)
+    plan.Shard.shards
+
+(* More shards than objects / than events: empty shards are legal. *)
+let test_degenerate_jobs () =
+  let a = Patterns.alloc () in
+  let x = Patterns.var a in
+  let program =
+    Program.make
+      [ { Program.tid = 0;
+          body = [ Program.Fork 1; Program.Write x; Program.Join 1 ] };
+        { Program.tid = 1; body = [ Program.Write x ] } ]
+  in
+  let tr =
+    Scheduler.run
+      ~options:{ Scheduler.default_options with seed = 3 }
+      program
+  in
+  let seq = Driver.run (module Fasttrack) tr in
+  List.iter
+    (fun jobs ->
+      let par = Driver.run_parallel ~jobs (module Fasttrack) tr in
+      Alcotest.check warnings_t
+        (Printf.sprintf "tiny trace, %d jobs" jobs)
+        seq.Driver.warnings par.Driver.warnings)
+    [ 1; 2; 7; 64 ]
+
+let suite =
+  ( "parallel",
+    [ Alcotest.test_case "seq ≡ par on every workload (jobs 1/3/8)" `Quick
+        test_all_workloads;
+      Alcotest.test_case "barrier + fork/join + volatile broadcast" `Quick
+        test_broadcast_sync;
+      Alcotest.test_case "other detectors shard identically" `Quick
+        test_other_detectors;
+      Alcotest.test_case "fine/coarse/adaptive granularities" `Quick
+        test_granularities;
+      Alcotest.test_case "shard plan invariants" `Quick test_shard_plan;
+      Alcotest.test_case "degenerate shard counts" `Quick
+        test_degenerate_jobs ] )
