@@ -8,6 +8,7 @@ type record = {
   slowdown : float;
   speedup : float;
   warnings : int;
+  imbalance : float;
 }
 
 let records : record list ref = ref []
@@ -36,9 +37,9 @@ let record_to_json r =
   Printf.sprintf
     "{\"experiment\":\"%s\",\"workload\":\"%s\",\"tool\":\"%s\",\
      \"jobs\":%d,\"events\":%d,\"elapsed_s\":%.6f,\"slowdown\":%.3f,\
-     \"speedup\":%.3f,\"warnings\":%d}"
+     \"speedup\":%.3f,\"warnings\":%d,\"imbalance\":%.3f}"
     (escape r.experiment) (escape r.workload) (escape r.tool) r.jobs
-    r.events r.elapsed r.slowdown r.speedup r.warnings
+    r.events r.elapsed r.slowdown r.speedup r.warnings r.imbalance
 
 let write ~scale ~repeat path =
   let oc = open_out path in

@@ -22,6 +22,12 @@ type record = {
   speedup : float;      (** sequential elapsed / this elapsed; 1.0 for
                             the sequential row itself *)
   warnings : int;
+  imbalance : float;
+      (** max-over-mean of per-shard owned-access counts
+          ([Driver.result.imbalance]); 1.0 for sequential rows.  The
+          "measure" half of the ROADMAP work-stealing item: CI
+          artifacts now carry the shard balance of every parallel
+          measurement. *)
 }
 
 val add : record -> unit

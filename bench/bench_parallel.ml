@@ -73,7 +73,8 @@ let run ~scale ~repeat () =
             jobs = 1; events; elapsed = seq_elapsed;
             slowdown = Bench_common.slowdown seq_elapsed base;
             speedup = 1.0;
-            warnings = List.length seq_result.Driver.warnings };
+            warnings = List.length seq_result.Driver.warnings;
+            imbalance = 1.0 };
         let cells =
           List.concat_map
             (fun jobs ->
@@ -100,7 +101,8 @@ let run ~scale ~repeat () =
                   tool; jobs; events; elapsed;
                   slowdown = Bench_common.slowdown elapsed base;
                   speedup;
-                  warnings = List.length par_result.Driver.warnings };
+                  warnings = List.length par_result.Driver.warnings;
+                  imbalance = par_result.Driver.imbalance };
               [ Printf.sprintf "%.1f" (elapsed *. 1000.);
                 Printf.sprintf "%.2fx" speedup ])
             jobs_list

@@ -98,7 +98,8 @@ let run ~scale ~repeat () =
               events = r.events; elapsed = s *. r.base; slowdown = s;
               speedup = 1.0;
               warnings =
-                Option.value ~default:0 (List.assoc_opt tool r.warnings) })
+                Option.value ~default:0 (List.assoc_opt tool r.warnings);
+              imbalance = 1.0 })
         r.slowdowns)
     rows;
   render rows;

@@ -9,7 +9,13 @@
 
    --json FILE additionally writes every machine-readable record the
    chosen experiments pushed (tool / elapsed / slowdown / warning
-   count, plus host metadata) to FILE; see bench_json.mli. *)
+   count / shard imbalance, plus host metadata) to FILE; see
+   bench_json.mli.
+
+   --metrics FILE enables the observability layer for the harness
+   itself: one span per experiment on a shared wall-clock timeline,
+   GC samples at experiment boundaries, and the Obs_export JSON
+   document written to FILE (schema ftrace.obs/1). *)
 
 let experiments :
     (string * (scale:int -> repeat:int -> unit -> unit)) list =
@@ -30,7 +36,7 @@ let experiments :
 let usage () =
   prerr_endline
     "usage: main.exe [--scale N] [--repeat N] [--json FILE] \
-     [experiment ...]";
+     [--metrics FILE] [experiment ...]";
   Printf.eprintf "experiments: %s (default: all)\n"
     (String.concat " " (List.map fst experiments));
   exit 2
@@ -39,6 +45,7 @@ let () =
   let scale = ref 2 in
   let repeat = ref 3 in
   let json = ref None in
+  let metrics = ref None in
   let chosen = ref [] in
   let rec parse = function
     | [] -> ()
@@ -50,6 +57,9 @@ let () =
       parse rest
     | "--json" :: path :: rest ->
       json := Some path;
+      parse rest
+    | "--metrics" :: path :: rest ->
+      metrics := Some path;
       parse rest
     | name :: rest when List.mem_assoc name experiments ->
       chosen := name :: !chosen;
@@ -65,9 +75,22 @@ let () =
   Printf.printf
     "FastTrack reproduction benchmarks (scale %d, repeat %d)\n\n" !scale
     !repeat;
+  let obs =
+    if !metrics <> None then Obs.create () else Obs.disabled
+  in
   List.iter
     (fun name ->
-      (List.assoc name experiments) ~scale:!scale ~repeat:!repeat ();
+      Obs.gc_sample obs;
+      Obs.span obs (Printf.sprintf "experiment.%s" name) (fun () ->
+          (List.assoc name experiments) ~scale:!scale ~repeat:!repeat ());
+      Obs.bump obs "bench.experiments" 1;
       print_newline ())
     chosen;
-  Option.iter (Bench_json.write ~scale:!scale ~repeat:!repeat) !json
+  Option.iter (Bench_json.write ~scale:!scale ~repeat:!repeat) !json;
+  Option.iter
+    (fun path ->
+      Obs.gc_sample_full obs;
+      Obs.bump obs "bench.records" (List.length (Bench_json.recorded ()));
+      Obs_export.write_file ~path obs;
+      Printf.printf "wrote harness metrics to %s\n" path)
+    !metrics

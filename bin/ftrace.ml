@@ -166,7 +166,94 @@ let generate_cmd =
 (* ------------------------------------------------------------------ *)
 (* analyze                                                            *)
 
-let analyze path tool granularity jobs show_stats =
+(* The --verbose-stats panel: counters, rule histogram, per-shard
+   load table, GC cross-check, and warnings re-rendered with their
+   rule-histogram context and shard provenance. *)
+let print_verbose_panel ~jobs ~obs (r : Driver.result) =
+  print_endline "-- counters --";
+  let t =
+    Table.create ~columns:[ ("Metric", Table.Left); ("Value", Table.Right) ]
+  in
+  List.iter
+    (fun (k, v) -> Table.add_row t [ k; Table.fmt_int v ])
+    (Stats.fields_alist r.stats);
+  Table.add_separator t;
+  Table.add_row t [ "warnings"; string_of_int (List.length r.warnings) ];
+  Table.add_row t [ "cpu (ms)"; Printf.sprintf "%.2f" (r.cpu *. 1000.) ];
+  Table.add_row t [ "wall (ms)"; Printf.sprintf "%.2f" (r.wall *. 1000.) ];
+  if jobs > 1 then
+    Table.add_row t [ "imbalance"; Printf.sprintf "%.2f" r.imbalance ];
+  Table.print t;
+  (match Stats.rules_alist r.stats with
+  | [] -> ()
+  | rules ->
+    print_endline "-- rule histogram --";
+    let t =
+      Table.create
+        ~columns:
+          [ ("Rule", Table.Left); ("Hits", Table.Right);
+            ("Share%", Table.Right) ]
+    in
+    let total = List.fold_left (fun a (_, n) -> a + n) 0 rules in
+    List.iter
+      (fun (rule, n) ->
+        Table.add_row t
+          [ rule; Table.fmt_int n;
+            Printf.sprintf "%.1f"
+              (100. *. float_of_int n /. float_of_int (max total 1)) ])
+      rules;
+    Table.print t);
+  if Array.length r.shards > 0 then begin
+    print_endline "-- shards --";
+    let t =
+      Table.create
+        ~columns:
+          [ ("Shard", Table.Right); ("Accesses", Table.Right);
+            ("Broadcast", Table.Right); ("Wall(ms)", Table.Right);
+            ("Warnings", Table.Right) ]
+    in
+    Array.iter
+      (fun (si : Driver.shard_info) ->
+        Table.add_row t
+          [ string_of_int si.Driver.shard_id;
+            Table.fmt_int si.Driver.shard_accesses;
+            Table.fmt_int si.Driver.shard_syncs;
+            Printf.sprintf "%.2f" (si.Driver.shard_wall *. 1000.);
+            string_of_int si.Driver.shard_warnings ])
+      r.shards;
+    Table.print t
+  end;
+  (match Obs.gc obs with
+  | Some g -> (
+    match List.rev (Obs_gc.samples g) with
+    | last :: _ as rev ->
+      Printf.printf
+        "gc: %d sample(s); heap %s words, live %s words — stats peak %s \
+         shadow words\n"
+        (List.length rev)
+        (Table.fmt_int last.Obs_gc.heap_words)
+        (Table.fmt_int last.Obs_gc.live_words)
+        (Table.fmt_int r.stats.Stats.peak_words)
+    | [] -> ())
+  | None -> ());
+  match r.warnings with
+  | [] -> ()
+  | warnings ->
+    print_endline "-- warnings (with context) --";
+    let rules = Stats.rules_alist r.stats in
+    List.iter
+      (fun w ->
+        let shard =
+          if jobs > 1 then Some (Shard.shard_of_var ~jobs w.Warning.x)
+          else None
+        in
+        Format.printf "  @[<h>%a@]@."
+          (fun ppf w -> Warning.pp_context ppf ?shard ~rules w)
+          w)
+      warnings
+
+let analyze path tool granularity jobs show_stats verbose_stats metrics
+    fail_on_race =
   match load_trace path with
   | Error msg ->
     prerr_endline msg;
@@ -177,7 +264,15 @@ let analyze path tool granularity jobs show_stats =
       Printf.eprintf "unknown tool %S\n" tool;
       1
     | Some d ->
-      let config = config_of granularity in
+      (* Observability is off unless a flag needs it, so the default
+         analyze path stays uninstrumented (and its warnings are
+         asserted identical either way in test/test_obs.ml). *)
+      let obs =
+        if verbose_stats || metrics <> None then
+          Obs.create ~gc_every:8192 ()
+        else Obs.disabled
+      in
+      let config = Config.with_obs obs (config_of granularity) in
       let jobs = if jobs = 0 then Driver.default_jobs () else max 1 jobs in
       let result =
         if jobs > 1 then Driver.run_parallel ~config ~jobs d tr
@@ -193,8 +288,26 @@ let analyze path tool granularity jobs show_stats =
       List.iter
         (fun w -> Printf.printf "  %s\n" (Warning.to_string w))
         result.warnings;
+      if jobs > 1 then
+        Printf.printf "shards: imbalance %.2f, accesses [%s]\n"
+          result.Driver.imbalance
+          (String.concat "; "
+             (Array.to_list
+                (Array.map
+                   (fun (si : Driver.shard_info) ->
+                     Printf.sprintf "s%d=%d" si.Driver.shard_id
+                       si.Driver.shard_accesses)
+                   result.Driver.shards)));
       if show_stats then Format.printf "%a@." Stats.pp result.stats;
-      if result.warnings = [] then 0 else 2)
+      if verbose_stats then print_verbose_panel ~jobs ~obs result;
+      Option.iter
+        (fun file ->
+          Driver.write_metrics ~source:path ~obs ~path:file result;
+          Printf.printf "wrote metrics to %s\n" file)
+        metrics;
+      if fail_on_race then if result.warnings = [] then 0 else 1
+      else if result.warnings = [] then 0
+      else 2)
 
 let analyze_cmd =
   let stats =
@@ -203,13 +316,36 @@ let analyze_cmd =
              ~doc:"Also print instrumentation statistics (VC allocations, \
                    rule frequencies, ...).")
   in
+  let verbose_stats =
+    Arg.(value & flag
+         & info [ "verbose-stats" ]
+             ~doc:"Print the full observability panel: counters, rule \
+                   histogram, per-shard load table, GC cross-check, and \
+                   warnings with rule/shard context.  Enables the \
+                   observability layer for this run.")
+  in
+  let metrics =
+    Arg.(value & opt (some string) None
+         & info [ "metrics" ] ~docv:"FILE"
+             ~doc:"Enable the observability layer and write its JSON \
+                   document (metric registry snapshot, span timeline \
+                   with per-shard durations, GC samples, run summary \
+                   with imbalance) to $(docv).")
+  in
+  let fail_on_race =
+    Arg.(value & flag
+         & info [ "fail-on-race" ]
+             ~doc:"CI gating: exit 1 if any warning was reported, 0 \
+                   otherwise (instead of the default exit code 2 on \
+                   races).")
+  in
   Cmd.v
     (Cmd.info "analyze"
        ~doc:"Run one race detector over a trace (exit code 2 if races \
-             were found)")
+             were found; with $(b,--fail-on-race), exit code 1)")
     Term.(
       const analyze $ trace_arg $ tool_arg $ granularity_arg $ jobs_arg
-      $ stats)
+      $ stats $ verbose_stats $ metrics $ fail_on_race)
 
 (* ------------------------------------------------------------------ *)
 (* compare                                                            *)

@@ -2,12 +2,16 @@ type t = {
   granularity : Shadow.mode;
   same_epoch_fast_path : bool;
   read_demotion : bool;
+  obs : Obs.t;
 }
 
 let default =
   { granularity = Shadow.Fine;
     same_epoch_fast_path = true;
-    read_demotion = true }
+    read_demotion = true;
+    obs = Obs.disabled }
+
+let with_obs obs t = { t with obs }
 
 let coarse = { default with granularity = Shadow.Coarse }
 let adaptive = { default with granularity = Shadow.Adaptive }

@@ -12,16 +12,28 @@
       shortcut (Figure 5's first line of each handler);
     - [read_demotion]: rule [FT WRITE SHARED]'s reset of the read
       history to [⊥e], which switches a read-shared variable back into
-      cheap epoch mode after a write. *)
+      cheap epoch mode after a write.
+
+    [obs] is the observability handle the driver threads through the
+    run (metrics registry, span timeline, GC sampler — see {!Obs}).
+    It defaults to {!Obs.disabled}: instrumentation is compiled in
+    but off, and the disabled path costs one closure selection
+    outside the event loop (overhead budget: ≤5%% on the [parallel]
+    bench, see DESIGN.md §Observability).  Observability never
+    changes analysis results — warnings are identical with it on or
+    off (asserted in [test/test_obs.ml]). *)
 
 type t = {
   granularity : Shadow.mode;
   same_epoch_fast_path : bool;
   read_demotion : bool;
+  obs : Obs.t;
 }
 
 val default : t
-(** Fine granularity, all optimizations on. *)
+(** Fine granularity, all optimizations on, observability off. *)
+
+val with_obs : Obs.t -> t -> t
 
 val coarse : t
 val adaptive : t

@@ -1,8 +1,20 @@
+type shard_info = {
+  shard_id : int;
+  shard_accesses : int;
+  shard_syncs : int;
+  shard_wall : float;
+  shard_warnings : int;
+}
+
 type result = {
   tool : string;
   warnings : Warning.t list;
   stats : Stats.t;
   elapsed : float;
+  cpu : float;
+  wall : float;
+  shards : shard_info array;
+  imbalance : float;
 }
 
 let time f =
@@ -10,53 +22,186 @@ let time f =
   let x = f () in
   (x, Sys.time () -. start)
 
-let run_packed packed tr =
-  let (), elapsed =
-    time (fun () ->
-        Trace.iteri (fun index e -> Detector.packed_on_event packed ~index e) tr)
+(* Post-run registry bookkeeping shared by both drivers.  Cold path:
+   only reached once per run, and only does work when [obs] is
+   enabled. *)
+let finish_metrics obs (stats : Stats.t) ~wall =
+  if Obs.is_enabled obs then begin
+    Obs.bump obs "driver.runs" 1;
+    Obs.bump obs "driver.events" stats.Stats.events;
+    Obs.bump obs "driver.accesses" (stats.Stats.reads + stats.Stats.writes);
+    Obs.observe obs "driver.run_wall_s" wall;
+    (* cross-check channel for Table 3: the hand-counted shadow words
+       next to the GC's own view of the heap (see the "gc" samples) *)
+    Obs.set_gauge obs "stats.peak_words" (float_of_int stats.Stats.peak_words);
+    Obs.set_gauge obs "stats.state_words"
+      (float_of_int stats.Stats.state_words)
+  end
+
+let run_packed ?(obs = Obs.disabled) packed tr =
+  (* Select the event-loop body once, outside the loop: the disabled
+     path is byte-for-byte the pre-observability loop. *)
+  let on_event =
+    if Obs.is_enabled obs then (fun index e ->
+        Detector.packed_on_event packed ~index e;
+        Obs.tick obs)
+    else fun index e -> Detector.packed_on_event packed ~index e
   in
+  Obs.gc_sample obs;
+  let cpu0 = Sys.time () in
+  let (), wall =
+    Par_run.wall_time (fun () ->
+        Obs.span obs "analyze" (fun () -> Trace.iteri on_event tr))
+  in
+  let cpu = Sys.time () -. cpu0 in
+  Obs.gc_sample_full obs;
+  let stats = Detector.packed_stats packed in
+  finish_metrics obs stats ~wall;
   { tool = Detector.packed_name packed;
     warnings = Detector.packed_warnings packed;
-    stats = Detector.packed_stats packed;
-    elapsed }
+    stats;
+    elapsed = cpu;
+    cpu;
+    wall;
+    shards = [||];
+    imbalance = 1.0 }
 
 let run ?(config = Config.default) d tr =
-  run_packed (Detector.instantiate d config) tr
+  run_packed ~obs:config.Config.obs (Detector.instantiate d config) tr
 
 (* ------------------------------------------------------------------ *)
 (* Sharded parallel driver (see lib/parallel and DESIGN.md).          *)
 
 let default_jobs = Domain_pool.recommended_jobs
 
-let analyze_shard d config ~jobs ~shard tr =
-  let packed = Detector.instantiate d config in
-  Trace.iter_shard ~jobs ~shard
-    (fun index e -> Detector.packed_on_event packed ~index e)
-    tr;
-  (Detector.packed_warnings packed, Detector.packed_stats packed)
+let analyze_shard ?(obs = Obs.disabled) d config ~jobs ~shard tr =
+  let start = Obs.now obs in
+  let (warnings, stats), shard_wall =
+    Par_run.wall_time (fun () ->
+        let packed = Detector.instantiate d config in
+        Trace.iter_shard ~jobs ~shard
+          (fun index e -> Detector.packed_on_event packed ~index e)
+          tr;
+        (Detector.packed_warnings packed, Detector.packed_stats packed))
+  in
+  (* One span per shard (one mutex acquisition per shard, not per
+     event); attributes carry the per-shard load-balance inputs. *)
+  Obs.record_span obs
+    ~name:(Printf.sprintf "shard-%d" shard)
+    ~start ~duration:shard_wall
+    ~attrs:
+      [ ("accesses", Obs_span.Int (stats.Stats.reads + stats.Stats.writes));
+        ("broadcast_replays", Obs_span.Int stats.Stats.syncs);
+        ("warnings", Obs_span.Int (List.length warnings)) ]
+    ();
+  (warnings, stats, shard_wall)
 
-let merge_shards (module D : Detector.S) shard_results elapsed =
+let merge_shards (module D : Detector.S) shard_results ~cpu ~wall =
+  let shards =
+    Array.mapi
+      (fun i (w, (s : Stats.t), shard_wall) ->
+        { shard_id = i;
+          shard_accesses = s.Stats.reads + s.Stats.writes;
+          shard_syncs = s.Stats.syncs;
+          shard_wall;
+          shard_warnings = List.length w })
+      shard_results
+  in
+  let imbalance =
+    Shard.imbalance_of_counts
+      (Array.map (fun si -> si.shard_accesses) shards)
+  in
   let results = Array.to_list shard_results in
   (* Shards own disjoint shadow keys, and at most one warning is ever
      recorded per key, so no two shards can warn at the same trace
      index: sorting by index reconstructs the sequential run's
      chronological warning list exactly. *)
   let warnings =
-    List.concat_map fst results |> List.stable_sort Warning.compare
+    List.concat_map (fun (w, _, _) -> w) results
+    |> List.stable_sort Warning.compare
   in
   { tool = D.name;
     warnings;
-    stats = Stats.sum (List.map snd results);
-    elapsed }
+    stats = Stats.sum (List.map (fun (_, s, _) -> s) results);
+    elapsed = wall;
+    cpu;
+    wall;
+    shards;
+    imbalance }
 
 let run_parallel ?(config = Config.default) ?jobs d tr =
   let jobs =
     match jobs with Some j -> max 1 j | None -> default_jobs ()
   in
-  let shard_results, elapsed =
-    Par_run.map ~jobs (fun ~shard -> analyze_shard d config ~jobs ~shard tr)
+  let obs = config.Config.obs in
+  if Obs.is_enabled obs then begin
+    Obs.gc_sample obs;
+    (* The materialized plan costs one extra counting pass, so it is
+       taken only when tracing: it prices the broadcast term of the
+       cost model before any domain spawns. *)
+    Obs.span obs "plan" (fun () ->
+        let plan = Shard.plan ~jobs tr in
+        Obs.set_gauge obs "shard.plan_imbalance" (Shard.imbalance plan);
+        Obs.bump obs "shard.broadcast_events" plan.Shard.broadcast)
+  end;
+  let cpu0 = Sys.time () in
+  let shard_results, wall =
+    Par_run.map ~obs ~jobs (fun ~shard ->
+        analyze_shard ~obs d config ~jobs ~shard tr)
   in
-  merge_shards d shard_results elapsed
+  (* On Linux, [Sys.time]'s clock sums CPU across the region's
+     domains, so this is detector work, not wall x jobs. *)
+  let cpu = Sys.time () -. cpu0 in
+  let result =
+    Obs.span obs "merge" (fun () -> merge_shards d shard_results ~cpu ~wall)
+  in
+  Obs.gc_sample_full obs;
+  finish_metrics obs result.stats ~wall;
+  if Obs.is_enabled obs then
+    Obs.set_gauge obs "shard.imbalance" result.imbalance;
+  result
+
+(* ------------------------------------------------------------------ *)
+(* Metrics-document assembly (the [--metrics FILE] payload).          *)
+
+let shard_info_json si =
+  Obs_json.obj
+    [ ("shard", Obs_json.int si.shard_id);
+      ("accesses", Obs_json.int si.shard_accesses);
+      ("broadcast_replays", Obs_json.int si.shard_syncs);
+      ("wall_s", Obs_json.float si.shard_wall);
+      ("warnings", Obs_json.int si.shard_warnings) ]
+
+let result_json ?(source = "") r =
+  Obs_json.obj
+    [ ("tool", Obs_json.str r.tool);
+      ("source", Obs_json.str source);
+      ("jobs", Obs_json.int (max 1 (Array.length r.shards)));
+      ("warnings", Obs_json.int (List.length r.warnings));
+      ("cpu_s", Obs_json.float r.cpu);
+      ("wall_s", Obs_json.float r.wall);
+      ("imbalance", Obs_json.float r.imbalance);
+      ("shards", Obs_json.arr (Array.to_list (Array.map shard_info_json r.shards)));
+      ("stats",
+       Obs_json.obj
+         (List.map
+            (fun (k, v) -> (k, Obs_json.int v))
+            (Stats.fields_alist r.stats)));
+      ("rules",
+       Obs_json.obj
+         (List.map
+            (fun (k, v) -> (k, Obs_json.int v))
+            (Stats.rules_alist r.stats))) ]
+
+let export_metrics ?source ~obs r =
+  Obs_export.to_string ~extra:[ ("run", result_json ?source r) ] obs
+
+let write_metrics ?source ~obs ~path r =
+  Obs_export.write_file ~path
+    ~extra:[ ("run", result_json ?source r) ]
+    obs
+
+(* ------------------------------------------------------------------ *)
 
 (* A volatile-ish sink the optimizer cannot delete. *)
 let sink = ref 0

@@ -3,20 +3,56 @@
     [replay] measures the cost of streaming the trace through an empty
     loop — the stand-in for "uninstrumented execution time" in the
     slowdown ratios of Tables 1 and 3 (our events are already recorded,
-    so the only base cost is the replay itself). *)
+    so the only base cost is the replay itself).
+
+    Observability: both drivers thread the {!Config.t}'s [obs] handle
+    through the run — phase spans ([plan] / [parallel.region] /
+    [shard-N] / [merge] for the parallel driver, [analyze] for the
+    sequential one), periodic GC samples, and registry counters — and
+    {!write_metrics} dumps the whole document as JSON.  With the
+    default {!Obs.disabled} handle the event loop is selected
+    uninstrumented before entry, so a disabled run pays nothing per
+    event. *)
+
+type shard_info = {
+  shard_id : int;
+  shard_accesses : int;   (** read/write events this shard owned *)
+  shard_syncs : int;      (** broadcast sync events it replayed *)
+  shard_wall : float;     (** wall seconds inside the shard's task *)
+  shard_warnings : int;
+}
+(** Per-shard accounting of a {!run_parallel} region, derived from
+    the per-shard {!Stats} (no extra trace pass). *)
 
 type result = {
   tool : string;
   warnings : Warning.t list;
   stats : Stats.t;
-  elapsed : float;  (** seconds of CPU time spent in the detector *)
+  elapsed : float;
+      (** @deprecated alias kept so existing tables don't silently
+          change meaning: equals [cpu] for {!run} (CPU seconds, the
+          historical unit of the sequential driver) and [wall] for
+          {!run_parallel} (CPU would sum across domains).  New code
+          should read [cpu] or [wall] explicitly. *)
+  cpu : float;
+      (** CPU seconds in the detector; for parallel runs this is the
+          process CPU clock, which on Linux sums across the region's
+          domains — detector work, not wall x jobs. *)
+  wall : float;  (** wall-clock seconds of the analysis region *)
+  shards : shard_info array;
+      (** one entry per shard for {!run_parallel}; [[||]] for {!run} *)
+  imbalance : float;
+      (** {!Shard.imbalance_of_counts} over [shards]' access counts —
+          max over mean, 1.0 = perfectly balanced; 1.0 for
+          sequential runs *)
 }
 
 val run : ?config:Config.t -> (module Detector.S) -> Trace.t -> result
 
-val run_packed : Detector.packed -> Trace.t -> result
+val run_packed : ?obs:Obs.t -> Detector.packed -> Trace.t -> result
 (** Feed a trace to an already-instantiated detector (the detector may
-    carry state from earlier traces). *)
+    carry state from earlier traces).  [obs] defaults to
+    {!Obs.disabled}; {!run} passes its config's handle. *)
 
 val run_parallel :
   ?config:Config.t -> ?jobs:int -> (module Detector.S) -> Trace.t ->
@@ -45,10 +81,35 @@ val run_parallel :
     whole region rather than CPU seconds,
     which would sum across domains.  Memory cost: each shard keeps
     its own copy of the sync state (threads × clocks), so sync memory
-    scales with [jobs] while shadow memory stays partitioned. *)
+    scales with [jobs] while shadow memory stays partitioned.
+
+    Load-balance accounting rides along for free: [shards] carries
+    each shard's owned-access count, broadcast-replay count, warning
+    count and wall time (all from the per-shard {!Stats}), and
+    [imbalance] summarizes them — the "measure" half of the ROADMAP
+    work-stealing item.  With observability enabled the run
+    additionally records a [plan] span (materialized {!Shard.plan},
+    broadcast size, planned imbalance), one [shard-N] span per shard,
+    and a [merge] span, all on one wall-clock timeline. *)
 
 val default_jobs : unit -> int
 (** The runtime's [Domain.recommended_domain_count ()]. *)
+
+(** {2 Metrics export} *)
+
+val result_json : ?source:string -> result -> Obs_json.t
+(** The run section of the metrics document: tool, [source] (trace
+    file or workload name), jobs, cpu/wall, imbalance, per-shard
+    table, {!Stats.fields_alist} and the rule histogram. *)
+
+val export_metrics : ?source:string -> obs:Obs.t -> result -> string
+(** The complete [--metrics] JSON document ({!Obs_export.document}
+    with the run section attached) as a string; schema
+    ["ftrace.obs/1"], asserted by [test/test_obs.ml]. *)
+
+val write_metrics :
+  ?source:string -> obs:Obs.t -> path:string -> result -> unit
+(** {!export_metrics} to a file. *)
 
 val replay : ?repeat:int -> Trace.t -> float
 (** CPU time for [repeat] (default 1) bare iterations of the trace,

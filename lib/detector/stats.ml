@@ -73,6 +73,17 @@ let sum stats =
   List.iter (fun s -> merge_into ~into:acc s) stats;
   acc
 
+let fields_alist s =
+  [ ("events", s.events);
+    ("reads", s.reads);
+    ("writes", s.writes);
+    ("syncs", s.syncs);
+    ("vc_allocs", s.vc_allocs);
+    ("vc_ops", s.vc_ops);
+    ("epoch_ops", s.epoch_ops);
+    ("state_words", s.state_words);
+    ("peak_words", s.peak_words) ]
+
 let rules_alist s =
   Hashtbl.fold (fun name r acc -> (name, !r) :: acc) s.rules []
   |> List.sort (fun (_, a) (_, b) -> Int.compare b a)

@@ -48,4 +48,10 @@ val sum : t list -> t
 val rules_alist : t -> (string * int) list
 (** Rules sorted by descending hit count. *)
 
+val fields_alist : t -> (string * int) list
+(** Every scalar counter as [(name, value)], in declaration order —
+    the single source of truth for the exporters ([--metrics] JSON,
+    [--verbose-stats] panel), so a new field cannot silently miss the
+    export path. *)
+
 val pp : Format.formatter -> t -> unit

@@ -27,3 +27,29 @@ let pp ppf w =
 
 let to_string w = Format.asprintf "%a" pp w
 let compare a b = Int.compare a.index b.index
+
+(* Enriched rendering for the verbose report: the plain warning line
+   (unchanged, so default output stays byte-identical between
+   instrumented and uninstrumented runs) plus analysis context — the
+   owning shard of the racy variable and the run's dominant analysis
+   rules, which say whether the race was caught on the epoch fast
+   path or after an O(n) promotion. *)
+let pp_context ppf ?shard ?(rules = []) w =
+  pp ppf w;
+  let top_rules =
+    match rules with
+    | [] -> []
+    | rs ->
+      let rs = List.filteri (fun i _ -> i < 3) rs in
+      [ Printf.sprintf "top rules %s"
+          (String.concat ", "
+             (List.map (fun (r, n) -> Printf.sprintf "%s=%d" r n) rs)) ]
+  in
+  let shard_ctx =
+    match shard with
+    | Some s -> [ Printf.sprintf "shard %d" s ]
+    | None -> []
+  in
+  match shard_ctx @ top_rules with
+  | [] -> ()
+  | ctx -> Format.fprintf ppf "@ [%s]" (String.concat "; " ctx)

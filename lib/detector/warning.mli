@@ -34,3 +34,12 @@ val pp : Format.formatter -> t -> unit
 val to_string : t -> string
 val compare : t -> t -> int
 (** Orders by trace position. *)
+
+val pp_context :
+  Format.formatter -> ?shard:int -> ?rules:(string * int) list -> t -> unit
+(** [pp] plus observability context in brackets: [shard] is the racy
+    variable's owner shard under the current [--jobs] split
+    ({!Shard.shard_of_var}), [rules] the run's rule histogram
+    ({!Stats.rules_alist}; the top entries are printed).  Used by
+    [ftrace analyze --verbose-stats]; the plain {!pp} line is a
+    prefix, so grepping for it matches both renderings. *)

@@ -1,0 +1,77 @@
+(** Observability facade: one handle bundling a metrics registry
+    ({!Obs_metrics}), a span sink ({!Obs_span}) and a GC sampler
+    ({!Obs_gc}), with a single [enabled] guard.
+
+    Everything is compiled in but {e off by default}: the pipeline
+    threads {!disabled} (a shared, inert handle) unless the caller
+    opts in with {!create}.  Every operation on a disabled handle is
+    one branch — in particular the hot-loop helpers are written so
+    callers can select an uninstrumented closure {e once}, outside
+    the loop (see [Driver.run_packed]) — which is how the ≤5%%
+    overhead budget of ISSUE 2 is met with margin.
+
+    The handle is the unit of merging: the parallel driver gives each
+    shard {!shard_view} and {!merge}s the shard registries back after
+    the region, mirroring [Stats.merge_into]; spans and GC samples
+    from all shards go to the {e shared} (mutex-protected) sink so
+    the timeline stays global. *)
+
+type t
+
+val disabled : t
+(** The inert handle; all operations are no-ops. *)
+
+val create : ?gc_every:int -> unit -> t
+(** A fresh enabled handle.  [gc_every] is the hot-loop tick period
+    of the GC sampler (default 65536 events). *)
+
+val is_enabled : t -> bool
+
+(** {2 Components (enabled handles only; [None] when disabled)} *)
+
+val metrics : t -> Obs_metrics.t option
+val spans : t -> Obs_span.t option
+val gc : t -> Obs_gc.t option
+
+(** {2 Guarded operations} *)
+
+val span :
+  ?attrs:(string * Obs_span.attr) list -> t -> string -> (unit -> 'a) -> 'a
+(** [span t name f] is [f ()] when disabled, a recorded
+    {!Obs_span.with_} when enabled. *)
+
+val record_span :
+  t -> name:string -> start:float -> duration:float ->
+  ?attrs:(string * Obs_span.attr) list -> unit -> unit
+
+val now : t -> float
+(** Seconds since the span sink's epoch; [0.] when disabled. *)
+
+val tick : t -> unit
+(** GC-sampler tick (hot loop). *)
+
+val gc_sample : t -> unit
+(** Quick GC sample at a phase boundary. *)
+
+val gc_sample_full : t -> unit
+(** Full [Gc.stat] sample (heap walk) — end of run. *)
+
+val counter : t -> string -> Obs_metrics.counter option
+val bump : t -> string -> int -> unit
+(** Cold-path convenience: registry lookup + add; no-op when
+    disabled.  Hot paths should hold the {!counter} handle instead. *)
+
+val set_gauge : t -> string -> float -> unit
+val observe : t -> string -> float -> unit
+(** Cold-path histogram observation by name. *)
+
+(** {2 Sharding} *)
+
+val shard_view : t -> t
+(** A handle for one shard of a parallel region: fresh {e private}
+    metrics registry (merge it back with {!merge}), {e shared} span
+    sink and GC sampler.  {!disabled} maps to itself. *)
+
+val merge : into:t -> t -> unit
+(** Merge a shard view's registry into the parent's ({!Obs_metrics.merge_into}).
+    No-op if either side is disabled. *)

@@ -1,0 +1,44 @@
+(** Periodic GC/heap sampling.
+
+    Samples are cheap ([Gc.quick_stat] — no heap walk) and are taken
+    every [every] ticks of the hot loop plus once at each explicit
+    [sample_now]; a final {!sample_full} ([Gc.stat], walks the heap
+    for [live_words]) gives the independent cross-check for the
+    paper's Table 3 memory numbers ([Stats.peak_words] counts shadow
+    words by hand; the GC's live words bound it from above).
+
+    The tick counter is a single decrement-and-test, so the per-event
+    cost of an {e enabled} sampler is ~1 ns; a disabled run never
+    constructs one. *)
+
+type sample = {
+  at : float;              (** wall seconds since the sampler's epoch *)
+  minor_words : float;
+  major_words : float;     (** cumulative allocation, words *)
+  heap_words : int;        (** major heap size *)
+  top_heap_words : int;
+  live_words : int;        (** 0 except for {!sample_full} samples *)
+  minor_collections : int;
+  major_collections : int;
+  full : bool;             (** whether [live_words] is meaningful *)
+}
+
+type t
+
+val create : ?every:int -> unit -> t
+(** [every] defaults to 65536 ticks between periodic samples. *)
+
+val tick : t -> unit
+(** Hot-loop hook: decrement the countdown, sample when it hits 0. *)
+
+val sample_now : t -> unit
+(** Take a quick sample immediately (phase boundaries). *)
+
+val sample_full : t -> unit
+(** Take a [Gc.stat] sample (computes [live_words]; walks the heap —
+    end-of-run only). *)
+
+val samples : t -> sample list
+(** Chronological. *)
+
+val to_json : t -> Obs_json.t

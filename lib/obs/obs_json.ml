@@ -1,0 +1,58 @@
+type t = Buffer.t -> unit
+
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let str s b =
+  Buffer.add_char b '"';
+  Buffer.add_string b (escape s);
+  Buffer.add_char b '"'
+
+let int n b = Buffer.add_string b (string_of_int n)
+
+let float f b =
+  if Float.is_finite f then Buffer.add_string b (Printf.sprintf "%.6g" f)
+  else Buffer.add_string b "null"
+
+let bool v b = Buffer.add_string b (if v then "true" else "false")
+let null b = Buffer.add_string b "null"
+
+let seq ~op ~cl items render b =
+  Buffer.add_char b op;
+  List.iteri
+    (fun i item ->
+      if i > 0 then Buffer.add_char b ',';
+      render item b)
+    items;
+  Buffer.add_char b cl
+
+let arr items = seq ~op:'[' ~cl:']' items (fun v b -> v b)
+
+let obj fields =
+  seq ~op:'{' ~cl:'}' fields (fun (k, v) b ->
+      str k b;
+      Buffer.add_char b ':';
+      v b)
+
+let to_string v =
+  let b = Buffer.create 256 in
+  v b;
+  Buffer.contents b
+
+let to_channel oc v =
+  let b = Buffer.create 4096 in
+  v b;
+  Buffer.output_buffer oc b

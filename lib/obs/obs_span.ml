@@ -1,0 +1,62 @@
+type attr = Int of int | Float of float | Str of string
+
+type span = {
+  name : string;
+  start : float;
+  duration : float;
+  attrs : (string * attr) list;
+}
+
+type t = {
+  epoch : float;
+  mutable recorded : span list;  (* reverse chronological-ish *)
+  mu : Mutex.t;
+}
+
+let create () =
+  { epoch = Unix.gettimeofday (); recorded = []; mu = Mutex.create () }
+
+let now t = Unix.gettimeofday () -. t.epoch
+
+let push t s =
+  Mutex.lock t.mu;
+  t.recorded <- s :: t.recorded;
+  Mutex.unlock t.mu
+
+let record t ~name ~start ~duration ?(attrs = []) () =
+  push t { name; start; duration; attrs }
+
+let with_ ?(attrs = []) t name f =
+  let start = now t in
+  let finish () = record t ~name ~start ~duration:(now t -. start) ~attrs () in
+  match f () with
+  | x ->
+    finish ();
+    x
+  | exception e ->
+    finish ();
+    raise e
+
+let spans t =
+  Mutex.lock t.mu;
+  let ss = t.recorded in
+  Mutex.unlock t.mu;
+  List.stable_sort (fun a b -> Float.compare a.start b.start) (List.rev ss)
+
+let attr_to_json = function
+  | Int n -> Obs_json.int n
+  | Float f -> Obs_json.float f
+  | Str s -> Obs_json.str s
+
+let to_json t =
+  Obs_json.arr
+    (List.map
+       (fun s ->
+         Obs_json.obj
+           [ ("name", Obs_json.str s.name);
+             ("start_s", Obs_json.float s.start);
+             ("duration_s", Obs_json.float s.duration);
+             ("attrs",
+              Obs_json.obj
+                (List.map (fun (k, v) -> (k, attr_to_json v)) s.attrs)) ])
+       (spans t))

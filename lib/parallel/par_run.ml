@@ -3,6 +3,9 @@ let wall_time f =
   let x = f () in
   (x, Unix.gettimeofday () -. start)
 
-let map ~jobs f =
+let map ?(obs = Obs.disabled) ~jobs f =
   let jobs = max 1 jobs in
-  wall_time (fun () -> Domain_pool.map ~jobs (fun shard -> f ~shard))
+  Obs.span obs "parallel.region"
+    ~attrs:[ ("jobs", Obs_span.Int jobs) ]
+    (fun () ->
+      wall_time (fun () -> Domain_pool.map ~jobs (fun shard -> f ~shard)))

@@ -16,8 +16,13 @@ val wall_time : (unit -> 'a) -> 'a * float
     seconds, which is the wrong measure for a multi-domain region
     (CPU time sums across domains). *)
 
-val map : jobs:int -> (shard:int -> 'r) -> 'r array * float
+val map : ?obs:Obs.t -> jobs:int -> (shard:int -> 'r) -> 'r array * float
 (** [map ~jobs f] runs [f ~shard] for every [shard] in
     [0 .. max 1 jobs - 1], shard 0 on the calling domain and the rest
     on fresh domains, and returns the results in shard order together
-    with the wall-clock seconds of the whole region. *)
+    with the wall-clock seconds of the whole region.
+
+    With an enabled [obs] (default {!Obs.disabled}), the whole region
+    — domain spawn, all shard tasks, joins — is recorded as one
+    ["parallel.region"] span carrying a [jobs] attribute; the caller's
+    tasks typically record their own per-shard spans inside it. *)

@@ -44,10 +44,13 @@ let plan ~jobs tr =
   in
   { jobs; shards = Array.init jobs shard; broadcast = !broadcast }
 
-let imbalance p =
-  let counts = Array.map (fun s -> float_of_int s.accesses) p.shards in
+let imbalance_of_counts counts =
+  let counts = Array.map float_of_int counts in
   let total = Array.fold_left ( +. ) 0. counts in
-  if total <= 0. then 1.0
+  if total <= 0. || Array.length counts = 0 then 1.0
   else
     let mean = total /. float_of_int (Array.length counts) in
     Array.fold_left Float.max 0. counts /. mean
+
+let imbalance p =
+  imbalance_of_counts (Array.map (fun s -> s.accesses) p.shards)

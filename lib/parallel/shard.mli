@@ -62,3 +62,10 @@ val imbalance : plan -> float
 (** Max over mean of per-shard owned-access counts (1.0 = perfectly
     balanced); the quantity the ROADMAP's work-stealing follow-up
     would optimize. *)
+
+val imbalance_of_counts : int array -> float
+(** The same max-over-mean statistic on a bare per-shard count array;
+    [Driver.run_parallel] computes it from the merged per-shard
+    {!Stats} so the measurement costs no extra trace pass, and it is
+    exported in [ftrace analyze -j] output and [Bench_json]
+    records.  Empty or all-zero arrays report [1.0]. *)

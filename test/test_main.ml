@@ -17,4 +17,6 @@ let () =
       Test_accordion.suite;
       Test_smoke.suite;
       Test_parallel.suite;
+      Test_stats.suite;
+      Test_obs.suite;
       Test_workloads.suite ]
