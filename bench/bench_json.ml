@@ -5,11 +5,15 @@ type record = {
   jobs : int;
   events : int;
   elapsed : float;
+  throughput : float;
   slowdown : float;
   speedup : float;
   warnings : int;
   imbalance : float;
 }
+
+let throughput ~events ~elapsed =
+  if elapsed > 0. then float_of_int events /. elapsed else 0.
 
 let records : record list ref = ref []
 let add r = records := r :: !records
@@ -36,10 +40,12 @@ let escape s =
 let record_to_json r =
   Printf.sprintf
     "{\"experiment\":\"%s\",\"workload\":\"%s\",\"tool\":\"%s\",\
-     \"jobs\":%d,\"events\":%d,\"elapsed_s\":%.6f,\"slowdown\":%.3f,\
-     \"speedup\":%.3f,\"warnings\":%d,\"imbalance\":%.3f}"
+     \"jobs\":%d,\"events\":%d,\"elapsed_s\":%.6f,\"throughput\":%.1f,\
+     \"slowdown\":%.3f,\"speedup\":%.3f,\"warnings\":%d,\
+     \"imbalance\":%.3f}"
     (escape r.experiment) (escape r.workload) (escape r.tool) r.jobs
-    r.events r.elapsed r.slowdown r.speedup r.warnings r.imbalance
+    r.events r.elapsed r.throughput r.slowdown r.speedup r.warnings
+    r.imbalance
 
 let write ~scale ~repeat path =
   let oc = open_out path in

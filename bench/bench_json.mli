@@ -18,6 +18,8 @@ type record = {
   jobs : int;           (** shard count; 1 = sequential driver *)
   events : int;         (** trace length *)
   elapsed : float;      (** seconds (wall for parallel runs) *)
+  throughput : float;   (** events / elapsed second; 0 when elapsed
+                            did not resolve *)
   slowdown : float;     (** elapsed / bare-replay time *)
   speedup : float;      (** sequential elapsed / this elapsed; 1.0 for
                             the sequential row itself *)
@@ -29,6 +31,10 @@ type record = {
           artifacts now carry the shard balance of every parallel
           measurement. *)
 }
+
+val throughput : events:int -> elapsed:float -> float
+(** [events /. elapsed], or [0.] when [elapsed] is not positive —
+    the canonical way experiments fill the [throughput] field. *)
 
 val add : record -> unit
 (** Append to the global accumulator. *)

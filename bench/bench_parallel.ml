@@ -71,6 +71,7 @@ let run ~scale ~repeat () =
         Bench_json.add
           { Bench_json.experiment = "parallel"; workload = w.name; tool;
             jobs = 1; events; elapsed = seq_elapsed;
+            throughput = Bench_json.throughput ~events ~elapsed:seq_elapsed;
             slowdown = Bench_common.slowdown seq_elapsed base;
             speedup = 1.0;
             warnings = List.length seq_result.Driver.warnings;
@@ -99,6 +100,7 @@ let run ~scale ~repeat () =
               Bench_json.add
                 { Bench_json.experiment = "parallel"; workload = w.name;
                   tool; jobs; events; elapsed;
+                  throughput = Bench_json.throughput ~events ~elapsed;
                   slowdown = Bench_common.slowdown elapsed base;
                   speedup;
                   warnings = List.length par_result.Driver.warnings;

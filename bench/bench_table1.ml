@@ -95,7 +95,10 @@ let run ~scale ~repeat () =
           Bench_json.add
             { Bench_json.experiment = "table1";
               workload = r.workload.Workload.name; tool; jobs = 1;
-              events = r.events; elapsed = s *. r.base; slowdown = s;
+              events = r.events; elapsed = s *. r.base;
+              throughput =
+                Bench_json.throughput ~events:r.events ~elapsed:(s *. r.base);
+              slowdown = s;
               speedup = 1.0;
               warnings =
                 Option.value ~default:0 (List.assoc_opt tool r.warnings);

@@ -181,6 +181,12 @@ let print_verbose_panel ~jobs ~obs (r : Driver.result) =
   Table.add_row t [ "warnings"; string_of_int (List.length r.warnings) ];
   Table.add_row t [ "cpu (ms)"; Printf.sprintf "%.2f" (r.cpu *. 1000.) ];
   Table.add_row t [ "wall (ms)"; Printf.sprintf "%.2f" (r.wall *. 1000.) ];
+  Table.add_row t
+    [ "throughput (ev/s)";
+      (if r.wall > 0. then
+         Table.fmt_int
+           (int_of_float (float_of_int r.stats.Stats.events /. r.wall))
+       else "-") ];
   if jobs > 1 then
     Table.add_row t [ "imbalance"; Printf.sprintf "%.2f" r.imbalance ];
   Table.print t;
@@ -253,7 +259,7 @@ let print_verbose_panel ~jobs ~obs (r : Driver.result) =
       warnings
 
 let analyze path tool granularity jobs show_stats verbose_stats metrics
-    fail_on_race =
+    explain_race report trace_out fail_on_race =
   match load_trace path with
   | Error msg ->
     prerr_endline msg;
@@ -268,11 +274,21 @@ let analyze path tool granularity jobs show_stats verbose_stats metrics
          analyze path stays uninstrumented (and its warnings are
          asserted identical either way in test/test_obs.ml). *)
       let obs =
-        if verbose_stats || metrics <> None then
+        if verbose_stats || metrics <> None || trace_out <> None then
           Obs.create ~gc_every:8192 ()
         else Obs.disabled
       in
-      let config = Config.with_obs obs (config_of granularity) in
+      (* The flight recorder rides only when a report will read it:
+         --explain / --report.  Same discipline as obs — the default
+         path keeps the recorder disabled (one branch per event). *)
+      let recorder =
+        if explain_race || report <> None then Obs_recorder.create ()
+        else Obs_recorder.disabled
+      in
+      let config =
+        Config.with_recorder recorder
+          (Config.with_obs obs (config_of granularity))
+      in
       let jobs = if jobs = 0 then Driver.default_jobs () else max 1 jobs in
       let result =
         if jobs > 1 then Driver.run_parallel ~config ~jobs d tr
@@ -281,10 +297,12 @@ let analyze path tool granularity jobs show_stats verbose_stats metrics
       let mode =
         if jobs > 1 then Printf.sprintf " [%d shards]" jobs else ""
       in
+      (* cpu for the sequential driver, wall for the parallel one —
+         what the deprecated [elapsed] alias used to smuggle in. *)
       Printf.printf "%s%s: %d events, %d warning(s), %.2f ms\n" result.tool
         mode (Trace.length tr)
         (List.length result.warnings)
-        (result.elapsed *. 1000.);
+        ((if jobs > 1 then result.wall else result.cpu) *. 1000.);
       List.iter
         (fun w -> Printf.printf "  %s\n" (Warning.to_string w))
         result.warnings;
@@ -303,8 +321,25 @@ let analyze path tool granularity jobs show_stats verbose_stats metrics
       Option.iter
         (fun file ->
           Driver.write_metrics ~source:path ~obs ~path:file result;
-          Printf.printf "wrote metrics to %s\n" file)
+          if file <> "-" then Printf.printf "wrote metrics to %s\n" file)
         metrics;
+      (* Enriched report: reconstruct the happens-before witnesses'
+         first-access indices, sync paths and replayable slices (cold
+         post-pass, only when asked). *)
+      if explain_race || report <> None then begin
+        let rep = Report.build ~config ~source:path ~trace:tr result in
+        if explain_race then Format.printf "%a@." Report.pp_explain rep;
+        Option.iter
+          (fun file ->
+            Report.write_file ~path:file rep;
+            if file <> "-" then Printf.printf "wrote report to %s\n" file)
+          report
+      end;
+      Option.iter
+        (fun file ->
+          Obs_traceevent.write_file ~path:file obs;
+          if file <> "-" then Printf.printf "wrote trace events to %s\n" file)
+        trace_out;
       if fail_on_race then if result.warnings = [] then 0 else 1
       else if result.warnings = [] then 0
       else 2)
@@ -332,6 +367,34 @@ let analyze_cmd =
                    with per-shard durations, GC samples, run summary \
                    with imbalance) to $(docv).")
   in
+  let explain_race =
+    Arg.(value & flag
+         & info [ "explain" ]
+             ~doc:"After the run, print a happens-before witness for \
+                   each warning: both access epochs with the threads' \
+                   vector clocks at the moment the race fired, the \
+                   failing clock component, the sync events between the \
+                   accesses and the flight-recorder history of the racy \
+                   location.  Enables the flight recorder for this run.")
+  in
+  let report =
+    Arg.(value & opt (some string) None
+         & info [ "report" ] ~docv:"FILE"
+             ~doc:"Write the enriched race report (schema \
+                   $(b,ftrace.report/1): witnesses, sync paths, \
+                   replayable slices, recorder history) as JSON to \
+                   $(docv); $(b,-) writes to stdout.  Enables the \
+                   flight recorder for this run.")
+  in
+  let trace_out =
+    Arg.(value & opt (some string) None
+         & info [ "trace-out" ] ~docv:"FILE"
+             ~doc:"Write the run's span timeline (analysis phases, \
+                   per-shard lifetimes, race instants) as Chrome \
+                   trace-event JSON to $(docv) — load it in Perfetto or \
+                   chrome://tracing; $(b,-) writes to stdout.  Enables \
+                   the observability layer for this run.")
+  in
   let fail_on_race =
     Arg.(value & flag
          & info [ "fail-on-race" ]
@@ -345,7 +408,8 @@ let analyze_cmd =
              were found; with $(b,--fail-on-race), exit code 1)")
     Term.(
       const analyze $ trace_arg $ tool_arg $ granularity_arg $ jobs_arg
-      $ stats $ verbose_stats $ metrics $ fail_on_race)
+      $ stats $ verbose_stats $ metrics $ explain_race $ report $ trace_out
+      $ fail_on_race)
 
 (* ------------------------------------------------------------------ *)
 (* compare                                                            *)
@@ -369,7 +433,7 @@ let compare_tools path granularity =
         Table.add_row t
           [ r.tool;
             string_of_int (List.length r.warnings);
-            Printf.sprintf "%.2f" (r.elapsed *. 1000.);
+            Printf.sprintf "%.2f" (r.cpu *. 1000.);
             Table.fmt_int r.stats.Stats.vc_allocs;
             Table.fmt_int r.stats.Stats.vc_ops ])
       detectors;

@@ -18,7 +18,7 @@ let create config =
     stats;
     sync = Vc_state.create stats;
     vars = Shadow.create config.Config.granularity;
-    log = Race_log.create () }
+    log = Race_log.create ~obs:config.Config.obs () }
 
 let new_var_state d x =
   let st = { x; rvc = VC.create (); wvc = VC.create () } in
@@ -78,4 +78,5 @@ let on_event d ~index e =
     | _ -> assert false
 
 let warnings d = Race_log.warnings d.log
+let witnesses d = Race_log.witnesses d.log
 let stats d = d.stats

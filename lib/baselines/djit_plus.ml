@@ -22,7 +22,7 @@ let create config =
     stats;
     sync = Vc_state.create stats;
     vars = Shadow.create config.Config.granularity;
-    log = Race_log.create ();
+    log = Race_log.create ~obs:config.Config.obs ();
     r_same_epoch = Stats.counter stats "READ SAME EPOCH";
     r_slow = Stats.counter stats "READ";
     w_same_epoch = Stats.counter stats "WRITE SAME EPOCH";
@@ -103,4 +103,5 @@ let on_event d ~index e =
     | _ -> assert false
 
 let warnings d = Race_log.warnings d.log
+let witnesses d = Race_log.witnesses d.log
 let stats d = d.stats

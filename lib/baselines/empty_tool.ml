@@ -5,4 +5,5 @@ type t = { stats : Stats.t }
 let create (_ : Config.t) = { stats = Stats.create () }
 let on_event d ~index:_ e = Stats.count_event d.stats e
 let warnings (_ : t) = []
+let witnesses (_ : t) = []
 let stats d = d.stats

@@ -28,7 +28,7 @@ let create config =
     stats = Stats.create ();
     held = Lockset.Held.create ();
     vars = Shadow.create config.Config.granularity;
-    log = Race_log.create ();
+    log = Race_log.create ~obs:config.Config.obs ();
     barrier_gen = 0 }
 
 let new_var_state d x =
@@ -92,4 +92,5 @@ let on_event d ~index e =
     ()
 
 let warnings d = Race_log.warnings d.log
+let witnesses d = Race_log.witnesses d.log
 let stats d = d.stats

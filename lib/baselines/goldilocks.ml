@@ -59,7 +59,7 @@ let create config =
     log = Array.make 1024 (S_barrier []);
     log_len = 0;
     vars = Shadow.create config.Config.granularity;
-    races = Race_log.create () }
+    races = Race_log.create ~obs:config.Config.obs () }
 
 let append_sync d op =
   let cap = Array.length d.log in
@@ -147,4 +147,5 @@ let on_event d ~index e =
   | Event.Txn_begin _ | Event.Txn_end _ -> ()
 
 let warnings d = Race_log.warnings d.races
+let witnesses d = Race_log.witnesses d.races
 let stats d = d.stats

@@ -25,6 +25,10 @@ type t = {
   vars : var_state Shadow.t;
   log : Race_log.t;
   adaptive : bool;
+  (* flight recorder (Obs_recorder), fetched once: [rec_on] keeps the
+     disabled hot path to a single branch per event *)
+  recorder : Obs_recorder.t;
+  rec_on : bool;
   (* rule hit counters, fetched once so the hot path only increments *)
   r_same_epoch : int ref;
   r_shared : int ref;
@@ -41,8 +45,10 @@ let create config =
     stats;
     sync = Vc_state.create stats;
     vars = Shadow.create config.Config.granularity;
-    log = Race_log.create ();
+    log = Race_log.create ~obs:config.Config.obs ();
     adaptive = (config.Config.granularity = Shadow.Adaptive);
+    recorder = config.Config.recorder;
+    rec_on = Obs_recorder.is_enabled config.Config.recorder;
     r_same_epoch = Stats.counter stats "READ SAME EPOCH";
     r_shared = Stats.counter stats "READ SHARED";
     r_exclusive = Stats.counter stats "READ EXCLUSIVE";
@@ -60,7 +66,7 @@ let var_state d x =
   | Some st -> st
   | None -> Shadow.get d.vars x (new_var_state d)
 
-let report d st ~tid ~index ?prior kind =
+let report d st ~tid ~index ?prior ?witness kind =
   (* On-line granularity adaptation (Section 5.1): the first coarse
      warning for an object refines it to fine grain instead of being
      reported; the abandoned history is the documented precision
@@ -69,10 +75,35 @@ let report d st ~tid ~index ?prior kind =
     Shadow.refine d.vars st.x
   else
     Race_log.report d.log ~key:(Shadow.key d.vars st.x) ~x:st.x ~tid ~index
-      ~kind ?prior ()
+      ~kind ?prior ?witness ()
 
 let prior_of_epoch e =
   { Warning.prior_tid = Epoch.tid e; prior_clock = Epoch.clock e }
+
+(* Happens-before witness, captured at the instant a race fires (cold
+   path: at most once per shadow key).  [prior_e] is the earlier
+   access's epoch from the shadow state; both sides carry their
+   thread's full vector clock {e right now} — the second thread's is
+   the [ct] the failing ⪯-check just read, and the one component
+   [ct(tid prior_e) < clock prior_e] is the proof of unorderedness
+   (Witness.unordered re-derives it). *)
+let witness_of d st ~tid ~index ~ct ~prior_e kind =
+  { Witness.key = Shadow.key d.vars st.x;
+    x = st.x;
+    kind;
+    index;
+    first =
+      { Witness.s_tid = Epoch.tid prior_e;
+        s_epoch = prior_e;
+        s_clock = Epoch.clock prior_e;
+        s_index = None;
+        s_vc = VC.to_list (Vc_state.clock d.sync (Epoch.tid prior_e)) };
+    second =
+      { Witness.s_tid = tid;
+        s_epoch = Vc_state.epoch d.sync tid;
+        s_clock = Epoch.clock (Vc_state.epoch d.sync tid);
+        s_index = Some index;
+        s_vc = VC.to_list ct } }
 
 let epoch_op d = d.stats.epoch_ops <- d.stats.epoch_ops + 1
 let vc_op d = d.stats.vc_ops <- d.stats.vc_ops + 1
@@ -89,6 +120,9 @@ let read d ~index t x =
     epoch_op d;
     if not (VC.epoch_leq st.w ct) then
       report d st ~tid:t ~index ~prior:(prior_of_epoch st.w)
+        ~witness:
+          (witness_of d st ~tid:t ~index ~ct ~prior_e:st.w
+             Warning.Write_read)
         Warning.Write_read;
     (* update read state *)
     if Epoch.equal st.r read_shared then begin
@@ -143,6 +177,9 @@ let write d ~index t x =
     epoch_op d;
     if not (VC.epoch_leq st.w ct) then
       report d st ~tid:t ~index ~prior:(prior_of_epoch st.w)
+        ~witness:
+          (witness_of d st ~tid:t ~index ~ct ~prior_e:st.w
+             Warning.Write_write)
         Warning.Write_write;
     (* read-write race? *)
     if not (Epoch.equal st.r read_shared) then begin
@@ -150,6 +187,9 @@ let write d ~index t x =
       epoch_op d;
       if not (VC.epoch_leq st.r ct) then
         report d st ~tid:t ~index ~prior:(prior_of_epoch st.r)
+          ~witness:
+            (witness_of d st ~tid:t ~index ~ct ~prior_e:st.r
+               Warning.Read_write)
           Warning.Read_write;
       incr d.w_exclusive
     end
@@ -163,6 +203,10 @@ let write d ~index t x =
         | Some (u, c) ->
           report d st ~tid:t ~index
             ~prior:{ Warning.prior_tid = u; prior_clock = c }
+            ~witness:
+              (witness_of d st ~tid:t ~index ~ct
+                 ~prior_e:(Epoch.make ~tid:u ~clock:c)
+                 Warning.Read_write)
             Warning.Read_write
         | None -> ())
       | None -> assert false);
@@ -172,8 +216,30 @@ let write d ~index t x =
     st.w <- te
   end
 
+(* Flight-recorder hook (O(1) per event, cold unless --explain/--report
+   turned the recorder on): push accesses into the per-variable ring,
+   keep the per-thread held-lock picture current.  Reads the epoch the
+   analysis itself is about to use, so the recorded history lines up
+   with the warnings. *)
+let record_event d ~index e =
+  match e with
+  | Event.Read { t; x } ->
+    let te = Vc_state.epoch d.sync t in
+    Obs_recorder.record d.recorder ~key:(Shadow.key d.vars x) ~index
+      ~tid:t ~op:Obs_recorder.Read ~epoch:(Epoch.to_int te)
+      ~clock:(Epoch.clock te)
+  | Event.Write { t; x } ->
+    let te = Vc_state.epoch d.sync t in
+    Obs_recorder.record d.recorder ~key:(Shadow.key d.vars x) ~index
+      ~tid:t ~op:Obs_recorder.Write ~epoch:(Epoch.to_int te)
+      ~clock:(Epoch.clock te)
+  | Event.Acquire { t; m } -> Obs_recorder.note_acquire d.recorder ~tid:t ~lock:m
+  | Event.Release { t; m } -> Obs_recorder.note_release d.recorder ~tid:t ~lock:m
+  | _ -> ()
+
 let on_event d ~index e =
   Stats.count_event d.stats e;
+  if d.rec_on then record_event d ~index e;
   if not (Vc_state.handle_sync d.sync e) then
     match e with
     | Event.Read { t; x } -> read d ~index t x
@@ -181,6 +247,7 @@ let on_event d ~index e =
     | _ -> assert false (* handle_sync covers everything else *)
 
 let warnings d = Race_log.warnings d.log
+let witnesses d = Race_log.witnesses d.log
 let stats d = d.stats
 
 type repr = {

@@ -3,15 +3,18 @@ type t = {
   same_epoch_fast_path : bool;
   read_demotion : bool;
   obs : Obs.t;
+  recorder : Obs_recorder.t;
 }
 
 let default =
   { granularity = Shadow.Fine;
     same_epoch_fast_path = true;
     read_demotion = true;
-    obs = Obs.disabled }
+    obs = Obs.disabled;
+    recorder = Obs_recorder.disabled }
 
 let with_obs obs t = { t with obs }
+let with_recorder recorder t = { t with recorder }
 
 let coarse = { default with granularity = Shadow.Coarse }
 let adaptive = { default with granularity = Shadow.Adaptive }

@@ -21,19 +21,30 @@
     outside the event loop (overhead budget: ≤5%% on the [parallel]
     bench, see DESIGN.md §Observability).  Observability never
     changes analysis results — warnings are identical with it on or
-    off (asserted in [test/test_obs.ml]). *)
+    off (asserted in [test/test_obs.ml]).
+
+    [recorder] is the per-variable flight recorder
+    ({!Obs_recorder}) threaded through the detectors exactly like
+    [obs]: default {!Obs_recorder.disabled} (one branch per event, no
+    allocation), enabled by [ftrace analyze --explain]/[--report] so
+    race reports can show the recent access history of the racy
+    location.  Like [obs], it never changes analysis results
+    (asserted in [test/test_report.ml]). *)
 
 type t = {
   granularity : Shadow.mode;
   same_epoch_fast_path : bool;
   read_demotion : bool;
   obs : Obs.t;
+  recorder : Obs_recorder.t;
 }
 
 val default : t
-(** Fine granularity, all optimizations on, observability off. *)
+(** Fine granularity, all optimizations on, observability and the
+    flight recorder off. *)
 
 val with_obs : Obs.t -> t -> t
+val with_recorder : Obs_recorder.t -> t -> t
 
 val coarse : t
 val adaptive : t

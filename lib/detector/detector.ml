@@ -5,6 +5,7 @@ module type S = sig
   val create : Config.t -> t
   val on_event : t -> index:int -> Event.t -> unit
   val warnings : t -> Warning.t list
+  val witnesses : t -> Witness.t list
   val stats : t -> Stats.t
 end
 
@@ -17,4 +18,5 @@ let packed_on_event (Packed ((module D), d)) ~index e =
   D.on_event d ~index e
 
 let packed_warnings (Packed ((module D), d)) = D.warnings d
+let packed_witnesses (Packed ((module D), d)) = D.witnesses d
 let packed_stats (Packed ((module D), d)) = D.stats d

@@ -19,6 +19,11 @@ module type S = sig
   val warnings : t -> Warning.t list
   (** Warnings so far, chronological, at most one per shadow location. *)
 
+  val witnesses : t -> Witness.t list
+  (** Happens-before witnesses for the warnings that have one
+      (chronological; may be empty — only detectors that keep clocks
+      can testify).  Never longer than [warnings]. *)
+
   val stats : t -> Stats.t
 end
 
@@ -30,4 +35,5 @@ val instantiate : (module S) -> Config.t -> packed
 val packed_name : packed -> string
 val packed_on_event : packed -> index:int -> Event.t -> unit
 val packed_warnings : packed -> Warning.t list
+val packed_witnesses : packed -> Witness.t list
 val packed_stats : packed -> Stats.t

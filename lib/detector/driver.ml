@@ -9,6 +9,7 @@ type shard_info = {
 type result = {
   tool : string;
   warnings : Warning.t list;
+  witnesses : Witness.t list;
   stats : Stats.t;
   elapsed : float;
   cpu : float;
@@ -38,6 +39,20 @@ let finish_metrics obs (stats : Stats.t) ~wall =
       (float_of_int stats.Stats.state_words)
   end
 
+(* Flight-recorder footprint gauges: cold, and only when both the
+   registry and the recorder are on (the default run has neither). *)
+let recorder_gauges obs recorder =
+  if Obs.is_enabled obs && Obs_recorder.is_enabled recorder then begin
+    Obs.set_gauge obs "recorder.vars_tracked"
+      (float_of_int (Obs_recorder.vars_tracked recorder));
+    Obs.set_gauge obs "recorder.recorded"
+      (float_of_int (Obs_recorder.recorded recorder));
+    Obs.set_gauge obs "recorder.dropped"
+      (float_of_int (Obs_recorder.dropped recorder));
+    Obs.set_gauge obs "recorder.approx_words"
+      (float_of_int (Obs_recorder.approx_words recorder))
+  end
+
 let run_packed ?(obs = Obs.disabled) packed tr =
   (* Select the event-loop body once, outside the loop: the disabled
      path is byte-for-byte the pre-observability loop. *)
@@ -59,6 +74,7 @@ let run_packed ?(obs = Obs.disabled) packed tr =
   finish_metrics obs stats ~wall;
   { tool = Detector.packed_name packed;
     warnings = Detector.packed_warnings packed;
+    witnesses = Detector.packed_witnesses packed;
     stats;
     elapsed = cpu;
     cpu;
@@ -67,7 +83,11 @@ let run_packed ?(obs = Obs.disabled) packed tr =
     imbalance = 1.0 }
 
 let run ?(config = Config.default) d tr =
-  run_packed ~obs:config.Config.obs (Detector.instantiate d config) tr
+  let r =
+    run_packed ~obs:config.Config.obs (Detector.instantiate d config) tr
+  in
+  recorder_gauges config.Config.obs config.Config.recorder;
+  r
 
 (* ------------------------------------------------------------------ *)
 (* Sharded parallel driver (see lib/parallel and DESIGN.md).          *)
@@ -76,13 +96,21 @@ let default_jobs = Domain_pool.recommended_jobs
 
 let analyze_shard ?(obs = Obs.disabled) d config ~jobs ~shard tr =
   let start = Obs.now obs in
-  let (warnings, stats), shard_wall =
+  (* Each shard records into a private flight-recorder view (fresh
+     rings, fresh lock picture): recorders are unsynchronized, and the
+     broadcast sync stream would otherwise race on the shared held-lock
+     state.  Views are merged after the region. *)
+  let rec_view = Obs_recorder.shard_view config.Config.recorder in
+  let shard_config = Config.with_recorder rec_view config in
+  let (warnings, witnesses, stats), shard_wall =
     Par_run.wall_time (fun () ->
-        let packed = Detector.instantiate d config in
+        let packed = Detector.instantiate d shard_config in
         Trace.iter_shard ~jobs ~shard
           (fun index e -> Detector.packed_on_event packed ~index e)
           tr;
-        (Detector.packed_warnings packed, Detector.packed_stats packed))
+        ( Detector.packed_warnings packed,
+          Detector.packed_witnesses packed,
+          Detector.packed_stats packed ))
   in
   (* One span per shard (one mutex acquisition per shard, not per
      event); attributes carry the per-shard load-balance inputs. *)
@@ -94,12 +122,12 @@ let analyze_shard ?(obs = Obs.disabled) d config ~jobs ~shard tr =
         ("broadcast_replays", Obs_span.Int stats.Stats.syncs);
         ("warnings", Obs_span.Int (List.length warnings)) ]
     ();
-  (warnings, stats, shard_wall)
+  (warnings, witnesses, stats, shard_wall, rec_view)
 
 let merge_shards (module D : Detector.S) shard_results ~cpu ~wall =
   let shards =
     Array.mapi
-      (fun i (w, (s : Stats.t), shard_wall) ->
+      (fun i (w, _, (s : Stats.t), shard_wall, _) ->
         { shard_id = i;
           shard_accesses = s.Stats.reads + s.Stats.writes;
           shard_syncs = s.Stats.syncs;
@@ -115,14 +143,22 @@ let merge_shards (module D : Detector.S) shard_results ~cpu ~wall =
   (* Shards own disjoint shadow keys, and at most one warning is ever
      recorded per key, so no two shards can warn at the same trace
      index: sorting by index reconstructs the sequential run's
-     chronological warning list exactly. *)
+     chronological warning list exactly.  Witnesses ride the same
+     argument (they are captured beside the warnings, one per key at
+     most). *)
   let warnings =
-    List.concat_map (fun (w, _, _) -> w) results
+    List.concat_map (fun (w, _, _, _, _) -> w) results
     |> List.stable_sort Warning.compare
+  in
+  let witnesses =
+    List.concat_map (fun (_, ws, _, _, _) -> ws) results
+    |> List.stable_sort (fun (a : Witness.t) b ->
+           Int.compare a.Witness.index b.Witness.index)
   in
   { tool = D.name;
     warnings;
-    stats = Stats.sum (List.map (fun (_, s, _) -> s) results);
+    witnesses;
+    stats = Stats.sum (List.map (fun (_, _, s, _, _) -> s) results);
     elapsed = wall;
     cpu;
     wall;
@@ -155,8 +191,16 @@ let run_parallel ?(config = Config.default) ?jobs d tr =
   let result =
     Obs.span obs "merge" (fun () -> merge_shards d shard_results ~cpu ~wall)
   in
+  (* Fold each shard's private recorder view back into the parent
+     handle (disjoint per-key rings under variable sharding: a move,
+     not an interleave).  No-op when the recorder is disabled. *)
+  Array.iter
+    (fun (_, _, _, _, rec_view) ->
+      Obs_recorder.merge ~into:config.Config.recorder rec_view)
+    shard_results;
   Obs.gc_sample_full obs;
   finish_metrics obs result.stats ~wall;
+  recorder_gauges obs config.Config.recorder;
   if Obs.is_enabled obs then
     Obs.set_gauge obs "shard.imbalance" result.imbalance;
   result
@@ -178,6 +222,7 @@ let result_json ?(source = "") r =
       ("source", Obs_json.str source);
       ("jobs", Obs_json.int (max 1 (Array.length r.shards)));
       ("warnings", Obs_json.int (List.length r.warnings));
+      ("witnesses", Obs_json.int (List.length r.witnesses));
       ("cpu_s", Obs_json.float r.cpu);
       ("wall_s", Obs_json.float r.wall);
       ("imbalance", Obs_json.float r.imbalance);

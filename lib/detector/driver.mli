@@ -27,6 +27,10 @@ type shard_info = {
 type result = {
   tool : string;
   warnings : Warning.t list;
+  witnesses : Witness.t list;
+      (** happens-before witnesses for the warnings that have one
+          (chronological, never longer than [warnings]; empty for
+          detectors that keep no clocks) *)
   stats : Stats.t;
   elapsed : float;
       (** @deprecated alias kept so existing tables don't silently

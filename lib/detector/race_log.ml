@@ -1,19 +1,37 @@
 type t = {
+  obs : Obs.t;
   warned_keys : (int, unit) Hashtbl.t;
   mutable acc : Warning.t list;  (* reverse chronological *)
+  mutable wit : Witness.t list;  (* reverse chronological *)
   mutable n : int;
 }
 
-let create () = { warned_keys = Hashtbl.create 16; acc = []; n = 0 }
+let create ?(obs = Obs.disabled) () =
+  { obs; warned_keys = Hashtbl.create 16; acc = []; wit = []; n = 0 }
 
 let warned log ~key = Hashtbl.mem log.warned_keys key
 
-let report log ~key ~x ~tid ~index ~kind ?prior () =
+let report log ~key ~x ~tid ~index ~kind ?prior ?witness () =
   if not (warned log ~key) then begin
     Hashtbl.replace log.warned_keys key ();
     log.acc <- { Warning.x; tid; index; kind; prior } :: log.acc;
-    log.n <- log.n + 1
+    (match witness with
+    | Some w -> log.wit <- w :: log.wit
+    | None -> ());
+    log.n <- log.n + 1;
+    (* Race instant on the span timeline (cold path: at most one per
+       shadow key).  Zero-duration spans named "race" become vertical
+       markers in the Chrome trace-event export (Obs_traceevent). *)
+    if Obs.is_enabled log.obs then
+      Obs.record_span log.obs ~name:"race" ~start:(Obs.now log.obs)
+        ~duration:0.
+        ~attrs:
+          [ ("var", Obs_span.Str (Var.to_string x));
+            ("index", Obs_span.Int index);
+            ("kind", Obs_span.Str (Warning.kind_to_string kind)) ]
+        ()
   end
 
 let warnings log = List.rev log.acc
+let witnesses log = List.rev log.wit
 let count log = log.n

@@ -1,16 +1,27 @@
 (** Warning accumulator with the at-most-one-warning-per-location
     policy used by all the paper's tools ("the tools report at most one
-    race for each field of each class"). *)
+    race for each field of each class").
+
+    Observability rides along on the cold path: with an enabled [obs]
+    handle, every recorded warning also drops a zero-duration ["race"]
+    span on the shared timeline (rendered as an instant marker by the
+    Chrome trace-event export), and a detector may attach a
+    happens-before {!Witness.t} capturing the evidence that the two
+    accesses were unordered.  Neither changes the warning list. *)
 
 type t
 
-val create : unit -> t
+val create : ?obs:Obs.t -> unit -> t
+(** [obs] (default {!Obs.disabled}) receives one ["race"] instant span
+    per recorded warning. *)
 
 val report :
   t -> key:int -> x:Var.t -> tid:Tid.t -> index:int -> kind:Warning.kind ->
-  ?prior:Warning.prior -> unit -> unit
+  ?prior:Warning.prior -> ?witness:Witness.t -> unit -> unit
 (** Records a warning for shadow location [key] unless one was already
-    recorded for it. *)
+    recorded for it.  [witness], if given, is kept alongside (same
+    at-most-one-per-key policy, since it is only stored with a fresh
+    warning). *)
 
 val warned : t -> key:int -> bool
 (** Has a warning been recorded for this location?  Detectors use this
@@ -19,5 +30,10 @@ val warned : t -> key:int -> bool
 
 val warnings : t -> Warning.t list
 (** Chronological. *)
+
+val witnesses : t -> Witness.t list
+(** Chronological; at most one per warned key, and only for warnings
+    whose detector supplied one (FastTrack does; the lockset tools
+    keep no clocks to witness with). *)
 
 val count : t -> int

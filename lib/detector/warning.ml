@@ -16,6 +16,14 @@ let kind_to_string = function
   | Read_write -> "read-write race"
   | Lock_discipline -> "lockset violation"
 
+(* Stable machine-readable tag, used by the ftrace.report/1 JSON
+   schema (kind_to_string stays the human rendering). *)
+let kind_tag = function
+  | Write_write -> "write-write"
+  | Write_read -> "write-read"
+  | Read_write -> "read-write"
+  | Lock_discipline -> "lock-discipline"
+
 let pp ppf w =
   Format.fprintf ppf "%s on %a at [%d] by %a" (kind_to_string w.kind) Var.pp
     w.x w.index Tid.pp w.tid;

@@ -30,6 +30,12 @@ type t = {
 }
 
 val kind_to_string : kind -> string
+
+val kind_tag : kind -> string
+(** Stable machine-readable tag ([write-write], [write-read],
+    [read-write], [lock-discipline]) for the [ftrace.report/1] JSON
+    schema; {!kind_to_string} is the human rendering. *)
+
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
 val compare : t -> t -> int

@@ -1,0 +1,51 @@
+type side = {
+  s_tid : Tid.t;
+  s_epoch : Epoch.t;
+  s_clock : int;
+  s_index : int option;
+  s_vc : int list;
+}
+
+type t = {
+  key : int;
+  x : Var.t;
+  kind : Warning.kind;
+  index : int;
+  first : side;
+  second : side;
+}
+
+let vc_at vc tid = match List.nth_opt vc tid with Some c -> c | None -> 0
+
+let unordered w =
+  let u = w.first.s_tid in
+  let c = w.first.s_clock in
+  let c' = vc_at w.second.s_vc u in
+  if c' < c then Some (u, c, c') else None
+
+let with_first_index w index =
+  { w with first = { w.first with s_index = Some index } }
+
+let pp_vc ppf vc =
+  Format.fprintf ppf "⟨%s⟩" (String.concat "," (List.map string_of_int vc))
+
+let pp_side ppf (label, s) =
+  Format.fprintf ppf "%s access: %a by T%d%s, clocks %a" label Epoch.pp
+    s.s_epoch s.s_tid
+    (match s.s_index with
+    | Some i -> Printf.sprintf " at [%d]" i
+    | None -> "")
+    pp_vc s.s_vc
+
+let pp ppf w =
+  Format.fprintf ppf "@[<v>%a on %a:@,  %a@,  %a" Format.pp_print_string
+    (Warning.kind_to_string w.kind)
+    Var.pp w.x pp_side ("first ", w.first) pp_side ("second", w.second);
+  (match unordered w with
+  | Some (u, c, c') ->
+    Format.fprintf ppf
+      "@,  unordered: %a ⋠ second accessor's clocks (C(%d) = %d < %d) — \
+       no sync chain from T%d's access reaches T%d"
+      Epoch.pp w.first.s_epoch u c' c u w.second.s_tid
+  | None -> ());
+  Format.fprintf ppf "@]"

@@ -1,0 +1,62 @@
+(** Happens-before witnesses: the {e why} behind a race warning.
+
+    A precise detector (Theorem 1) warns exactly when two conflicting
+    accesses are unordered by happens-before.  A {!Warning.t} names
+    the variable, the second access and (via [prior]) the first — a
+    witness additionally captures, {e at the instant the race fired},
+    the evidence that the two are unordered:
+
+    - the epochs [c@u] (first access) and [c'@t] (second access);
+    - both threads' full vector clocks at that moment.  The core of
+      the proof is one component: [C_t(u) < c], i.e. the second
+      thread had not yet synchronized with the first thread's access
+      ({!unordered}).
+
+    Witnesses are captured by the FastTrack detector on the warning
+    (cold) path and accumulated next to the warnings in {!Race_log};
+    they never alter the warning list itself, so default output stays
+    byte-identical whether anyone looks at them or not.  [Report]
+    (lib/report) later combines a witness with a trace scan — the
+    first access's trace index, the intervening sync events, a
+    replayable slice — into the [--explain] text and the
+    [ftrace.report/1] JSON document. *)
+
+(** One side of the racing pair. *)
+type side = {
+  s_tid : Tid.t;
+  s_epoch : Epoch.t;  (** the access's epoch [clock@tid] *)
+  s_clock : int;      (** [Epoch.clock s_epoch], for direct display *)
+  s_index : int option;
+      (** trace position: always [Some] for the second access;
+          [None] for the first until [Report] reconstructs it from
+          the trace *)
+  s_vc : int list;
+      (** the thread's full vector clock {e at the moment the race
+          fired} (not at the access itself — FastTrack's whole point
+          is that the first access's VC was never materialized) *)
+}
+
+type t = {
+  key : int;          (** shadow key, matches {!Race_log} and the
+                          flight recorder *)
+  x : Var.t;
+  kind : Warning.kind;
+  index : int;        (** the second access's trace position *)
+  first : side;
+  second : side;
+}
+
+val unordered : t -> (Tid.t * int * int) option
+(** The failing happens-before component: [(u, c, c')] with the first
+    access's epoch [c@u] and the second thread's clock entry
+    [c' = C_t(u) < c] — the one-line proof that no synchronization
+    ordered the first access before the second.  [None] if the
+    captured clocks do not actually exhibit the race (they always do
+    for FastTrack-captured witnesses; asserted in
+    [test/test_report.ml]). *)
+
+val with_first_index : t -> int -> t
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line rendering: both accesses with epochs and vector
+    clocks, plus the unordered component. *)

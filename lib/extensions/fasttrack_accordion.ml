@@ -34,7 +34,7 @@ let create config =
     locks = Hashtbl.create 16;
     volatiles = Hashtbl.create 8;
     vars = Shadow.create config.Config.granularity;
-    log = Race_log.create () }
+    log = Race_log.create ~obs:config.Config.obs () }
 
 let ensure_slot d s =
   let n = Array.length d.clocks in
@@ -279,6 +279,7 @@ let on_event d ~index e =
   | Event.Txn_begin _ | Event.Txn_end _ -> ()
 
 let warnings d = Race_log.warnings d.log
+let witnesses d = Race_log.witnesses d.log
 let stats d = d.stats
 let slot_count d = Slot_registry.slot_count d.reg
 let live_threads d = List.length (Slot_registry.live_tids d.reg)

@@ -34,9 +34,15 @@ let document ?(extra = []) t =
 let to_string ?extra t = Obs_json.to_string (document ?extra t)
 
 let write_file ~path ?extra t =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
-    (fun () ->
-      Obs_json.to_channel oc (document ?extra t);
-      output_char oc '\n')
+  if path = "-" then begin
+    Obs_json.to_channel stdout (document ?extra t);
+    print_newline ()
+  end
+  else begin
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        Obs_json.to_channel oc (document ?extra t);
+        output_char oc '\n')
+  end

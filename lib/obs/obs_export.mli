@@ -23,4 +23,6 @@ val to_string : ?extra:(string * Obs_json.t) list -> Obs.t -> string
 
 val write_file :
   path:string -> ?extra:(string * Obs_json.t) list -> Obs.t -> unit
-(** Write the document (plus a trailing newline) to [path]. *)
+(** Write the document (plus a trailing newline) to [path];
+    [path = "-"] writes to stdout, so pipelines can consume the
+    export without a temp file ([ftrace analyze --metrics - | jq]). *)

@@ -1,0 +1,35 @@
+(** Chrome trace-event export of the span timeline.
+
+    Renders an enabled {!Obs.t}'s span sink — the [plan] /
+    [parallel.region] / [shard-N] / [merge] / [analyze] phase spans
+    plus the zero-duration [race] instants recorded by [Race_log] —
+    as a Trace Event Format JSON document loadable in Perfetto
+    ([https://ui.perfetto.dev]) or [chrome://tracing].  Shard spans
+    land on their own timeline rows, so the load imbalance the
+    [shards:] line summarizes as a single ratio becomes a visible gap:
+    an idle shard is literally white space on the timeline.
+
+    Mapping:
+    - a span becomes one complete event ([ph = "X"]) with
+      microsecond [ts]/[dur] relative to the sink's epoch;
+    - a span named [shard-N] is placed on virtual thread [N + 1]
+      (named ["shard N"]); everything else rides on thread 0
+      (["driver"]);
+    - a zero-duration span named [race] becomes a global instant
+      event ([ph = "i", s = "g"]) — a vertical marker at the moment
+      the warning was recorded, carrying the variable, trace index
+      and race kind in [args];
+    - span attributes become the event's [args].
+
+    The document carries [otherData.schema = "ftrace.trace/1"]. *)
+
+val schema_version : string
+
+val document : Obs.t -> Obs_json.t
+(** The full trace document.  A disabled handle yields a valid
+    document with an empty [traceEvents] array. *)
+
+val to_string : Obs.t -> string
+
+val write_file : path:string -> Obs.t -> unit
+(** Writes {!document} to [path]; [path = "-"] writes to stdout. *)

@@ -19,4 +19,5 @@ let () =
       Test_parallel.suite;
       Test_stats.suite;
       Test_obs.suite;
+      Test_report.suite;
       Test_workloads.suite ]
