@@ -3,6 +3,7 @@ type record = {
   workload : string;
   tool : string;
   jobs : int;
+  plan : string;
   events : int;
   elapsed : float;
   throughput : float;
@@ -40,12 +41,13 @@ let escape s =
 let record_to_json r =
   Printf.sprintf
     "{\"experiment\":\"%s\",\"workload\":\"%s\",\"tool\":\"%s\",\
-     \"jobs\":%d,\"events\":%d,\"elapsed_s\":%.6f,\"throughput\":%.1f,\
+     \"jobs\":%d,\"plan\":\"%s\",\"events\":%d,\"elapsed_s\":%.6f,\
+     \"throughput\":%.1f,\
      \"slowdown\":%.3f,\"speedup\":%.3f,\"warnings\":%d,\
      \"imbalance\":%.3f}"
     (escape r.experiment) (escape r.workload) (escape r.tool) r.jobs
-    r.events r.elapsed r.throughput r.slowdown r.speedup r.warnings
-    r.imbalance
+    (escape r.plan) r.events r.elapsed r.throughput r.slowdown r.speedup
+    r.warnings r.imbalance
 
 let write ~scale ~repeat path =
   let oc = open_out path in

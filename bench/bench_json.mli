@@ -15,7 +15,12 @@ type record = {
   experiment : string;  (** e.g. ["parallel"], ["table1"] *)
   workload : string;
   tool : string;        (** detector name *)
-  jobs : int;           (** shard count; 1 = sequential driver *)
+  jobs : int;           (** worker count; 1 = sequential driver *)
+  plan : string;
+      (** which parallel plan produced the row:
+          [Shard.kind_to_string] (["static"] / ["stealing"]) for
+          parallel rows, ["seq"] for sequential ones — so regression
+          tooling can compare like with like across the plan switch *)
   events : int;         (** trace length *)
   elapsed : float;      (** seconds (wall for parallel runs) *)
   throughput : float;   (** events / elapsed second; 0 when elapsed

@@ -3,18 +3,25 @@
    FastTrack's per-variable shadow states are independent; only the
    sync state (C/L of Figure 4) is shared, and it is written only by
    synchronization events.  Driver.run_parallel therefore shards the
-   event stream by variable across N detector instances on N OCaml 5
-   domains, broadcasting sync events to every shard.  This experiment
-   measures the throughput axis of that design — wall-clock speedup
-   over the sequential driver at 1/2/4/8 shards — and re-checks the
-   precision axis: the merged warning list must be identical to the
-   sequential one on every measured workload.
+   event stream by variable across detector instances on OCaml 5
+   domains.  Under the default work-stealing plan the sync state is
+   replayed exactly once into a shared read-only Sync_timeline and
+   [factor x jobs] fine-grained access-only items are pulled
+   dynamically by the workers; the legacy static plan (jobs shards,
+   full sync broadcast per shard) is measured alongside so the JSON
+   records quantify what the timeline + stealing redesign bought.
+
+   This experiment measures the throughput axis — wall-clock speedup
+   over the sequential driver at 1/2/4/8 workers, per plan — and
+   re-checks the precision axis: the merged warning list must be
+   identical to the sequential one on every measured workload.
 
    Speedup is bounded by the host's core count (reported below; CI
-   runners have several, the paper's overhead argument is per-core) and
-   by the broadcast fraction: every shard replays all sync events, so
-   the parallel efficiency ceiling is roughly
-   accesses / (accesses/N + syncs). *)
+   runners have several, the paper's overhead argument is per-core).
+   The static plan is additionally capped by its broadcast fraction
+   (every shard replays all sync events: ceiling roughly
+   accesses / (accesses/N + syncs)); the stealing plan only by the
+   serial timeline prefix (Amdahl on the ~sync% of the trace). *)
 
 let jobs_list = [ 1; 2; 4; 8 ]
 let workload_names = [ "moldyn"; "raytracer"; "sor"; "montecarlo" ]
@@ -70,41 +77,50 @@ let run ~scale ~repeat () =
         in
         Bench_json.add
           { Bench_json.experiment = "parallel"; workload = w.name; tool;
-            jobs = 1; events; elapsed = seq_elapsed;
+            jobs = 1; plan = "seq"; events; elapsed = seq_elapsed;
             throughput = Bench_json.throughput ~events ~elapsed:seq_elapsed;
             slowdown = Bench_common.slowdown seq_elapsed base;
             speedup = 1.0;
             warnings = List.length seq_result.Driver.warnings;
             imbalance = 1.0 };
+        (* one measured row per (jobs, plan); the printed table shows
+           the default (stealing) columns, the JSON carries both *)
+        let measure ~jobs plan =
+          let par_result = Driver.run_parallel ~jobs ~plan d tr in
+          if
+            not
+              (same_warnings seq_result.Driver.warnings
+                 par_result.Driver.warnings)
+          then
+            failwith
+              (Printf.sprintf
+                 "%s: parallel (%d jobs, %s) warnings differ from \
+                  sequential — precision regression"
+                 w.name jobs
+                 (Shard.kind_to_string plan));
+          let elapsed =
+            best_wall ~repeat (fun () ->
+                ignore (Driver.run_parallel ~jobs ~plan d tr))
+          in
+          let speedup =
+            if elapsed > 0. then seq_elapsed /. elapsed else 0.
+          in
+          Bench_json.add
+            { Bench_json.experiment = "parallel"; workload = w.name;
+              tool; jobs; plan = Shard.kind_to_string plan; events;
+              elapsed;
+              throughput = Bench_json.throughput ~events ~elapsed;
+              slowdown = Bench_common.slowdown elapsed base;
+              speedup;
+              warnings = List.length par_result.Driver.warnings;
+              imbalance = par_result.Driver.imbalance };
+          (elapsed, speedup)
+        in
         let cells =
           List.concat_map
             (fun jobs ->
-              let par_result = Driver.run_parallel ~jobs d tr in
-              if
-                not
-                  (same_warnings seq_result.Driver.warnings
-                     par_result.Driver.warnings)
-              then
-                failwith
-                  (Printf.sprintf
-                     "%s: parallel (%d jobs) warnings differ from \
-                      sequential — precision regression"
-                     w.name jobs);
-              let elapsed =
-                best_wall ~repeat (fun () ->
-                    ignore (Driver.run_parallel ~jobs d tr))
-              in
-              let speedup =
-                if elapsed > 0. then seq_elapsed /. elapsed else 0.
-              in
-              Bench_json.add
-                { Bench_json.experiment = "parallel"; workload = w.name;
-                  tool; jobs; events; elapsed;
-                  throughput = Bench_json.throughput ~events ~elapsed;
-                  slowdown = Bench_common.slowdown elapsed base;
-                  speedup;
-                  warnings = List.length par_result.Driver.warnings;
-                  imbalance = par_result.Driver.imbalance };
+              ignore (measure ~jobs Shard.Static);
+              let elapsed, speedup = measure ~jobs Shard.Stealing in
               [ Printf.sprintf "%.1f" (elapsed *. 1000.);
                 Printf.sprintf "%.2fx" speedup ])
             jobs_list

@@ -95,6 +95,7 @@ let run ~scale ~repeat () =
           Bench_json.add
             { Bench_json.experiment = "table1";
               workload = r.workload.Workload.name; tool; jobs = 1;
+              plan = "seq";
               events = r.events; elapsed = s *. r.base;
               throughput =
                 Bench_json.throughput ~events:r.events ~elapsed:(s *. r.base);

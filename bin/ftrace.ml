@@ -82,11 +82,15 @@ let scale_arg =
 let jobs_arg =
   Arg.(value & opt int 1
        & info [ "j"; "jobs" ] ~docv:"N"
-           ~doc:"Shard the analysis by variable across $(docv) detector \
-                 instances, one per OCaml domain (1 = sequential; 0 = one \
-                 per available core).  Warnings are merged \
+           ~doc:"Shard the analysis by variable across $(docv) analysis \
+                 domains (1 = sequential; 0 = one per available core).  \
+                 Clock-sharing detectors use a work-stealing item queue \
+                 over a shared sync timeline; others fall back to the \
+                 static broadcast plan.  Warnings are merged \
                  deterministically and are identical to a sequential \
-                 run's.")
+                 run's.  Values above the runtime's recommended domain \
+                 count are accepted but warned about (domains would \
+                 contend for cores).")
 
 let config_of granularity = { Config.default with granularity }
 
@@ -210,11 +214,18 @@ let print_verbose_panel ~jobs ~obs (r : Driver.result) =
       rules;
     Table.print t);
   if Array.length r.shards > 0 then begin
-    print_endline "-- shards --";
+    print_endline
+      (match r.plan_kind with
+      | Shard.Static -> "-- shards --"
+      | Shard.Stealing -> "-- workers (stealing plan) --");
     let t =
       Table.create
         ~columns:
-          [ ("Shard", Table.Right); ("Accesses", Table.Right);
+          [ ((match r.plan_kind with
+             | Shard.Static -> "Shard"
+             | Shard.Stealing -> "Worker"),
+             Table.Right);
+            ("Accesses", Table.Right);
             ("Broadcast", Table.Right); ("Wall(ms)", Table.Right);
             ("Warnings", Table.Right) ]
     in
@@ -249,8 +260,17 @@ let print_verbose_panel ~jobs ~obs (r : Driver.result) =
     let rules = Stats.rules_alist r.stats in
     List.iter
       (fun w ->
+        (* provenance: shard id (static) or work-item slot (stealing)
+           that analyzed the variable *)
         let shard =
-          if jobs > 1 then Some (Shard.shard_of_var ~jobs w.Warning.x)
+          if jobs > 1 then
+            Some
+              (Shard.shard_of_var
+                 ~jobs:
+                   (match r.plan_kind with
+                   | Shard.Static -> jobs
+                   | Shard.Stealing -> r.slots)
+                 w.Warning.x)
           else None
         in
         Format.printf "  @[<h>%a@]@."
@@ -290,12 +310,28 @@ let analyze path tool granularity jobs show_stats verbose_stats metrics
           (Config.with_obs obs (config_of granularity))
       in
       let jobs = if jobs = 0 then Driver.default_jobs () else max 1 jobs in
+      (* Warn (don't clamp): oversubscription is legal — and the only
+         way to exercise the parallel plans on a small machine — but
+         it will not be faster, so say so once. *)
+      let recommended = Driver.default_jobs () in
+      if jobs > recommended then
+        Printf.eprintf
+          "ftrace: warning: --jobs %d exceeds this machine's %d \
+           recommended domain(s); the extra domains will contend for \
+           cores\n%!"
+          jobs recommended;
       let result =
         if jobs > 1 then Driver.run_parallel ~config ~jobs d tr
         else Driver.run ~config d tr
       in
       let mode =
-        if jobs > 1 then Printf.sprintf " [%d shards]" jobs else ""
+        if jobs > 1 then
+          Printf.sprintf " [%d %s, %s plan]" jobs
+            (match result.Driver.plan_kind with
+            | Shard.Static -> "shards"
+            | Shard.Stealing -> "workers")
+            (Shard.kind_to_string result.Driver.plan_kind)
+        else ""
       in
       (* cpu for the sequential driver, wall for the parallel one —
          what the deprecated [elapsed] alias used to smuggle in. *)
@@ -307,14 +343,20 @@ let analyze path tool granularity jobs show_stats verbose_stats metrics
         (fun w -> Printf.printf "  %s\n" (Warning.to_string w))
         result.warnings;
       if jobs > 1 then
-        Printf.printf "shards: imbalance %.2f, accesses [%s]\n"
+        Printf.printf "%s: imbalance %.2f, accesses [%s]\n"
+          (match result.Driver.plan_kind with
+          | Shard.Static -> "shards"
+          | Shard.Stealing -> "workers")
           result.Driver.imbalance
           (String.concat "; "
              (Array.to_list
                 (Array.map
                    (fun (si : Driver.shard_info) ->
-                     Printf.sprintf "s%d=%d" si.Driver.shard_id
-                       si.Driver.shard_accesses)
+                     Printf.sprintf "%s%d=%d"
+                       (match result.Driver.plan_kind with
+                       | Shard.Static -> "s"
+                       | Shard.Stealing -> "w")
+                       si.Driver.shard_id si.Driver.shard_accesses)
                    result.Driver.shards)));
       if show_stats then Format.printf "%a@." Stats.pp result.stats;
       if verbose_stats then print_verbose_panel ~jobs ~obs result;

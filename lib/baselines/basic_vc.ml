@@ -1,13 +1,14 @@
 module VC = Vector_clock
 
 let name = "BasicVC"
+let shares_clocks = true
 
 type var_state = { x : Var.t; mutable rvc : VC.t; mutable wvc : VC.t }
 
 type t = {
   config : Config.t;
   stats : Stats.t;
-  sync : Vc_state.t;
+  sync : Clock_source.t;
   vars : var_state Shadow.t;
   log : Race_log.t;
 }
@@ -16,7 +17,7 @@ let create config =
   let stats = Stats.create () in
   { config;
     stats;
-    sync = Vc_state.create stats;
+    sync = Clock_source.create config stats;
     vars = Shadow.create config.Config.granularity;
     log = Race_log.create ~obs:config.Config.obs () }
 
@@ -35,12 +36,12 @@ let vc_op d = d.stats.vc_ops <- d.stats.vc_ops + 1
 
 let on_event d ~index e =
   Stats.count_event d.stats e;
-  if not (Vc_state.handle_sync d.sync e) then
+  if not (Clock_source.handle_sync d.sync e) then
     match e with
     | Event.Read { t; x } ->
       let st = var_state d x in
       let key = Shadow.key d.vars x in
-      let ct = Vc_state.clock d.sync t in
+      let ct = Clock_source.clock d.sync ~index t in
       (* write-read race?  Wx ⊑ Ct *)
       vc_op d;
       (match VC.find_gt st.wvc ct with
@@ -56,7 +57,7 @@ let on_event d ~index e =
     | Event.Write { t; x } ->
       let st = var_state d x in
       let key = Shadow.key d.vars x in
-      let ct = Vc_state.clock d.sync t in
+      let ct = Clock_source.clock d.sync ~index t in
       (* write-write race?  Wx ⊑ Ct *)
       vc_op d;
       (match VC.find_gt st.wvc ct with

@@ -1,13 +1,14 @@
 module VC = Vector_clock
 
 let name = "DJIT+"
+let shares_clocks = true
 
 type var_state = { x : Var.t; mutable rvc : VC.t; mutable wvc : VC.t }
 
 type t = {
   config : Config.t;
   stats : Stats.t;
-  sync : Vc_state.t;
+  sync : Clock_source.t;
   vars : var_state Shadow.t;
   log : Race_log.t;
   r_same_epoch : int ref;
@@ -20,7 +21,7 @@ let create config =
   let stats = Stats.create () in
   { config;
     stats;
-    sync = Vc_state.create stats;
+    sync = Clock_source.create config stats;
     vars = Shadow.create config.Config.granularity;
     log = Race_log.create ~obs:config.Config.obs ();
     r_same_epoch = Stats.counter stats "READ SAME EPOCH";
@@ -44,12 +45,12 @@ let epoch_op d = d.stats.epoch_ops <- d.stats.epoch_ops + 1
 
 let on_event d ~index e =
   Stats.count_event d.stats e;
-  if not (Vc_state.handle_sync d.sync e) then
+  if not (Clock_source.handle_sync d.sync e) then
     match e with
     | Event.Read { t; x } ->
       let st = var_state d x in
       let key = Shadow.key d.vars x in
-      let ct = Vc_state.clock d.sync t in
+      let ct = Clock_source.clock d.sync ~index t in
       let now = VC.get ct t in
       epoch_op d;
       if
@@ -73,7 +74,7 @@ let on_event d ~index e =
     | Event.Write { t; x } ->
       let st = var_state d x in
       let key = Shadow.key d.vars x in
-      let ct = Vc_state.clock d.sync t in
+      let ct = Clock_source.clock d.sync ~index t in
       let now = VC.get ct t in
       epoch_op d;
       if

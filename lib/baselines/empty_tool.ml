@@ -1,4 +1,5 @@
 let name = "Empty"
+let shares_clocks = true
 
 type t = { stats : Stats.t }
 

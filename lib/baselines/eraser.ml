@@ -1,6 +1,7 @@
 module Iset = Lockset.Iset
 
 let name = "Eraser"
+let shares_clocks = true
 
 type phase =
   | Virgin
@@ -17,42 +18,46 @@ type var_state = {
 type t = {
   config : Config.t;
   stats : Stats.t;
-  held : Lockset.Held.t;
+  (* held-lock sets + barrier generation, live or resolved against the
+     shared sync timeline (Config.sync_source) — see Clock_source *)
+  locks : Clock_source.locks;
+  view : Lockset.Held_view.t;
   vars : var_state Shadow.t;
   log : Race_log.t;
-  mutable barrier_gen : int;
 }
 
 let create config =
   { config;
     stats = Stats.create ();
-    held = Lockset.Held.create ();
+    locks = Clock_source.locks config;
+    view = Lockset.Held_view.create ();
     vars = Shadow.create config.Config.granularity;
-    log = Race_log.create ~obs:config.Config.obs ();
-    barrier_gen = 0 }
+    log = Race_log.create ~obs:config.Config.obs () }
 
-let new_var_state d x =
+let new_var_state d ~gen x =
   Stats.add_words d.stats 6;
-  { x; phase = Virgin; barrier_gen = d.barrier_gen }
+  { x; phase = Virgin; barrier_gen = gen }
 
-let var_state d x =
+let var_state d ~gen x =
   match Shadow.find d.vars x with
   | Some st -> st
-  | None -> Shadow.get d.vars x (new_var_state d)
+  | None -> Shadow.get d.vars x (new_var_state d ~gen)
 
 let report d st ~tid ~index =
   Race_log.report d.log ~key:(Shadow.key d.vars st.x) ~x:st.x ~tid ~index
     ~kind:Warning.Lock_discipline ()
 
 let access d ~index t x (kind : [ `Read | `Write ]) =
-  let st = var_state d x in
+  let gen = Clock_source.barrier_generation d.locks ~index in
+  let st = var_state d ~gen x in
   (* Barrier extension: all accesses before the barrier happen before
      all accesses after it, so re-learn the location's discipline. *)
-  if st.barrier_gen < d.barrier_gen then begin
+  if st.barrier_gen < gen then begin
     st.phase <- Virgin;
-    st.barrier_gen <- d.barrier_gen
+    st.barrier_gen <- gen
   end;
-  let held = Lockset.Held.held d.held t in
+  let stamp, held_list = Clock_source.held_locks d.locks ~index t in
+  let held = Lockset.Held_view.get d.view t ~stamp held_list in
   match st.phase with
   | Virgin -> st.phase <- Exclusive t
   | Exclusive u when Tid.equal u t -> ()
@@ -82,14 +87,14 @@ let on_event d ~index e =
   match e with
   | Event.Read { t; x } -> access d ~index t x `Read
   | Event.Write { t; x } -> access d ~index t x `Write
-  | Event.Acquire _ | Event.Release _ -> Lockset.Held.on_event d.held e
-  | Event.Barrier_release _ -> d.barrier_gen <- d.barrier_gen + 1
-  | Event.Fork _ | Event.Join _ | Event.Volatile_read _
-  | Event.Volatile_write _ | Event.Txn_begin _ | Event.Txn_end _ ->
+  | _ ->
     (* Eraser understands only lock-based synchronization (and, with
-       the [29] extension, barriers): these induce no state change,
-       which is exactly the source of its false alarms. *)
-    ()
+       the [29] extension, barriers); Clock_source tracks exactly
+       those in live mode and nothing at all in shared mode (the
+       timeline already did).  Everything else induces no state
+       change, which is exactly the source of Eraser's false
+       alarms. *)
+    Clock_source.locks_on_event d.locks e
 
 let warnings d = Race_log.warnings d.log
 let witnesses d = Race_log.witnesses d.log

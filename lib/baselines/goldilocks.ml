@@ -2,6 +2,12 @@ module Iset = Lockset.Iset
 
 let name = "Goldilocks"
 
+(* Goldilocks replays the synchronization-op log lazily per variable
+   (transfer closures over the op list): its sync state is not a
+   per-thread clock lookup, so it cannot resolve against a shared
+   Sync_timeline and keeps the legacy broadcast plan. *)
+let shares_clocks = false
+
 (* Synchronization elements: threads, locks and volatiles share one
    integer namespace. *)
 let thread_elt t = 3 * t

@@ -27,5 +27,36 @@ module Held = struct
     if t < Array.length h.held then h.held.(t) else Iset.empty
 end
 
+(* Memoized (tid, stamp) -> Iset view of the held-lock lists served
+   by Clock_source.held_locks: equal stamps (per thread) identify
+   equal lists, so each distinct lock set is converted at most once
+   per consumer, in both live and shared-timeline modes. *)
+module Held_view = struct
+  type t = { mutable stamps : int array; mutable sets : Iset.t array }
+
+  let create () = { stamps = Array.make 8 (-1); sets = Array.make 8 Iset.empty }
+
+  let ensure v t =
+    let n = Array.length v.stamps in
+    if t >= n then begin
+      let n' = max (t + 1) (2 * n) in
+      let stamps = Array.make n' (-1) and sets = Array.make n' Iset.empty in
+      Array.blit v.stamps 0 stamps 0 n;
+      Array.blit v.sets 0 sets 0 n;
+      v.stamps <- stamps;
+      v.sets <- sets
+    end
+
+  let get v t ~stamp held =
+    ensure v t;
+    if v.stamps.(t) = stamp then v.sets.(t)
+    else begin
+      let s = List.fold_left (fun acc m -> Iset.add m acc) Iset.empty held in
+      v.stamps.(t) <- stamp;
+      v.sets.(t) <- s;
+      s
+    end
+end
+
 (* each set node ≈ 4 words *)
 let set_words s = 4 * Iset.cardinal s

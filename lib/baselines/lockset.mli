@@ -19,5 +19,19 @@ module Held : sig
   (** Locks currently held by [t]. *)
 end
 
+module Held_view : sig
+  type t
+
+  val create : unit -> t
+
+  val get : t -> Tid.t -> stamp:int -> Lockid.t list -> Iset.t
+  (** [get v t ~stamp held] is [held] as an {!Iset}, memoized per
+      thread on [stamp] (the {!Clock_source.held_locks} ordinal:
+      equal stamps for one thread guarantee equal lists).  Lets the
+      lockset detectors consume [Clock_source]'s representation —
+      live or shared sync timeline — without converting the same set
+      twice. *)
+end
+
 val set_words : Iset.t -> int
 (** Approximate heap footprint of a lockset, for memory accounting. *)

@@ -2,6 +2,7 @@ module VC = Vector_clock
 module Iset = Lockset.Iset
 
 let name = "MultiRace"
+let shares_clocks = true
 
 type phase =
   | Virgin
@@ -20,28 +21,28 @@ type var_state = {
 type t = {
   config : Config.t;
   stats : Stats.t;
-  sync : Vc_state.t;
-  held : Lockset.Held.t;
+  sync : Clock_source.t;
+  locks : Clock_source.locks;
+  view : Lockset.Held_view.t;
   vars : var_state Shadow.t;
   log : Race_log.t;
-  mutable barrier_gen : int;
 }
 
 let create config =
   let stats = Stats.create () in
   { config;
     stats;
-    sync = Vc_state.create stats;
-    held = Lockset.Held.create ();
+    sync = Clock_source.create config stats;
+    locks = Clock_source.locks config;
+    view = Lockset.Held_view.create ();
     vars = Shadow.create config.Config.granularity;
-    log = Race_log.create ~obs:config.Config.obs ();
-    barrier_gen = 0 }
+    log = Race_log.create ~obs:config.Config.obs () }
 
-let new_var_state d x =
+let new_var_state d ~gen x =
   let st =
     { x;
       phase = Virgin;
-      barrier_gen = d.barrier_gen;
+      barrier_gen = gen;
       rvc = VC.create ();
       wvc = VC.create () }
   in
@@ -49,10 +50,10 @@ let new_var_state d x =
   Stats.add_words d.stats (8 + VC.heap_words st.rvc + VC.heap_words st.wvc);
   st
 
-let var_state d x =
+let var_state d ~gen x =
   match Shadow.find d.vars x with
   | Some st -> st
-  | None -> Shadow.get d.vars x (new_var_state d)
+  | None -> Shadow.get d.vars x (new_var_state d ~gen)
 
 let vc_op d = d.stats.vc_ops <- d.stats.vc_ops + 1
 
@@ -76,13 +77,15 @@ let djit_check d st ~key ~index t ct (kind : [ `Read | `Write ]) =
     attribute st.rvc Warning.Read_write
 
 let access d ~index t x kind =
-  let st = var_state d x in
+  let gen = Clock_source.barrier_generation d.locks ~index in
+  let st = var_state d ~gen x in
   let key = Shadow.key d.vars x in
-  if st.barrier_gen < d.barrier_gen then begin
+  if st.barrier_gen < gen then begin
     st.phase <- Virgin;
-    st.barrier_gen <- d.barrier_gen
+    st.barrier_gen <- gen
   end;
-  let held = Lockset.Held.held d.held t in
+  let stamp, held_list = Clock_source.held_locks d.locks ~index t in
+  let held = Lockset.Held_view.get d.view t ~stamp held_list in
   (match st.phase with
   | Virgin -> st.phase <- Exclusive t
   | Exclusive u when Tid.equal u t -> ()
@@ -94,27 +97,27 @@ let access d ~index t x kind =
     | `Write ->
       st.phase <- Shared_modified held;
       if Iset.is_empty held then
-        djit_check d st ~key ~index t (Vc_state.clock d.sync t) kind)
+        djit_check d st ~key ~index t (Clock_source.clock d.sync ~index t) kind)
   | Shared ls -> (
     let ls = Iset.inter ls held in
     match kind with
     | `Read ->
       st.phase <- Shared ls;
       if Iset.is_empty ls then
-        djit_check d st ~key ~index t (Vc_state.clock d.sync t) kind
+        djit_check d st ~key ~index t (Clock_source.clock d.sync ~index t) kind
     | `Write ->
       st.phase <- Shared_modified ls;
       if Iset.is_empty ls then
-        djit_check d st ~key ~index t (Vc_state.clock d.sync t) kind)
+        djit_check d st ~key ~index t (Clock_source.clock d.sync ~index t) kind)
   | Shared_modified ls ->
     let ls = Iset.inter ls held in
     st.phase <- Shared_modified ls;
     if Iset.is_empty ls then
-      djit_check d st ~key ~index t (Vc_state.clock d.sync t) kind);
+      djit_check d st ~key ~index t (Clock_source.clock d.sync ~index t) kind);
   (* Always record the access epoch so later checks can see it (a
      fresh VC per update, like DJIT+ — MultiRace's memory footprint is
      even larger, as Section 5.1 notes). *)
-  let ct = Vc_state.clock d.sync t in
+  let ct = Clock_source.clock d.sync ~index t in
   let now = VC.get ct t in
   (match kind with
   | `Read ->
@@ -130,11 +133,8 @@ let access d ~index t x kind =
 
 let on_event d ~index e =
   Stats.count_event d.stats e;
-  Lockset.Held.on_event d.held e;
-  (match e with
-  | Event.Barrier_release _ -> d.barrier_gen <- d.barrier_gen + 1
-  | _ -> ());
-  if not (Vc_state.handle_sync d.sync e) then
+  Clock_source.locks_on_event d.locks e;
+  if not (Clock_source.handle_sync d.sync e) then
     match e with
     | Event.Read { t; x } -> access d ~index t x `Read
     | Event.Write { t; x } -> access d ~index t x `Write

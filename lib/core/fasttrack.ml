@@ -1,6 +1,7 @@
 module VC = Vector_clock
 
 let name = "FastTrack"
+let shares_clocks = true
 
 (* The READ_SHARED sentinel of Figure 5: a reserved epoch value that
    can never arise as a real epoch because we never let clocks reach
@@ -21,7 +22,7 @@ let var_state_words = 7
 type t = {
   config : Config.t;
   stats : Stats.t;
-  sync : Vc_state.t;
+  sync : Clock_source.t;
   vars : var_state Shadow.t;
   log : Race_log.t;
   adaptive : bool;
@@ -43,7 +44,7 @@ let create config =
   let stats = Stats.create () in
   { config;
     stats;
-    sync = Vc_state.create stats;
+    sync = Clock_source.create config stats;
     vars = Shadow.create config.Config.granularity;
     log = Race_log.create ~obs:config.Config.obs ();
     adaptive = (config.Config.granularity = Shadow.Adaptive);
@@ -97,11 +98,11 @@ let witness_of d st ~tid ~index ~ct ~prior_e kind =
         s_epoch = prior_e;
         s_clock = Epoch.clock prior_e;
         s_index = None;
-        s_vc = VC.to_list (Vc_state.clock d.sync (Epoch.tid prior_e)) };
+        s_vc = VC.to_list (Clock_source.clock d.sync ~index (Epoch.tid prior_e)) };
     second =
       { Witness.s_tid = tid;
-        s_epoch = Vc_state.epoch d.sync tid;
-        s_clock = Epoch.clock (Vc_state.epoch d.sync tid);
+        s_epoch = Clock_source.epoch d.sync ~index tid;
+        s_clock = Epoch.clock (Clock_source.epoch d.sync ~index tid);
         s_index = Some index;
         s_vc = VC.to_list ct } }
 
@@ -110,12 +111,12 @@ let vc_op d = d.stats.vc_ops <- d.stats.vc_ops + 1
 
 let read d ~index t x =
   let st = var_state d x in
-  let te = Vc_state.epoch d.sync t in
+  let te = Clock_source.epoch d.sync ~index t in
   epoch_op d;
   if d.config.same_epoch_fast_path && Epoch.equal st.r te then
     incr d.r_same_epoch
   else begin
-    let ct = Vc_state.clock d.sync t in
+    let ct = Clock_source.clock d.sync ~index t in
     (* write-read race? *)
     epoch_op d;
     if not (VC.epoch_leq st.w ct) then
@@ -167,12 +168,12 @@ let read d ~index t x =
 
 let write d ~index t x =
   let st = var_state d x in
-  let te = Vc_state.epoch d.sync t in
+  let te = Clock_source.epoch d.sync ~index t in
   epoch_op d;
   if d.config.same_epoch_fast_path && Epoch.equal st.w te then
     incr d.w_same_epoch
   else begin
-    let ct = Vc_state.clock d.sync t in
+    let ct = Clock_source.clock d.sync ~index t in
     (* write-write race? *)
     epoch_op d;
     if not (VC.epoch_leq st.w ct) then
@@ -224,12 +225,12 @@ let write d ~index t x =
 let record_event d ~index e =
   match e with
   | Event.Read { t; x } ->
-    let te = Vc_state.epoch d.sync t in
+    let te = Clock_source.epoch d.sync ~index t in
     Obs_recorder.record d.recorder ~key:(Shadow.key d.vars x) ~index
       ~tid:t ~op:Obs_recorder.Read ~epoch:(Epoch.to_int te)
       ~clock:(Epoch.clock te)
   | Event.Write { t; x } ->
-    let te = Vc_state.epoch d.sync t in
+    let te = Clock_source.epoch d.sync ~index t in
     Obs_recorder.record d.recorder ~key:(Shadow.key d.vars x) ~index
       ~tid:t ~op:Obs_recorder.Write ~epoch:(Epoch.to_int te)
       ~clock:(Epoch.clock te)
@@ -240,7 +241,7 @@ let record_event d ~index e =
 let on_event d ~index e =
   Stats.count_event d.stats e;
   if d.rec_on then record_event d ~index e;
-  if not (Vc_state.handle_sync d.sync e) then
+  if not (Clock_source.handle_sync d.sync e) then
     match e with
     | Event.Read { t; x } -> read d ~index t x
     | Event.Write { t; x } -> write d ~index t x
@@ -268,4 +269,4 @@ let inspect d x =
     in
     Some { write = st.w; read }
 
-let current_epoch d t = Vc_state.epoch d.sync t
+let current_epoch d t = Clock_source.epoch d.sync ~index:max_int t

@@ -4,6 +4,7 @@ type t = {
   read_demotion : bool;
   obs : Obs.t;
   recorder : Obs_recorder.t;
+  sync_source : Sync_timeline.t option;
 }
 
 let default =
@@ -11,10 +12,12 @@ let default =
     same_epoch_fast_path = true;
     read_demotion = true;
     obs = Obs.disabled;
-    recorder = Obs_recorder.disabled }
+    recorder = Obs_recorder.disabled;
+    sync_source = None }
 
 let with_obs obs t = { t with obs }
 let with_recorder recorder t = { t with recorder }
+let with_sync_source tl t = { t with sync_source = Some tl }
 
 let coarse = { default with granularity = Shadow.Coarse }
 let adaptive = { default with granularity = Shadow.Adaptive }

@@ -29,7 +29,15 @@
     allocation), enabled by [ftrace analyze --explain]/[--report] so
     race reports can show the recent access history of the racy
     location.  Like [obs], it never changes analysis results
-    (asserted in [test/test_report.ml]). *)
+    (asserted in [test/test_report.ml]).
+
+    [sync_source] selects the detector's {!Clock_source} mode: [None]
+    (the default, and the only sensible value for sequential runs)
+    gives each detector instance a private live {!Vc_state};
+    [Some timeline] makes clock/epoch/lockset lookups resolve against
+    the shared read-only {!Sync_timeline} instead, which is how the
+    work-stealing parallel driver eliminates the per-shard sync
+    replay.  Only [Driver.run_parallel] should set it. *)
 
 type t = {
   granularity : Shadow.mode;
@@ -37,14 +45,16 @@ type t = {
   read_demotion : bool;
   obs : Obs.t;
   recorder : Obs_recorder.t;
+  sync_source : Sync_timeline.t option;
 }
 
 val default : t
 (** Fine granularity, all optimizations on, observability and the
-    flight recorder off. *)
+    flight recorder off, live sync state. *)
 
 val with_obs : Obs.t -> t -> t
 val with_recorder : Obs_recorder.t -> t -> t
+val with_sync_source : Sync_timeline.t -> t -> t
 
 val coarse : t
 val adaptive : t

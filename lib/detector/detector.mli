@@ -10,6 +10,17 @@ module type S = sig
 
   val name : string
 
+  val shares_clocks : bool
+  (** Whether this detector resolves {e all} of its synchronization
+      lookups through {!Clock_source} (clocks/epochs, held locks,
+      barrier generations), so that it can run against a shared
+      read-only {!Sync_timeline} ([Config.sync_source]) instead of a
+      private sync replay.  When [true], [Driver.run_parallel] may use
+      the work-stealing plan (access-only shard items, no broadcast);
+      when [false] (e.g. Goldilocks' sync-op log, Accordion's private
+      clock compression) the driver falls back to the legacy
+      static-broadcast plan. *)
+
   val create : Config.t -> t
 
   val on_event : t -> index:int -> Event.t -> unit
@@ -33,6 +44,7 @@ type packed = Packed : (module S with type t = 'a) * 'a -> packed
 
 val instantiate : (module S) -> Config.t -> packed
 val packed_name : packed -> string
+val packed_shares_clocks : packed -> bool
 val packed_on_event : packed -> index:int -> Event.t -> unit
 val packed_warnings : packed -> Warning.t list
 val packed_witnesses : packed -> Witness.t list

@@ -16,6 +16,8 @@ type result = {
   wall : float;
   shards : shard_info array;
   imbalance : float;
+  plan_kind : Shard.kind;
+  slots : int;
 }
 
 let time f =
@@ -80,7 +82,9 @@ let run_packed ?(obs = Obs.disabled) packed tr =
     cpu;
     wall;
     shards = [||];
-    imbalance = 1.0 }
+    imbalance = 1.0;
+    plan_kind = Shard.Static;
+    slots = 1 }
 
 let run ?(config = Config.default) d tr =
   let r =
@@ -124,7 +128,7 @@ let analyze_shard ?(obs = Obs.disabled) d config ~jobs ~shard tr =
     ();
   (warnings, witnesses, stats, shard_wall, rec_view)
 
-let merge_shards (module D : Detector.S) shard_results ~cpu ~wall =
+let merge_shards (module D : Detector.S) shard_results ~jobs ~cpu ~wall =
   let shards =
     Array.mapi
       (fun i (w, _, (s : Stats.t), shard_wall, _) ->
@@ -163,12 +167,11 @@ let merge_shards (module D : Detector.S) shard_results ~cpu ~wall =
     cpu;
     wall;
     shards;
-    imbalance }
+    imbalance;
+    plan_kind = Shard.Static;
+    slots = jobs }
 
-let run_parallel ?(config = Config.default) ?jobs d tr =
-  let jobs =
-    match jobs with Some j -> max 1 j | None -> default_jobs ()
-  in
+let run_static ?(config = Config.default) ~jobs d tr =
   let obs = config.Config.obs in
   if Obs.is_enabled obs then begin
     Obs.gc_sample obs;
@@ -189,7 +192,8 @@ let run_parallel ?(config = Config.default) ?jobs d tr =
      domains, so this is detector work, not wall x jobs. *)
   let cpu = Sys.time () -. cpu0 in
   let result =
-    Obs.span obs "merge" (fun () -> merge_shards d shard_results ~cpu ~wall)
+    Obs.span obs "merge" (fun () ->
+        merge_shards d shard_results ~jobs ~cpu ~wall)
   in
   (* Fold each shard's private recorder view back into the parent
      handle (disjoint per-key rings under variable sharding: a move,
@@ -204,6 +208,188 @@ let run_parallel ?(config = Config.default) ?jobs d tr =
   if Obs.is_enabled obs then
     Obs.set_gauge obs "shard.imbalance" result.imbalance;
   result
+
+(* ------------------------------------------------------------------ *)
+(* Work-stealing driver: shared sync timeline + dynamic item queue.   *)
+
+(* The timeline's build cost, folded into the merged stats so the
+   stealing run's totals remain comparable with the sequential run's:
+   its events are exactly the non-access events the items never see
+   (merged [events] = accesses + sync + other = trace length), and its
+   vc_ops/vc_allocs/words are the one shared sync replay — where the
+   static plan pays jobs x that. *)
+let stats_of_timeline (ts : Sync_timeline.stats) =
+  let s = Stats.create () in
+  s.Stats.events <- ts.Sync_timeline.sync_events + ts.Sync_timeline.other_events;
+  s.Stats.syncs <- ts.Sync_timeline.sync_events;
+  s.Stats.vc_ops <- ts.Sync_timeline.vc_ops;
+  s.Stats.vc_allocs <- ts.Sync_timeline.vc_allocs;
+  Stats.add_words s ts.Sync_timeline.words;
+  s
+
+let timeline_gauges obs (ts : Sync_timeline.stats) =
+  if Obs.is_enabled obs then begin
+    Obs.bump obs "timeline.sync_events" ts.Sync_timeline.sync_events;
+    Obs.bump obs "timeline.checkpoints" ts.Sync_timeline.checkpoints;
+    Obs.bump obs "timeline.snapshots" ts.Sync_timeline.snapshots;
+    Obs.bump obs "timeline.snapshot_hits" ts.Sync_timeline.snapshot_hits;
+    Obs.set_gauge obs "timeline.words" (float_of_int ts.Sync_timeline.words)
+  end
+
+(* One work item: a fresh detector instance over the item's access
+   events, resolving sync lookups against the shared timeline (the
+   item config's [sync_source]).  Cursor state is private to the
+   instance, so items are safe to run concurrently. *)
+let analyze_item ?(obs = Obs.disabled) (module D : Detector.S) item_config
+    (s : Shard.t) =
+  let start = Obs.now obs in
+  let (warnings, witnesses, stats), item_wall =
+    Par_run.wall_time (fun () ->
+        let d = D.create item_config in
+        Shard.iteri (fun index e -> D.on_event d ~index e) s;
+        (D.warnings d, D.witnesses d, D.stats d))
+  in
+  Obs.record_span obs
+    ~name:(Printf.sprintf "item-%d" s.Shard.shard_id)
+    ~start ~duration:item_wall
+    ~attrs:
+      [ ("accesses", Obs_span.Int s.Shard.accesses);
+        ("warnings", Obs_span.Int (List.length warnings)) ]
+    ();
+  (warnings, witnesses, stats, item_wall)
+
+let run_stealing ?(config = Config.default) ~jobs d tr =
+  let (module D : Detector.S) = d in
+  let obs = config.Config.obs in
+  Obs.gc_sample obs;
+  let cpu0 = Sys.time () in
+  let result, wall =
+    (* Unlike the static path, the serial prefix (timeline + plan) is
+       part of the measured wall time: it is real Amdahl cost of this
+       plan, and charging it keeps the jobs-sweep speedups honest. *)
+    Par_run.wall_time (fun () ->
+        (* One trace pass for the whole serial prefix: the plan's
+           single pass also collects the non-access indices and the
+           thread count the timeline build replays from. *)
+        let plan, prepass =
+          Obs.span obs "plan" (fun () ->
+              Shard.plan_stealing_prepass ~jobs tr)
+        in
+        let timeline =
+          Obs.span obs "timeline" (fun () ->
+              Sync_timeline.build_indexed
+                ~nthreads:prepass.Shard.pp_nthreads
+                ~sync_indices:prepass.Shard.pp_sync_indices tr)
+        in
+        timeline_gauges obs (Sync_timeline.stats timeline);
+        (* Empty items (slots owning no live object) are dropped, not
+           scheduled; LPT order is preserved. *)
+        let items =
+          Array.of_seq
+            (Seq.filter
+               (fun s -> Shard.length s > 0)
+               (Array.to_seq plan.Shard.shards))
+        in
+        let item_config = Config.with_sync_source timeline config in
+        let (item_results, claimed), _region_wall =
+          Par_run.queue ~obs ~jobs ~tasks:(Array.length items)
+            (fun ~worker:_ ~task ->
+              analyze_item ~obs (module D) item_config items.(task))
+        in
+        Obs.span obs "merge" (fun () ->
+            (* Per-worker accounting: the dynamic-queue analogue of the
+               static per-shard table.  [shard_syncs] is 0 by
+               construction — no broadcast replay exists to count. *)
+            let shards =
+              Array.mapi
+                (fun w ids ->
+                  let acc = ref 0 and walls = ref 0. and warns = ref 0 in
+                  List.iter
+                    (fun id ->
+                      let w, _, (s : Stats.t), item_wall =
+                        item_results.(id)
+                      in
+                      acc := !acc + s.Stats.reads + s.Stats.writes;
+                      walls := !walls +. item_wall;
+                      warns := !warns + List.length w)
+                    ids;
+                  { shard_id = w;
+                    shard_accesses = !acc;
+                    shard_syncs = 0;
+                    shard_wall = !walls;
+                    shard_warnings = !warns })
+                claimed
+            in
+            let imbalance =
+              Shard.imbalance_of_counts
+                (Array.map (fun si -> si.shard_accesses) shards)
+            in
+            let results = Array.to_list item_results in
+            (* Items own disjoint objects, hence disjoint shadow keys,
+               and at most one warning is recorded per key: warning
+               trace indices are globally unique across items, so
+               sorting by index reconstructs the sequential
+               chronological list exactly (same argument as the static
+               plan, unchanged by the pull order). *)
+            let warnings =
+              List.concat_map (fun (w, _, _, _) -> w) results
+              |> List.stable_sort Warning.compare
+            in
+            let witnesses =
+              List.concat_map (fun (_, ws, _, _) -> ws) results
+              |> List.stable_sort (fun (a : Witness.t) b ->
+                     Int.compare a.Witness.index b.Witness.index)
+            in
+            let stats =
+              Stats.sum
+                (stats_of_timeline (Sync_timeline.stats timeline)
+                :: List.map (fun (_, _, s, _) -> s) results)
+            in
+            fun cpu wall ->
+              { tool = D.name;
+                warnings;
+                witnesses;
+                stats;
+                elapsed = wall;
+                cpu;
+                wall;
+                shards;
+                imbalance;
+                plan_kind = Shard.Stealing;
+                slots = plan.Shard.slots }))
+  in
+  let cpu = Sys.time () -. cpu0 in
+  let result = result cpu wall in
+  Obs.gc_sample_full obs;
+  finish_metrics obs result.stats ~wall;
+  if Obs.is_enabled obs then begin
+    Obs.set_gauge obs "shard.slots" (float_of_int result.slots);
+    Obs.set_gauge obs "shard.imbalance" result.imbalance
+  end;
+  result
+
+let run_parallel ?(config = Config.default) ?jobs ?plan d tr =
+  let jobs =
+    match jobs with Some j -> max 1 j | None -> default_jobs ()
+  in
+  let (module D : Detector.S) = d in
+  let kind =
+    match plan with
+    | Some k -> k
+    | None ->
+      (* The stealing plan requires every sync lookup to go through
+         the shared timeline; the flight recorder additionally needs
+         the sync events delivered per shard (held-lock picture), so
+         --explain/--report runs keep the broadcast plan. *)
+      if
+        D.shares_clocks
+        && not (Obs_recorder.is_enabled config.Config.recorder)
+      then Shard.Stealing
+      else Shard.Static
+  in
+  match kind with
+  | Shard.Static -> run_static ~config ~jobs d tr
+  | Shard.Stealing -> run_stealing ~config ~jobs d tr
 
 (* ------------------------------------------------------------------ *)
 (* Metrics-document assembly (the [--metrics FILE] payload).          *)
@@ -221,6 +407,8 @@ let result_json ?(source = "") r =
     [ ("tool", Obs_json.str r.tool);
       ("source", Obs_json.str source);
       ("jobs", Obs_json.int (max 1 (Array.length r.shards)));
+      ("plan", Obs_json.str (Shard.kind_to_string r.plan_kind));
+      ("slots", Obs_json.int r.slots);
       ("warnings", Obs_json.int (List.length r.warnings));
       ("witnesses", Obs_json.int (List.length r.witnesses));
       ("cpu_s", Obs_json.float r.cpu);

@@ -16,13 +16,17 @@
 
 type shard_info = {
   shard_id : int;
-  shard_accesses : int;   (** read/write events this shard owned *)
-  shard_syncs : int;      (** broadcast sync events it replayed *)
-  shard_wall : float;     (** wall seconds inside the shard's task *)
+      (** static plan: the shard; stealing plan: the {e worker} *)
+  shard_accesses : int;   (** read/write events it analyzed *)
+  shard_syncs : int;
+      (** broadcast sync events it replayed (0 under the stealing
+          plan — the shared timeline replaced the replay) *)
+  shard_wall : float;     (** wall seconds inside its task(s) *)
   shard_warnings : int;
 }
-(** Per-shard accounting of a {!run_parallel} region, derived from
-    the per-shard {!Stats} (no extra trace pass). *)
+(** Per-shard (static) or per-worker (stealing) accounting of a
+    {!run_parallel} region, derived from the per-shard {!Stats} (no
+    extra trace pass). *)
 
 type result = {
   tool : string;
@@ -44,11 +48,19 @@ type result = {
           domains — detector work, not wall x jobs. *)
   wall : float;  (** wall-clock seconds of the analysis region *)
   shards : shard_info array;
-      (** one entry per shard for {!run_parallel}; [[||]] for {!run} *)
+      (** one entry per shard (static) or per worker (stealing) for
+          {!run_parallel}; [[||]] for {!run} *)
   imbalance : float;
       (** {!Shard.imbalance_of_counts} over [shards]' access counts —
           max over mean, 1.0 = perfectly balanced; 1.0 for
-          sequential runs *)
+          sequential runs.  Under work stealing this is the
+          {e per-worker} figure the dynamic queue drives toward 1.0 *)
+  plan_kind : Shard.kind;
+      (** which parallel plan produced this result ({!Shard.Static}
+          for sequential runs, degenerately) *)
+  slots : int;
+      (** shard work items the plan produced ([jobs] for static,
+          [factor x jobs] for stealing, [1] for sequential) *)
 }
 
 val run : ?config:Config.t -> (module Detector.S) -> Trace.t -> result
@@ -59,42 +71,54 @@ val run_packed : ?obs:Obs.t -> Detector.packed -> Trace.t -> result
     {!Obs.disabled}; {!run} passes its config's handle. *)
 
 val run_parallel :
-  ?config:Config.t -> ?jobs:int -> (module Detector.S) -> Trace.t ->
-  result
+  ?config:Config.t -> ?jobs:int -> ?plan:Shard.kind ->
+  (module Detector.S) -> Trace.t -> result
 (** Variable-sharded parallel analysis on OCaml 5 domains.
 
-    The trace is split into [jobs] shards by variable (object id, see
-    {!Shard} and {!Trace.iter_shard}): each shard receives the access
-    events of the variables it owns plus a broadcast copy of
-    {e every} synchronization event, so its private sync state
-    replays the full happens-before structure.  One fresh detector
-    instance runs per shard, each on its own domain, filtering the
-    shared immutable trace in place — zero-copy, no serial splitting
-    step ahead of the parallel region.  The per-shard warning lists
-    are merged by trace index and the stats summed
-    ({!Stats.merge_into}).
+    Two plans (see {!Shard.kind}); the default is chosen per detector:
 
-    Precision-preserving: the merged warning list is identical —
-    same variables, kinds, trace indices and prior epochs — to the
-    sequential {!run}'s, for any detector whose per-variable analysis
-    depends only on the sync-event prefix (all of ours; asserted over
-    every built-in workload in [test/test_parallel.ml]).
+    {e Work stealing} (the default whenever the detector
+    [shares_clocks] and the flight recorder is off): one sequential
+    pass builds the immutable {!Sync_timeline} — per-thread
+    checkpoints of every sync event's post-state with interned,
+    structurally shared clock snapshots — and the trace's access
+    events are split into [Shard.default_steal_factor x jobs]
+    fine-grained items ([obj mod slots], LPT-sorted).  [jobs] workers
+    pull items dynamically ({!Domain_pool.run_queue}); each item runs
+    a fresh detector instance whose {!Clock_source} resolves
+    clock/epoch/lockset lookups against the shared timeline.  This
+    eliminates both causes of the original driver's anti-scaling: the
+    [jobs] x O(sync·VC) broadcast replay (now one shared pass) and
+    static hot-object imbalance (a hot item pins at most one worker).
+    The timeline's build cost is folded into [stats], so merged
+    totals stay comparable with {!run}'s ([events] = trace length).
+
+    {e Static} (fallback for non-clock-sharing detectors —
+    Goldilocks, Accordion — and for recorder-enabled runs; forceable
+    with [?plan]): exactly [jobs] shards, each receiving its owned
+    accesses plus a broadcast copy of every synchronization event
+    replayed into a private sync state, one domain per shard.
+
+    Under {e both} plans the merged warning {e and witness} lists are
+    byte-identical — same variables, kinds, trace indices, prior
+    epochs and witness clocks — to the sequential {!run}'s, for any
+    detector whose per-variable analysis depends only on the
+    sync-event prefix (all of ours; asserted over every built-in
+    workload and adversarial hot-object traces in
+    [test/test_parallel.ml] and [test/test_timeline.ml]).
 
     [jobs] defaults to {!default_jobs}; [jobs <= 1] analyzes on the
-    calling domain only.  [elapsed] is {e wall-clock} seconds for the
-    whole region rather than CPU seconds,
-    which would sum across domains.  Memory cost: each shard keeps
-    its own copy of the sync state (threads × clocks), so sync memory
-    scales with [jobs] while shadow memory stays partitioned.
+    calling domain only.  [elapsed]/[wall] are {e wall-clock} seconds
+    (for the stealing plan including the serial timeline + plan
+    prefix — the honest Amdahl accounting); [cpu] sums across
+    domains.
 
     Load-balance accounting rides along for free: [shards] carries
-    each shard's owned-access count, broadcast-replay count, warning
-    count and wall time (all from the per-shard {!Stats}), and
-    [imbalance] summarizes them — the "measure" half of the ROADMAP
-    work-stealing item.  With observability enabled the run
-    additionally records a [plan] span (materialized {!Shard.plan},
-    broadcast size, planned imbalance), one [shard-N] span per shard,
-    and a [merge] span, all on one wall-clock timeline. *)
+    per-shard (static) or per-worker (stealing) access counts, wall
+    time and warning counts, and [imbalance] summarizes them.  With
+    observability enabled the run additionally records [timeline] /
+    [plan] / [parallel.region] / per-task / [merge] spans on one
+    wall-clock timeline, plus [timeline.*] and [shard.*] gauges. *)
 
 val default_jobs : unit -> int
 (** The runtime's [Domain.recommended_domain_count ()]. *)

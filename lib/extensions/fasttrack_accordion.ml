@@ -2,6 +2,12 @@ module GE = Gclock.Gepoch
 
 let name = "FastTrack+Accordion"
 
+(* Accordion keeps its own slot-compressed Gclock machinery (growable
+   clocks, slot registry) rather than Vc_state/Clock_source: it cannot
+   resolve lookups against a shared Sync_timeline and keeps the legacy
+   broadcast plan under the parallel driver. *)
+let shares_clocks = false
+
 type var_state = {
   x : Var.t;
   mutable w : GE.t;

@@ -27,3 +27,30 @@ let map ~jobs f =
         | Exn (e, bt) -> Printexc.raise_with_backtrace e bt)
       outcomes
   end
+
+(* Dynamic work distribution: [jobs] workers pull task indices from a
+   shared atomic counter until the queue drains.  Each slot of
+   [results] is claimed by exactly one worker (fetch_and_add hands out
+   each index once) and read only after [map]'s joins, so the array
+   needs no further synchronization.  This is the "work stealing" half
+   of the parallel driver: tasks are fine-grained shard items the
+   caller sorted longest-first, so a worker stuck on a hot item simply
+   stops pulling while the others drain the rest. *)
+let run_queue ~jobs ~tasks f =
+  let jobs = max 1 (min jobs (max 1 tasks)) in
+  let next = Atomic.make 0 in
+  let results = Array.make tasks None in
+  let worker w =
+    let rec loop acc =
+      let i = Atomic.fetch_and_add next 1 in
+      if i >= tasks then List.rev acc
+      else begin
+        results.(i) <- Some (f ~worker:w ~task:i);
+        loop (i :: acc)
+      end
+    in
+    loop []
+  in
+  let claimed = map ~jobs worker in
+  ( Array.map (function Some v -> v | None -> assert false) results,
+    claimed )

@@ -14,3 +14,18 @@ val map : jobs:int -> (int -> 'a) -> 'a array
 val recommended_jobs : unit -> int
 (** [Domain.recommended_domain_count ()], the runtime's estimate of
     usefully-parallel domains on this host. *)
+
+val run_queue :
+  jobs:int ->
+  tasks:int ->
+  (worker:int -> task:int -> 'a) ->
+  'a array * int list array
+(** [run_queue ~jobs ~tasks f] runs tasks [0 .. tasks-1] on
+    [min jobs tasks] workers (worker 0 on the calling domain, the rest
+    on fresh domains) that {e pull} the next task index from a shared
+    atomic counter until the queue drains — dynamic load balance
+    instead of [map]'s fixed one-task-per-domain split.  Returns the
+    per-task results in task order plus, per worker, the list of task
+    indices it claimed (in pull order) for load accounting.  [f] must
+    be safe to run concurrently for distinct tasks; exceptions
+    propagate as in [map]. *)

@@ -1,0 +1,20 @@
+/* Monotonic wall clock for the parallel driver.
+ *
+ * Unix.gettimeofday is subject to NTP steps and manual clock changes:
+ * a wall-time measurement taken across a step can come out negative,
+ * which then poisons benchmark records (negative elapsed, infinite
+ * throughput).  CLOCK_MONOTONIC is immune to both.  OCaml's bundled
+ * Unix library does not expose clock_gettime, so this stub does.
+ */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+
+CAMLprim value ft_monotonic_seconds(value unit)
+{
+  struct timespec ts;
+  (void) unit;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return caml_copy_double((double) ts.tv_sec + (double) ts.tv_nsec * 1e-9);
+}

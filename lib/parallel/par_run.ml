@@ -1,7 +1,15 @@
+(* Monotonic wall clock (CLOCK_MONOTONIC via monotonic_stubs.c).
+   Unix.gettimeofday is subject to NTP steps and manual clock changes;
+   a measurement taken across a step can come out negative and poison
+   benchmark records.  The monotonic clock is immune to both. *)
+external monotonic_seconds : unit -> float = "ft_monotonic_seconds"
+
+let now = monotonic_seconds
+
 let wall_time f =
-  let start = Unix.gettimeofday () in
+  let start = monotonic_seconds () in
   let x = f () in
-  (x, Unix.gettimeofday () -. start)
+  (x, monotonic_seconds () -. start)
 
 let map ?(obs = Obs.disabled) ~jobs f =
   let jobs = max 1 jobs in
@@ -9,3 +17,9 @@ let map ?(obs = Obs.disabled) ~jobs f =
     ~attrs:[ ("jobs", Obs_span.Int jobs) ]
     (fun () ->
       wall_time (fun () -> Domain_pool.map ~jobs (fun shard -> f ~shard)))
+
+let queue ?(obs = Obs.disabled) ~jobs ~tasks f =
+  let jobs = max 1 jobs in
+  Obs.span obs "parallel.region"
+    ~attrs:[ ("jobs", Obs_span.Int jobs); ("tasks", Obs_span.Int tasks) ]
+    (fun () -> wall_time (fun () -> Domain_pool.run_queue ~jobs ~tasks f))

@@ -10,11 +10,17 @@
     free of any dependency on the detector framework, so the detector
     library can depend on it. *)
 
+val now : unit -> float
+(** Seconds on the system {e monotonic} clock ([CLOCK_MONOTONIC]).
+    The absolute value is meaningless; differences are elapsed wall
+    time immune to NTP steps and manual clock changes, so timing
+    records built from it can never come out negative. *)
+
 val wall_time : (unit -> 'a) -> 'a * float
 (** [wall_time f] runs [f ()] and reports elapsed {e wall-clock}
-    seconds.  The sequential driver's [Driver.time] reports CPU
-    seconds, which is the wrong measure for a multi-domain region
-    (CPU time sums across domains). *)
+    seconds on the monotonic clock ({!now}).  The sequential driver's
+    [Driver.time] reports CPU seconds, which is the wrong measure for
+    a multi-domain region (CPU time sums across domains). *)
 
 val map : ?obs:Obs.t -> jobs:int -> (shard:int -> 'r) -> 'r array * float
 (** [map ~jobs f] runs [f ~shard] for every [shard] in
@@ -26,3 +32,15 @@ val map : ?obs:Obs.t -> jobs:int -> (shard:int -> 'r) -> 'r array * float
     — domain spawn, all shard tasks, joins — is recorded as one
     ["parallel.region"] span carrying a [jobs] attribute; the caller's
     tasks typically record their own per-shard spans inside it. *)
+
+val queue :
+  ?obs:Obs.t ->
+  jobs:int ->
+  tasks:int ->
+  (worker:int -> task:int -> 'a) ->
+  ('a array * int list array) * float
+(** {!Domain_pool.run_queue} wrapped like {!map}: the whole
+    work-stealing region is one ["parallel.region"] span (with [jobs]
+    and [tasks] attributes) and is timed on the monotonic wall clock.
+    Returns the per-task results, the per-worker claimed task lists,
+    and the region's wall seconds. *)

@@ -2,31 +2,35 @@
 
     FastTrack's per-variable shadow states are independent of one
     another: the only state shared between accesses to different
-    variables is the synchronization component ([C]/[L] of Figure 4,
-    our [Vc_state]), which is written exclusively by synchronization
-    events.  The event stream therefore parallelizes by {e variable
-    sharding}:
+    variables is the synchronization component ([C]/[L] of Figure 4),
+    which is written exclusively by synchronization events.  The event
+    stream therefore parallelizes by {e variable sharding}: each
+    access event [rd(t,x)]/[wr(t,x)] is routed to exactly one shard,
+    chosen by [x]'s object identifier ({!Var.owner_shard}).
 
-    - each access event [rd(t,x)]/[wr(t,x)] is routed to exactly one
-      shard, chosen by [x]'s object identifier ({!Var.owner_shard});
-    - every synchronization event (acquire, release, fork, join,
-      volatile access, barrier release, transaction marker) is
-      {e broadcast} to all shards, so that each shard's private sync
-      state replays the full Figure 3 rule sequence and assigns every
-      thread the same clocks and epochs the sequential analysis would.
+    Two plans handle the synchronization component:
 
-    Because the split preserves the relative order of the events each
+    - {!plan} ({e static}): exactly [jobs] shards, [obj mod jobs];
+      every synchronization event is additionally {e broadcast} to all
+      shards, whose private sync state replays the full Figure 3 rule
+      sequence.  Simple, but the replay costs [jobs] x O(sync·VC)
+      redundant work and the modulo split can strand hot objects on
+      one shard — the measured causes of the original driver's
+      anti-scaling (see BENCH_parallel.json history and DESIGN.md).
+    - {!plan_stealing} ({e work stealing}): [factor x jobs]
+      fine-grained items of {e access events only} ([obj mod slots]),
+      sorted longest-first; sync state is resolved against the shared
+      read-only [Sync_timeline] built once, and workers pull items
+      dynamically ({!Domain_pool.run_queue}), so hot objects pin at
+      most one worker.
+
+    Because each split preserves the relative order of the events each
     shard receives, and the original trace index travels with each
     event, a detector run over a shard produces exactly the warnings
     the sequential run produces for that shard's variables — with the
     same trace indices and prior epochs (see DESIGN.md §"Parallel
-    sharded driver" for the argument).
-
-    The hot path is {!Trace.iter_shard}, a zero-copy filtering
-    iterator run concurrently by every analysis domain; this module
-    provides the {e materialized} view of the same split — per-shard
-    index arrays, access counts, balance — used by tests, planning
-    introspection and load diagnostics. *)
+    sharded driver" and §"Sync timeline + work stealing" for the
+    argument). *)
 
 type t = {
   shard_id : int;
@@ -36,21 +40,66 @@ type t = {
   accesses : int;  (** read/write events owned by this shard *)
 }
 
+type kind =
+  | Static  (** [jobs] shards, sync broadcast, one domain each *)
+  | Stealing
+      (** [factor x jobs] access-only items over a shared sync
+          timeline, pulled dynamically by [jobs] workers *)
+
+val kind_to_string : kind -> string
+(** ["static"] / ["stealing"] — the [plan] field of benchmark records
+    and metrics documents. *)
+
 type plan = {
   jobs : int;
-  shards : t array;  (** length [jobs], in shard-id order *)
+  kind : kind;
+  slots : int;
+      (** number of shard work items: [= jobs] for [Static],
+          [factor x jobs] for [Stealing] *)
+  shards : t array;
+      (** length [slots]; shard-id order for [Static], LPT
+          (descending accesses, ties by shard id) for [Stealing] *)
   broadcast : int;
-      (** number of non-access events, each replicated to every
-          shard — the duplicated-work term of the cost model *)
+      (** number of non-access events: replicated to every shard under
+          [Static] (the duplicated-work term of the cost model),
+          replayed exactly once into the sync timeline under
+          [Stealing] *)
 }
 
 val shard_of_var : jobs:int -> Var.t -> int
 (** Alias for {!Var.owner_shard}. *)
 
 val plan : jobs:int -> Trace.t -> plan
-(** Materializes the [max 1 jobs]-way split.  One counting pass plus
+(** Materializes the legacy [max 1 jobs]-way static split (access
+    events + full sync broadcast per shard).  One counting pass plus
     one {!Trace.iter_shard} per shard; only index arrays are
     allocated, events are never copied. *)
+
+type prepass = {
+  pp_nthreads : int;  (** max tid over every event, + 1 *)
+  pp_sync_indices : int array;
+      (** trace indices of every non-access event, increasing — the
+          exact input [Sync_timeline.build_indexed] replays *)
+}
+(** Byproduct of the stealing plan's single trace pass: everything the
+    sync-timeline build needs, collected for free so the whole serial
+    prefix of a stealing run reads the trace exactly once. *)
+
+val plan_stealing_prepass :
+  ?factor:int -> jobs:int -> Trace.t -> plan * prepass
+(** Materializes the work-stealing split: [max 1 factor * jobs] items
+    (default factor {!default_steal_factor}) containing {e only} the
+    access events of the objects they own, LPT-sorted.  One pass, no
+    event copies.  Items may be empty (few distinct objects);
+    consumers skip them. *)
+
+val plan_stealing : ?factor:int -> jobs:int -> Trace.t -> plan
+(** [fst (plan_stealing_prepass ...)], for callers that build their
+    own timeline (tests). *)
+
+val default_steal_factor : int
+(** Items per worker (8): enough slack for dynamic balancing while
+    keeping per-item detector-instance overhead negligible. *)
 
 val length : t -> int
 
@@ -60,12 +109,13 @@ val iteri : (int -> Event.t -> unit) -> t -> unit
 
 val imbalance : plan -> float
 (** Max over mean of per-shard owned-access counts (1.0 = perfectly
-    balanced); the quantity the ROADMAP's work-stealing follow-up
-    would optimize. *)
+    balanced).  For a [Stealing] plan this measures the {e items},
+    not the workers — the driver reports the per-worker figure, which
+    is what work stealing drives toward 1.0. *)
 
 val imbalance_of_counts : int array -> float
-(** The same max-over-mean statistic on a bare per-shard count array;
-    [Driver.run_parallel] computes it from the merged per-shard
-    {!Stats} so the measurement costs no extra trace pass, and it is
-    exported in [ftrace analyze -j] output and [Bench_json]
-    records.  Empty or all-zero arrays report [1.0]. *)
+(** The same max-over-mean statistic on a bare count array;
+    [Driver.run_parallel] computes it from per-worker access totals so
+    the measurement costs no extra trace pass, and it is exported in
+    [ftrace analyze -j] output and [Bench_json] records.  Empty or
+    all-zero arrays report [1.0]. *)

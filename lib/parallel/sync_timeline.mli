@@ -1,0 +1,100 @@
+(** Shared sync-timeline snapshots.
+
+    The sharded driver's original design replayed the {e full}
+    synchronization stream privately in every shard: [jobs] copies of
+    the same O(n)·VC work — exactly the redundancy FastTrack's epochs
+    were invented to avoid, and the measured cause of the driver's
+    anti-scaling (speedup 0.2–0.35× at [--jobs 8]).
+
+    This module replaces that with a {e single} sequential pass built
+    once before the shards run.  It replays every sync event through a
+    private vector-clock machine implementing the same Figure 3 /
+    Section 4 rules as [Vc_state] (the two are asserted equal in
+    [test/test_timeline.ml]) and checkpoints, per thread:
+
+    - the post-event clock [C_t] as an {e interned} [Vector_clock]
+      snapshot — structurally equal clocks share one vector, so a
+      thread that re-acquires a lock it released costs no new
+      allocation;
+    - the cached epoch [E(t) = C_t(t)@t];
+    - the held-lock set (for lockset-based detectors) with a
+      per-thread [stamp] ordinal enabling memoized conversions;
+    - the stream of [Barrier_release] indices (for barrier-generation
+      detectors).
+
+    Sync events are ~3% of a typical trace, and the skip-if-unchanged
+    + interning machinery compresses further, so the timeline is small
+    (see [stats] and DESIGN.md §"Sync timeline + work stealing") and
+    shared {e read-only} by every analysis domain.
+
+    {2 Visibility rule}
+
+    A checkpoint recorded at sync index [j] is visible to lookups with
+    [index > j]: a detector processing the access at trace position
+    [i] observes exactly the sync state a sequential run would have
+    accumulated on reaching [i].  The initial state σ₀ (each thread's
+    clock at [inc_t ⊥V]) is recorded at index [-1], so every lookup
+    resolves. *)
+
+type t
+(** Immutable timeline: safe to share across domains without locks. *)
+
+(** Build-time statistics, folded into driver stats and exported as
+    [timeline.*] observability gauges. *)
+type stats = {
+  sync_events : int;  (** sync events replayed (once, total) *)
+  other_events : int;
+      (** broadcastable non-sync, non-access events (txn markers) *)
+  vc_ops : int;  (** O(n) clock operations, counted as [Vc_state] does *)
+  vc_allocs : int;  (** live-machine clock allocations *)
+  checkpoints : int;  (** clock checkpoints recorded across all threads *)
+  snapshots : int;  (** distinct interned snapshot vectors *)
+  snapshot_hits : int;  (** checkpoints served by interning / no-change *)
+  words : int;  (** approx heap words of the timeline *)
+}
+
+val build : Trace.t -> t
+(** One sequential replay of [tr]'s sync events.  O(sync events · VC)
+    time plus one collecting trace pass, O(checkpoints + interned
+    snapshots) space. *)
+
+val build_indexed :
+  nthreads:int -> sync_indices:int array -> Trace.t -> t
+(** Like {!build}, but replays only the given non-access event indices
+    (increasing) — the driver feeds it [Shard.plan_stealing_prepass]'s
+    byproduct so the stealing run's serial prefix reads the trace
+    exactly once.  [nthreads] must cover every tid in the trace. *)
+
+val stats : t -> stats
+val thread_count : t -> int
+
+(** {2 Cursors}
+
+    A cursor is a private, mutable bundle of positions into the shared
+    checkpoint arrays — one per detector instance, never shared across
+    domains.  Lookups at monotonically non-decreasing indices (the
+    common case: shards walk events in trace order) amortize to O(1);
+    an index regression restarts the affected thread's scan. *)
+
+type cursor
+
+val cursor : t -> cursor
+val cursor_timeline : cursor -> t
+
+val clock : cursor -> index:int -> Tid.t -> Vector_clock.t
+(** [clock cur ~index t] is thread [t]'s vector clock as of trace
+    position [index] (exclusive).  The returned clock is a shared
+    interned snapshot: callers must treat it as read-only.
+    @raise Invalid_argument if [t] is outside the trace's threads. *)
+
+val epoch : cursor -> index:int -> Tid.t -> Epoch.t
+(** [epoch cur ~index t] = [clock cur ~index t](t)@t, precomputed. *)
+
+val held_locks : cursor -> index:int -> Tid.t -> int * Lockid.t list
+(** Locks held by [t] just before [index], as [(stamp, sorted set)].
+    [stamp] is a per-thread ordinal identifying the set — equal stamps
+    (for one thread) mean the identical list, so callers can memoize
+    derived representations keyed on [(t, stamp)]. *)
+
+val barrier_generation : cursor -> index:int -> int
+(** Number of [Barrier_release] events strictly before [index]. *)

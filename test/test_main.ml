@@ -16,6 +16,7 @@ let () =
       Test_robustness.suite;
       Test_accordion.suite;
       Test_smoke.suite;
+      Test_timeline.suite;
       Test_parallel.suite;
       Test_stats.suite;
       Test_obs.suite;

@@ -269,16 +269,20 @@ let test_spans () =
 
 let jobs = 4
 
-let metrics_doc () =
+let metrics_doc ?plan () =
   let w = Option.get (Workloads.find "raytracer") in
   let tr = Workload.trace ~seed:11 ~scale:1 w in
   let obs = Obs.create ~gc_every:1024 () in
   let config = Config.with_obs obs Config.default in
-  let result = Driver.run_parallel ~config ~jobs (module Fasttrack) tr in
+  let result =
+    Driver.run_parallel ~config ~jobs ?plan (module Fasttrack) tr
+  in
   (Driver.export_metrics ~source:"raytracer" ~obs result, result)
 
 let test_metrics_schema () =
-  let doc, result = metrics_doc () in
+  (* force the legacy static plan: this test pins the per-shard span
+     and table schema; the stealing-plan document has its own test *)
+  let doc, result = metrics_doc ~plan:Shard.Static () in
   let j = parse_json doc in
   Alcotest.(check string) "schema version" "ftrace.obs/1"
     (as_str (member "schema" j));
@@ -366,6 +370,56 @@ let test_metrics_schema () =
   ignore (member "stats" run);
   ignore (member "rules" run)
 
+(* The work-stealing plan's document: serial-prefix spans (timeline,
+   plan), the queue region, merge; plan/slots fields in the run
+   section; per-worker shard table still partitions the accesses. *)
+let test_metrics_schema_stealing () =
+  let doc, result = metrics_doc ~plan:Shard.Stealing () in
+  let j = parse_json doc in
+  let spans = as_arr (member "spans" j) in
+  let span_names =
+    List.map (fun s -> as_str (member "name" s)) spans
+  in
+  List.iter
+    (fun expected ->
+      if not (List.mem expected span_names) then
+        Alcotest.failf "missing span %S (have: %s)" expected
+          (String.concat ", " span_names))
+    [ "timeline"; "plan"; "parallel.region"; "merge" ];
+  if not (List.exists (fun n -> String.length n > 5
+                                && String.sub n 0 5 = "item-") span_names)
+  then Alcotest.fail "no item-N span recorded";
+  let run = member "run" j in
+  Alcotest.(check string) "run.plan" "stealing"
+    (as_str (member "plan" run));
+  Alcotest.(check (float 1e-9)) "run.slots"
+    (float_of_int (Shard.default_steal_factor * jobs))
+    (as_num (member "slots" run));
+  let shards = as_arr (member "shards" run) in
+  Alcotest.(check int) "one entry per worker" jobs (List.length shards);
+  let accesses_sum =
+    List.fold_left
+      (fun acc s -> acc + int_of_float (as_num (member "accesses" s)))
+      0 shards
+  in
+  let reads, writes, _ =
+    Trace.counts
+      (Workload.trace ~seed:11 ~scale:1
+         (Option.get (Workloads.find "raytracer")))
+  in
+  Alcotest.(check int) "worker accesses partition the trace"
+    (reads + writes) accesses_sum;
+  (* the timeline counters/gauges ride along *)
+  let counters = member "counters" (member "metrics" j) in
+  if as_num (member "timeline.checkpoints" counters) <= 0. then
+    Alcotest.fail "timeline.checkpoints counter missing";
+  let gauges = member "gauges" (member "metrics" j) in
+  if as_num (member "timeline.words" gauges) <= 0. then
+    Alcotest.fail "timeline.words gauge missing";
+  Alcotest.(check (float 1e-4)) "imbalance exported"
+    result.Driver.imbalance
+    (as_num (member "imbalance" run))
+
 let test_disabled_document () =
   (* The disabled handle still exports a well-formed document with
      empty sections — downstream tooling never branches on presence. *)
@@ -426,7 +480,12 @@ let test_elapsed_units () =
     (Array.length seq.Driver.shards);
   Alcotest.(check (float 1e-9)) "seq imbalance 1.0" 1.0
     seq.Driver.imbalance;
-  let par = Driver.run_parallel ~jobs:3 (module Fasttrack) tr in
+  (* static plan: the shard table and imbalance are exactly the
+     materialized plan's (the stealing plan's per-worker figures are
+     schedule-dependent and covered by the stealing document test) *)
+  let par =
+    Driver.run_parallel ~jobs:3 ~plan:Shard.Static (module Fasttrack) tr
+  in
   Alcotest.(check (float 1e-9)) "par elapsed = wall" par.Driver.wall
     par.Driver.elapsed;
   Alcotest.(check int) "par shard table" 3 (Array.length par.Driver.shards);
@@ -452,6 +511,8 @@ let suite =
       Alcotest.test_case "span sink" `Quick test_spans;
       Alcotest.test_case "--metrics document schema (ftrace.obs/1)"
         `Quick test_metrics_schema;
+      Alcotest.test_case "--metrics document under work stealing"
+        `Quick test_metrics_schema_stealing;
       Alcotest.test_case "disabled handle exports empty sections" `Quick
         test_disabled_document;
       Alcotest.test_case "observability never changes warnings" `Quick

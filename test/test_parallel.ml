@@ -13,43 +13,74 @@ let warning : Warning.t Alcotest.testable =
 
 let warnings_t = Alcotest.list warning
 
+let witness : Witness.t Alcotest.testable =
+  Alcotest.testable Witness.pp (fun (a : Witness.t) b -> a = b)
+
+let witnesses_t = Alcotest.list witness
+
 let jobs_list = [ 1; 3; 8 ]
 
-let check_equivalence ?config name d tr =
+(* Both parallel plans must agree with the sequential run; only the
+   events accounting differs.  Static broadcasts every sync event to
+   all [jobs] shards ([jobs * other] replays); Stealing replays the
+   sync prefix exactly once into the shared timeline, so merged
+   events equal the trace length. *)
+let check_plan ?config name d tr ~seq ~jobs plan =
+  let par = Driver.run_parallel ?config ~jobs ~plan d tr in
+  let name =
+    Printf.sprintf "%s [%s]" name (Shard.kind_to_string plan)
+  in
+  Alcotest.check
+    (Alcotest.testable
+       (fun ppf k -> Format.pp_print_string ppf (Shard.kind_to_string k))
+       ( = ))
+    (Printf.sprintf "%s: plan honoured, %d jobs" name jobs)
+    plan par.Driver.plan_kind;
+  Alcotest.check warnings_t
+    (Printf.sprintf "%s: warnings, %d jobs" name jobs)
+    seq.Driver.warnings par.Driver.warnings;
+  Alcotest.check witnesses_t
+    (Printf.sprintf "%s: witnesses, %d jobs" name jobs)
+    seq.Driver.witnesses par.Driver.witnesses;
+  (* summed stats: accesses are partitioned (each counted once across
+     all shards / items) under both plans *)
+  let reads, writes, _ = Trace.counts tr in
+  let other = Trace.length tr - reads - writes in
+  let s = par.Driver.stats in
+  Alcotest.(check int)
+    (Printf.sprintf "%s: summed reads, %d jobs" name jobs)
+    reads s.Stats.reads;
+  Alcotest.(check int)
+    (Printf.sprintf "%s: summed writes, %d jobs" name jobs)
+    writes s.Stats.writes;
+  Alcotest.(check int)
+    (Printf.sprintf "%s: summed events, %d jobs" name jobs)
+    (match plan with
+    | Shard.Static -> reads + writes + (jobs * other)
+    | Shard.Stealing -> Trace.length tr)
+    s.Stats.events;
+  (* access-path rule counters are access-driven, so their shard sum
+     must equal the sequential count exactly under either plan *)
+  List.iter
+    (fun rule ->
+      Alcotest.(check int)
+        (Printf.sprintf "%s: rule %S, %d jobs" name rule jobs)
+        (Stats.rule_hits seq.Driver.stats rule)
+        (Stats.rule_hits s rule))
+    [ "READ SAME EPOCH"; "READ SHARED"; "READ EXCLUSIVE";
+      "READ SHARE"; "WRITE SAME EPOCH"; "WRITE EXCLUSIVE";
+      "WRITE SHARED" ]
+
+let check_equivalence ?config name (d : (module Detector.S)) tr =
+  let module D = (val d) in
   let seq = Driver.run ?config d tr in
+  let plans =
+    if D.shares_clocks then [ Shard.Static; Shard.Stealing ]
+    else [ Shard.Static ]
+  in
   List.iter
     (fun jobs ->
-      let par = Driver.run_parallel ?config ~jobs d tr in
-      Alcotest.check warnings_t
-        (Printf.sprintf "%s: warnings, %d jobs" name jobs)
-        seq.Driver.warnings par.Driver.warnings;
-      (* summed stats: accesses are partitioned (each counted once
-         across all shards); every other event is broadcast (counted
-         once per shard) *)
-      let reads, writes, _ = Trace.counts tr in
-      let other = Trace.length tr - reads - writes in
-      let s = par.Driver.stats in
-      Alcotest.(check int)
-        (Printf.sprintf "%s: summed reads, %d jobs" name jobs)
-        reads s.Stats.reads;
-      Alcotest.(check int)
-        (Printf.sprintf "%s: summed writes, %d jobs" name jobs)
-        writes s.Stats.writes;
-      Alcotest.(check int)
-        (Printf.sprintf "%s: summed events, %d jobs" name jobs)
-        (reads + writes + (jobs * other))
-        s.Stats.events;
-      (* access-path rule counters are access-driven, so their shard
-         sum must equal the sequential count exactly *)
-      List.iter
-        (fun rule ->
-          Alcotest.(check int)
-            (Printf.sprintf "%s: rule %S, %d jobs" name rule jobs)
-            (Stats.rule_hits seq.Driver.stats rule)
-            (Stats.rule_hits s rule))
-        [ "READ SAME EPOCH"; "READ SHARED"; "READ EXCLUSIVE";
-          "READ SHARE"; "WRITE SAME EPOCH"; "WRITE EXCLUSIVE";
-          "WRITE SHARED" ])
+      List.iter (check_plan ?config name d tr ~seq ~jobs) plans)
     jobs_list
 
 let test_all_workloads () =
@@ -186,6 +217,110 @@ let test_shard_plan () =
         s)
     plan.Shard.shards
 
+(* Work-stealing plan invariants: access-only items, accesses
+   partitioned across [factor x jobs] slots by [obj mod slots],
+   LPT order (descending owned-access counts), indices increasing. *)
+let test_stealing_plan () =
+  let tr = broadcast_heavy_trace () in
+  let jobs = 3 in
+  let plan = Shard.plan_stealing ~jobs tr in
+  Alcotest.(check int) "slots = factor x jobs"
+    (Shard.default_steal_factor * jobs)
+    plan.Shard.slots;
+  Alcotest.(check int) "items materialized" plan.Shard.slots
+    (Array.length plan.Shard.shards);
+  let reads, writes, other = Trace.counts tr in
+  Alcotest.(check int) "sync events counted once" other
+    plan.Shard.broadcast;
+  let owned =
+    Array.fold_left
+      (fun acc (s : Shard.t) -> acc + s.Shard.accesses)
+      0 plan.Shard.shards
+  in
+  Alcotest.(check int) "accesses partitioned" (reads + writes) owned;
+  (* LPT: descending access counts *)
+  Array.iteri
+    (fun i (s : Shard.t) ->
+      if i > 0 then
+        Alcotest.(check bool)
+          (Printf.sprintf "LPT order at item %d" i)
+          true
+          (plan.Shard.shards.(i - 1).Shard.accesses >= s.Shard.accesses))
+    plan.Shard.shards;
+  Array.iter
+    (fun (s : Shard.t) ->
+      Alcotest.(check int)
+        (Printf.sprintf "item %d: access events only" s.Shard.shard_id)
+        s.Shard.accesses (Shard.length s);
+      let last = ref (-1) in
+      Shard.iteri
+        (fun index e ->
+          if index <= !last then
+            Alcotest.failf "item %d: indices not increasing" s.shard_id;
+          last := index;
+          if not (Event.equal e (Trace.get tr index)) then
+            Alcotest.failf "item %d: event/index mismatch at %d"
+              s.shard_id index;
+          match e with
+          | Event.Read { x; _ } | Event.Write { x; _ } ->
+            Alcotest.(check int) "access routed by obj mod slots"
+              (Shard.shard_of_var ~jobs:plan.Shard.slots x)
+              s.Shard.shard_id
+          | _ -> Alcotest.failf "item %d: non-access event" s.shard_id)
+        s)
+    plan.Shard.shards
+
+(* Adversarial hot object: one variable absorbs > 90% of all accesses.
+   Under the static plan this strands nearly everything on one shard;
+   work stealing confines it to one item (pinning at most one worker)
+   while the other items drain dynamically — and the merged output
+   must still be byte-identical to sequential. *)
+let hot_object_trace () =
+  let a = Patterns.alloc () in
+  let hot = Patterns.var a in
+  let cold = Array.init 6 (fun _ -> Patterns.var a) in
+  let m = Patterns.lock a in
+  let worker i tid =
+    { Program.tid;
+      body =
+        List.concat
+          (List.init 40 (fun k ->
+               [ Program.Acquire m; Program.Write hot;
+                 Program.Read hot; Program.Release m ]
+               @ (if k mod 8 = i then [ Program.Read cold.(i) ] else [])))
+        @ (if i = 0 then [ Program.Write cold.(5) ]
+           else if i = 1 then [ Program.Read cold.(5) ]
+           else []) }
+  in
+  let program =
+    Program.make
+      ({ Program.tid = 0;
+         body =
+           [ Program.Fork 1; Program.Fork 2; Program.Fork 3 ]
+           @ List.init 4 (fun i -> Program.Write cold.(i))
+           @ [ Program.Join 1; Program.Join 2; Program.Join 3 ] }
+      :: List.init 3 (fun i -> worker i (i + 1)))
+  in
+  Scheduler.run
+    ~options:{ Scheduler.default_options with seed = 7 }
+    program
+
+let test_hot_object () =
+  let tr = hot_object_trace () in
+  (match Validity.check tr with
+  | [] -> ()
+  | v :: _ ->
+    Alcotest.failf "invalid trace: %s"
+      (Format.asprintf "%a" Validity.pp_violation v));
+  let reads, writes, _ = Trace.counts tr in
+  let jobs = 3 in
+  let plan = Shard.plan_stealing ~jobs tr in
+  Alcotest.(check bool) "one item owns > 90% of accesses" true
+    (float_of_int plan.Shard.shards.(0).Shard.accesses
+     > 0.9 *. float_of_int (reads + writes));
+  check_equivalence "hot-object" (module Fasttrack) tr;
+  check_equivalence "hot-object/eraser" (module Eraser) tr
+
 (* More shards than objects / than events: empty shards are legal. *)
 let test_degenerate_jobs () =
   let a = Patterns.alloc () in
@@ -221,5 +356,8 @@ let suite =
       Alcotest.test_case "fine/coarse/adaptive granularities" `Quick
         test_granularities;
       Alcotest.test_case "shard plan invariants" `Quick test_shard_plan;
+      Alcotest.test_case "stealing plan invariants" `Quick
+        test_stealing_plan;
+      Alcotest.test_case "adversarial hot object" `Quick test_hot_object;
       Alcotest.test_case "degenerate shard counts" `Quick
         test_degenerate_jobs ] )
