@@ -15,7 +15,10 @@ val measure :
   repeat:int -> ?config:Config.t -> (module Detector.S) -> Trace.t ->
   Driver.result * float
 (** Runs the detector [repeat] times on the trace (fresh instance each
-    time), returning the last result and the mean elapsed seconds. *)
+    time), returning the last result and the mean {e wall} seconds on
+    the monotonic clock ({!Obs_clock}; was [Sys.time] CPU seconds,
+    whose ~1ms resolution rounded sub-millisecond runs to 0 and forced
+    repetition boosting on every small workload). *)
 
 val base_time : repeat:int -> Trace.t -> float
 (** Mean bare-replay time — the denominator of every slowdown. *)

@@ -11,6 +11,8 @@ type record = {
   speedup : float;
   warnings : int;
   imbalance : float;
+  static_elim : bool;
+  dropped_frac : float;
 }
 
 let throughput ~events ~elapsed =
@@ -44,10 +46,10 @@ let record_to_json r =
      \"jobs\":%d,\"plan\":\"%s\",\"events\":%d,\"elapsed_s\":%.6f,\
      \"throughput\":%.1f,\
      \"slowdown\":%.3f,\"speedup\":%.3f,\"warnings\":%d,\
-     \"imbalance\":%.3f}"
+     \"imbalance\":%.3f,\"static_elim\":%b,\"dropped_frac\":%.4f}"
     (escape r.experiment) (escape r.workload) (escape r.tool) r.jobs
     (escape r.plan) r.events r.elapsed r.throughput r.slowdown r.speedup
-    r.warnings r.imbalance
+    r.warnings r.imbalance r.static_elim r.dropped_frac
 
 let write ~scale ~repeat path =
   let oc = open_out path in

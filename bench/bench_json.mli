@@ -35,6 +35,14 @@ type record = {
           "measure" half of the ROADMAP work-stealing item: CI
           artifacts now carry the shard balance of every parallel
           measurement. *)
+  static_elim : bool;
+      (** whether the run skipped statically-certified accesses
+          ([Config.static_elim]); [false] for every pre-existing
+          experiment, toggled by the ["elimination"] sweep *)
+  dropped_frac : float;
+      (** fraction of the trace's events eliminated before the
+          detector ([Stats.eliminated / trace length]); [0.] when
+          [static_elim] is false *)
 }
 
 val throughput : events:int -> elapsed:float -> float

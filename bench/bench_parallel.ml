@@ -82,7 +82,7 @@ let run ~scale ~repeat () =
             slowdown = Bench_common.slowdown seq_elapsed base;
             speedup = 1.0;
             warnings = List.length seq_result.Driver.warnings;
-            imbalance = 1.0 };
+            imbalance = 1.0; static_elim = false; dropped_frac = 0. };
         (* one measured row per (jobs, plan); the printed table shows
            the default (stealing) columns, the JSON carries both *)
         let measure ~jobs plan =
@@ -113,7 +113,8 @@ let run ~scale ~repeat () =
               slowdown = Bench_common.slowdown elapsed base;
               speedup;
               warnings = List.length par_result.Driver.warnings;
-              imbalance = par_result.Driver.imbalance };
+              imbalance = par_result.Driver.imbalance;
+              static_elim = false; dropped_frac = 0. };
           (elapsed, speedup)
         in
         let cells =

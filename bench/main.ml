@@ -31,6 +31,7 @@ let experiments :
     ("scaling", Bench_scaling.run);
     ("churn", Bench_churn.run);
     ("parallel", Bench_parallel.run);
+    ("elimination", Bench_elimination.run);
     ("micro", fun ~scale:_ ~repeat:_ () -> Bench_micro.run ()) ]
 
 let usage () =

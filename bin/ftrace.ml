@@ -94,6 +94,28 @@ let jobs_arg =
 
 let config_of granularity = { Config.default with granularity }
 
+(* The static analysis (lib/static) runs on the *program*, which only
+   workload sources carry — a trace file is a post-hoc event log with
+   no lock-scoping or thread-structure left to analyze. *)
+let static_summary spec =
+  match Workloads.find spec with
+  | Some w -> Ok (Static.analyze (w.Workload.program ~scale:1))
+  | None ->
+    Error
+      (Printf.sprintf
+         "%s: the static analysis needs a workload source (it runs on \
+          the program, which trace files do not carry; try `ftrace \
+          workloads')"
+         spec)
+
+(* Shadow granularity decides which eliminator is sound: per-field
+   certificates do not compose under a shared per-object shadow word,
+   so coarse *and* adaptive (which starts coarse) analyses get the
+   whole-object eliminator. *)
+let elim_granularity = function
+  | Shadow.Fine -> Var.Fine
+  | Shadow.Coarse | Shadow.Adaptive -> Var.Coarse
+
 (* ------------------------------------------------------------------ *)
 (* generate                                                           *)
 
@@ -278,8 +300,53 @@ let print_verbose_panel ~jobs ~obs (r : Driver.result) =
           w)
       warnings
 
-let analyze path tool granularity jobs show_stats verbose_stats metrics
-    explain_race report trace_out fail_on_race =
+(* --prefilter: the Section 5.2 composition pipeline — the prefilter
+   consumes the full event stream and forwards sync events plus only
+   the accesses it cannot prove race-free to a fresh downstream
+   detector.  Sequential by construction (the prefilter's own analysis
+   is a serial pass), so the parallel/observability flags don't
+   apply. *)
+let analyze_prefiltered ~granularity ~fail_on_race pf d tr path =
+  let kind =
+    match pf with
+    | `None_ -> Ok Filter.None_
+    | `Thread_local -> Ok Filter.Thread_local
+    | `Eraser -> Ok Filter.Eraser_pre
+    | `Djit -> Ok Filter.Djit_pre
+    | `Fasttrack -> Ok Filter.Fasttrack_pre
+    | `Static ->
+      Result.map
+        (fun s ->
+          Filter.Static_pre
+            (Static.eliminator ~granularity:(elim_granularity granularity) s))
+        (static_summary path)
+  in
+  match kind with
+  | Error msg ->
+    prerr_endline msg;
+    1
+  | Ok kind ->
+    let r =
+      Filter.run_detector ~config:(config_of granularity) kind d tr
+    in
+    let accesses = r.Filter.kept + r.Filter.dropped in
+    Printf.printf
+      "%s [prefilter %s]: %d events, kept %d / dropped %d of %d \
+       accesses (%.1f%%), %d warning(s), %.2f ms\n"
+      r.Filter.tool (Filter.kind_name kind) (Trace.length tr)
+      r.Filter.kept r.Filter.dropped accesses
+      (100. *. float_of_int r.Filter.dropped /. float_of_int (max 1 accesses))
+      (List.length r.Filter.warnings)
+      (r.Filter.wall *. 1000.);
+    List.iter
+      (fun w -> Printf.printf "  %s\n" (Warning.to_string w))
+      r.Filter.warnings;
+    if fail_on_race then if r.Filter.warnings = [] then 0 else 1
+    else if r.Filter.warnings = [] then 0
+    else 2
+
+let analyze path tool granularity jobs prefilter static_elim show_stats
+    verbose_stats metrics explain_race report trace_out fail_on_race =
   match load_trace path with
   | Error msg ->
     prerr_endline msg;
@@ -289,7 +356,37 @@ let analyze path tool granularity jobs show_stats verbose_stats metrics
     | None ->
       Printf.eprintf "unknown tool %S\n" tool;
       1
+    | Some d when prefilter <> None ->
+      if
+        jobs <> 1 || verbose_stats || metrics <> None || explain_race
+        || report <> None || trace_out <> None || static_elim
+      then begin
+        prerr_endline
+          "ftrace: --prefilter runs the sequential composition pipeline \
+           and cannot be combined with --jobs, --static-elim, \
+           --verbose-stats, --metrics, --explain, --report or \
+           --trace-out";
+        1
+      end
+      else
+        analyze_prefiltered ~granularity ~fail_on_race
+          (Option.get prefilter) d tr path
     | Some d ->
+      (* Resolve --static-elim before anything runs: it needs the
+         workload's program, and an unknown source should fail fast. *)
+      let static_pred =
+        if static_elim then
+          match static_summary path with
+          | Error msg -> Error msg
+          | Ok s ->
+            Ok (Some (Static.eliminator ~granularity:(elim_granularity granularity) s))
+        else Ok None
+      in
+      match static_pred with
+      | Error msg ->
+        prerr_endline msg;
+        1
+      | Ok static_pred ->
       (* Observability is off unless a flag needs it, so the default
          analyze path stays uninstrumented (and its warnings are
          asserted identical either way in test/test_obs.ml). *)
@@ -308,6 +405,11 @@ let analyze path tool granularity jobs show_stats verbose_stats metrics
       let config =
         Config.with_recorder recorder
           (Config.with_obs obs (config_of granularity))
+      in
+      let config =
+        match static_pred with
+        | Some skip -> Config.with_static_elim skip config
+        | None -> config
       in
       let jobs = if jobs = 0 then Driver.default_jobs () else max 1 jobs in
       (* Warn (don't clamp): oversubscription is legal — and the only
@@ -342,6 +444,15 @@ let analyze path tool granularity jobs show_stats verbose_stats metrics
       List.iter
         (fun w -> Printf.printf "  %s\n" (Warning.to_string w))
         result.warnings;
+      if static_elim then begin
+        let n = result.stats.Stats.eliminated in
+        Printf.printf
+          "static elimination: skipped %d certified access(es) (%.1f%% \
+           of %d events)\n"
+          n
+          (100. *. float_of_int n /. float_of_int (max 1 (Trace.length tr)))
+          (Trace.length tr)
+      end;
       if jobs > 1 then
         Printf.printf "%s: imbalance %.2f, accesses [%s]\n"
           (match result.Driver.plan_kind with
@@ -387,6 +498,34 @@ let analyze path tool granularity jobs show_stats verbose_stats metrics
       else 2)
 
 let analyze_cmd =
+  let prefilter =
+    let pf_conv =
+      Arg.enum
+        [ ("none", `None_); ("thread_local", `Thread_local);
+          ("eraser", `Eraser); ("djit", `Djit); ("fasttrack", `Fasttrack);
+          ("static", `Static) ]
+    in
+    Arg.(value & opt (some pf_conv) None
+         & info [ "prefilter" ] ~docv:"P"
+             ~doc:"Compose the analysis (Section 5.2): stream the trace \
+                   through a race-predicate prefilter that drops accesses \
+                   it can prove race-free, feeding the survivors (plus \
+                   every sync event) to the $(b,--tool) detector.  One of \
+                   $(b,none), $(b,thread_local), $(b,eraser), $(b,djit), \
+                   $(b,fasttrack) or $(b,static) (the ahead-of-run \
+                   certificate filter — sound, needs a workload source).  \
+                   Prints kept/dropped access counts.")
+  in
+  let static_elim =
+    Arg.(value & flag
+         & info [ "static-elim" ]
+             ~doc:"Run the ahead-of-run static analysis ($(b,ftrace \
+                   lint)) on the workload's program first and skip the \
+                   dynamic checks whose variables it certifies race-free \
+                   — sound: warnings and witnesses are identical to an \
+                   unfiltered run, sequential or parallel.  Needs a \
+                   workload source (trace files carry no program).")
+  in
   let stats =
     Arg.(value & flag
          & info [ "stats" ]
@@ -450,8 +589,8 @@ let analyze_cmd =
              were found; with $(b,--fail-on-race), exit code 1)")
     Term.(
       const analyze $ trace_arg $ tool_arg $ granularity_arg $ jobs_arg
-      $ stats $ verbose_stats $ metrics $ explain_race $ report $ trace_out
-      $ fail_on_race)
+      $ prefilter $ static_elim $ stats $ verbose_stats $ metrics
+      $ explain_race $ report $ trace_out $ fail_on_race)
 
 (* ------------------------------------------------------------------ *)
 (* compare                                                            *)
@@ -630,6 +769,60 @@ let stats_cmd =
     Term.(const mix $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
+(* lint                                                               *)
+
+let lint name scale json fail_on_finding =
+  match Workloads.find name with
+  | None ->
+    Printf.eprintf
+      "unknown workload %S (the static analysis runs on workload \
+       programs, not trace files; try `ftrace workloads')\n"
+      name;
+    1
+  | Some w ->
+    let summary = Static.analyze (w.Workload.program ~scale) in
+    (* --json - owns stdout (CI pipes it into a parser), so the human
+       report steps aside. *)
+    if json <> Some "-" then Format.printf "%a@." Static.pp_report summary;
+    Option.iter
+      (fun path ->
+        Static_json.write ~source:w.Workload.name ~path summary;
+        if path <> "-" then
+          Printf.printf "wrote static analysis to %s\n" path)
+      json;
+    if fail_on_finding && summary.Static.findings <> [] then 1 else 0
+
+let lint_cmd =
+  let workload_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"WORKLOAD"
+             ~doc:"Name of a built-in workload model (see $(b,ftrace \
+                   workloads)).")
+  in
+  let json =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE"
+             ~doc:"Also write the analysis (schema $(b,ftrace.static/1): \
+                   per-variable verdicts with machine-checkable \
+                   certificates, lint findings, elimination ratio) as \
+                   JSON to $(docv); $(b,-) writes to stdout.")
+  in
+  let fail_on_finding =
+    Arg.(value & flag
+         & info [ "fail-on-finding" ]
+             ~doc:"CI gating: exit 1 if the linter reported any finding \
+                   (release without hold, barrier party mismatch, ...).")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Ahead-of-run static race analysis of a workload's program: \
+             per-variable verdicts (thread-local, read-only, \
+             lock-protected, barrier-phased, fork/join-ordered, \
+             may-race) with certificates, plus structural lint findings")
+    Term.(
+      const lint $ workload_arg $ scale_arg $ json $ fail_on_finding)
+
+(* ------------------------------------------------------------------ *)
 (* workloads                                                          *)
 
 let list_workloads () =
@@ -661,6 +854,6 @@ let main_cmd =
        ~doc:"Dynamic race detection on execution traces (FastTrack, \
              PLDI 2009 reproduction)")
     [ generate_cmd; analyze_cmd; compare_cmd; check_cmd; explain_cmd;
-      stats_cmd; workloads_cmd ]
+      lint_cmd; stats_cmd; workloads_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -1,4 +1,10 @@
-type kind = None_ | Thread_local | Eraser_pre | Djit_pre | Fasttrack_pre
+type kind =
+  | None_
+  | Thread_local
+  | Eraser_pre
+  | Djit_pre
+  | Fasttrack_pre
+  | Static_pre of (Var.t -> bool)
 
 let kind_name = function
   | None_ -> "NONE"
@@ -6,7 +12,11 @@ let kind_name = function
   | Eraser_pre -> "ERASER"
   | Djit_pre -> "DJIT+"
   | Fasttrack_pre -> "FASTTRACK"
+  | Static_pre _ -> "STATIC"
 
+(* [Static_pre] is excluded: it needs a program-derived predicate, so
+   the sweeps that iterate [all_kinds] (bench_compose) stay purely
+   dynamic. *)
 let all_kinds = [ None_; Thread_local; Eraser_pre; Djit_pre; Fasttrack_pre ]
 
 (* Thread-local filter: a location is interesting once a second thread
@@ -34,6 +44,8 @@ end
 type state =
   | S_none
   | S_tl of Tl.t
+  | S_static of (Var.t -> bool)
+      (* drop accesses the static certificate covers; stateless *)
   | S_detector of Detector.packed * (int, unit) Hashtbl.t
       (* detector + memo of shadow keys known racy *)
 
@@ -42,6 +54,7 @@ type t = state
 let create = function
   | None_ -> S_none
   | Thread_local -> S_tl (Tl.create ())
+  | Static_pre certified -> S_static certified
   | Eraser_pre ->
     S_detector
       (Detector.instantiate (module Eraser) Config.default, Hashtbl.create 64)
@@ -60,6 +73,10 @@ let keep state ~index e =
   | S_tl table -> (
     match e with
     | Event.Read { t; x } | Event.Write { t; x } -> Tl.keep table t x
+    | _ -> true)
+  | S_static certified -> (
+    match e with
+    | Event.Read { x; _ } | Event.Write { x; _ } -> not (certified x)
     | _ -> true)
   | S_detector (packed, racy) -> (
     Detector.packed_on_event packed ~index e;
@@ -90,8 +107,10 @@ let run kind (module C : Checker.S) tr =
   let filter = create kind in
   let checker = C.create () in
   let kept = ref 0 and dropped = ref 0 in
+  (* Monotonic wall clock (Obs_clock): Sys.time's ~1ms resolution
+     rounded most single-workload pipelines to 0. *)
   let (), elapsed =
-    Driver.time (fun () ->
+    Obs_clock.wall_time (fun () ->
         Trace.iteri
           (fun index e ->
             if keep filter ~index e then begin
@@ -107,3 +126,34 @@ let run kind (module C : Checker.S) tr =
     dropped_accesses = !dropped;
     violations = C.violations checker;
     elapsed }
+
+type detector_run = {
+  tool : string;
+  kind : kind;
+  kept : int;
+  dropped : int;
+  warnings : Warning.t list;
+  wall : float;
+}
+
+let run_detector ?(config = Config.default) kind d tr =
+  let filter = create kind in
+  let packed = Detector.instantiate d config in
+  let kept = ref 0 and dropped = ref 0 in
+  let (), wall =
+    Obs_clock.wall_time (fun () ->
+        Trace.iteri
+          (fun index e ->
+            if keep filter ~index e then begin
+              if Event.is_access e then incr kept;
+              Detector.packed_on_event packed ~index e
+            end
+            else if Event.is_access e then incr dropped)
+          tr)
+  in
+  { tool = Detector.packed_name packed;
+    kind;
+    kept = !kept;
+    dropped = !dropped;
+    warnings = Detector.packed_warnings packed;
+    wall }

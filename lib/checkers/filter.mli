@@ -12,12 +12,30 @@
     everything), [Thread_local] (drop accesses to locations touched by
     a single thread so far), [Eraser_pre], [Djit_pre] and
     [Fasttrack_pre] (drop accesses the respective detector considers
-    race-free). *)
+    race-free).
 
-type kind = None_ | Thread_local | Eraser_pre | Djit_pre | Fasttrack_pre
+    [Static_pre] is the ahead-of-run variant: it drops accesses a
+    {!Static} certificate covers.  Unlike the dynamic prefilters it is
+    {e sound} — a certified variable cannot race under any
+    interleaving, so nothing reportable is ever dropped (the footnote
+    6 caveat does not apply). *)
+
+type kind =
+  | None_
+  | Thread_local
+  | Eraser_pre
+  | Djit_pre
+  | Fasttrack_pre
+  | Static_pre of (Var.t -> bool)
+      (** drop accesses whose variable satisfies the predicate —
+          typically [Static.eliminator ~granularity:Var.Fine] of the
+          program the trace came from *)
 
 val kind_name : kind -> string
+
 val all_kinds : kind list
+(** The dynamic prefilters only ([Static_pre] needs a program-derived
+    predicate); what the composition sweeps iterate. *)
 
 type t
 
@@ -35,9 +53,29 @@ type run = {
   kept_accesses : int;
   dropped_accesses : int;
   violations : Checker.violation list;
-  elapsed : float;  (** prefilter + checker CPU seconds *)
+  elapsed : float;
+      (** prefilter + checker {e wall} seconds on the monotonic clock
+          ({!Obs_clock}; was [Sys.time] CPU seconds, whose ~1ms
+          resolution rounded small runs to 0) *)
 }
 
 val run : kind -> (module Checker.S) -> Trace.t -> run
 (** Streams the trace through the prefilter into a fresh instance of
     the checker, timing the whole pipeline. *)
+
+type detector_run = {
+  tool : string;
+  kind : kind;
+  kept : int;
+  dropped : int;
+  warnings : Warning.t list;
+  wall : float;
+}
+
+val run_detector :
+  ?config:Config.t -> kind -> (module Detector.S) -> Trace.t -> detector_run
+(** Streams the trace through the prefilter into a fresh {e detector}
+    instance — the pipeline behind [ftrace analyze --prefilter].  The
+    prefilter sees every event (and advances its own analysis on the
+    full stream); the downstream detector sees all sync events but
+    only the kept accesses. *)

@@ -5,6 +5,7 @@ type t = {
   obs : Obs.t;
   recorder : Obs_recorder.t;
   sync_source : Sync_timeline.t option;
+  static_elim : (Var.t -> bool) option;
 }
 
 let default =
@@ -13,11 +14,13 @@ let default =
     read_demotion = true;
     obs = Obs.disabled;
     recorder = Obs_recorder.disabled;
-    sync_source = None }
+    sync_source = None;
+    static_elim = None }
 
 let with_obs obs t = { t with obs }
 let with_recorder recorder t = { t with recorder }
 let with_sync_source tl t = { t with sync_source = Some tl }
+let with_static_elim skip t = { t with static_elim = Some skip }
 
 let coarse = { default with granularity = Shadow.Coarse }
 let adaptive = { default with granularity = Shadow.Adaptive }

@@ -37,7 +37,19 @@
     [Some timeline] makes clock/epoch/lockset lookups resolve against
     the shared read-only {!Sync_timeline} instead, which is how the
     work-stealing parallel driver eliminates the per-shard sync
-    replay.  Only [Driver.run_parallel] should set it. *)
+    replay.  Only [Driver.run_parallel] should set it.
+
+    [static_elim] is the sound check-elimination hook: when set, the
+    drivers skip every access event whose variable satisfies the
+    predicate (counting it in [Stats.eliminated]) before the detector
+    sees it.  The intended predicate is [Static.eliminator] over the
+    program the trace was generated from — a certified variable cannot
+    race under {e any} interleaving, and access events never modify
+    the sync state ([C]/[L]), so skipping them leaves warnings and
+    witnesses byte-identical (asserted in [test/test_static.ml]).
+    Contrast the {e dynamic} prefilters of Section 5.2, which footnote
+    6 concedes may drop an access later involved in a race.  Default
+    [None]. *)
 
 type t = {
   granularity : Shadow.mode;
@@ -46,6 +58,7 @@ type t = {
   obs : Obs.t;
   recorder : Obs_recorder.t;
   sync_source : Sync_timeline.t option;
+  static_elim : (Var.t -> bool) option;
 }
 
 val default : t
@@ -55,6 +68,7 @@ val default : t
 val with_obs : Obs.t -> t -> t
 val with_recorder : Obs_recorder.t -> t -> t
 val with_sync_source : Sync_timeline.t -> t -> t
+val with_static_elim : (Var.t -> bool) -> t -> t
 
 val coarse : t
 val adaptive : t

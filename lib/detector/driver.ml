@@ -33,6 +33,7 @@ let finish_metrics obs (stats : Stats.t) ~wall =
     Obs.bump obs "driver.runs" 1;
     Obs.bump obs "driver.events" stats.Stats.events;
     Obs.bump obs "driver.accesses" (stats.Stats.reads + stats.Stats.writes);
+    Obs.bump obs "driver.eliminated" stats.Stats.eliminated;
     Obs.observe obs "driver.run_wall_s" wall;
     (* cross-check channel for Table 3: the hand-counted shadow words
        next to the GC's own view of the heap (see the "gc" samples) *)
@@ -55,7 +56,7 @@ let recorder_gauges obs recorder =
       (float_of_int (Obs_recorder.approx_words recorder))
   end
 
-let run_packed ?(obs = Obs.disabled) packed tr =
+let run_packed ?(obs = Obs.disabled) ?skip packed tr =
   (* Select the event-loop body once, outside the loop: the disabled
      path is byte-for-byte the pre-observability loop. *)
   let on_event =
@@ -63,6 +64,22 @@ let run_packed ?(obs = Obs.disabled) packed tr =
         Detector.packed_on_event packed ~index e;
         Obs.tick obs)
     else fun index e -> Detector.packed_on_event packed ~index e
+  in
+  (* Sound check elimination (Config.static_elim): accesses to
+     statically-certified variables never reach the detector.  Access
+     events cannot modify the sync state, so the detector's view of
+     every *other* variable is unchanged — warnings and witnesses stay
+     byte-identical. *)
+  let eliminated = ref 0 in
+  let on_event =
+    match skip with
+    | None -> on_event
+    | Some certified ->
+      fun index e ->
+        (match e with
+        | (Event.Read { x; _ } | Event.Write { x; _ }) when certified x ->
+          incr eliminated
+        | _ -> on_event index e)
   in
   Obs.gc_sample obs;
   let cpu0 = Sys.time () in
@@ -73,6 +90,7 @@ let run_packed ?(obs = Obs.disabled) packed tr =
   let cpu = Sys.time () -. cpu0 in
   Obs.gc_sample_full obs;
   let stats = Detector.packed_stats packed in
+  stats.Stats.eliminated <- stats.Stats.eliminated + !eliminated;
   finish_metrics obs stats ~wall;
   { tool = Detector.packed_name packed;
     warnings = Detector.packed_warnings packed;
@@ -88,7 +106,8 @@ let run_packed ?(obs = Obs.disabled) packed tr =
 
 let run ?(config = Config.default) d tr =
   let r =
-    run_packed ~obs:config.Config.obs (Detector.instantiate d config) tr
+    run_packed ~obs:config.Config.obs ?skip:config.Config.static_elim
+      (Detector.instantiate d config) tr
   in
   recorder_gauges config.Config.obs config.Config.recorder;
   r
@@ -109,12 +128,28 @@ let analyze_shard ?(obs = Obs.disabled) d config ~jobs ~shard tr =
   let (warnings, witnesses, stats), shard_wall =
     Par_run.wall_time (fun () ->
         let packed = Detector.instantiate d shard_config in
-        Trace.iter_shard ~jobs ~shard
-          (fun index e -> Detector.packed_on_event packed ~index e)
-          tr;
+        let on_event index e = Detector.packed_on_event packed ~index e in
+        (* Same elimination hook as the sequential driver: certified
+           accesses are dropped before the shard's detector instance;
+           the broadcast sync stream is never filtered. *)
+        let eliminated = ref 0 in
+        let on_event =
+          match config.Config.static_elim with
+          | None -> on_event
+          | Some certified ->
+            fun index e ->
+              (match e with
+              | (Event.Read { x; _ } | Event.Write { x; _ })
+                when certified x ->
+                incr eliminated
+              | _ -> on_event index e)
+        in
+        Trace.iter_shard ~jobs ~shard on_event tr;
+        let stats = Detector.packed_stats packed in
+        stats.Stats.eliminated <- stats.Stats.eliminated + !eliminated;
         ( Detector.packed_warnings packed,
           Detector.packed_witnesses packed,
-          Detector.packed_stats packed ))
+          stats ))
   in
   (* One span per shard (one mutex acquisition per shard, not per
      event); attributes carry the per-shard load-balance inputs. *)
@@ -272,8 +307,11 @@ let run_stealing ?(config = Config.default) ~jobs d tr =
            single pass also collects the non-access indices and the
            thread count the timeline build replays from. *)
         let plan, prepass =
+          (* Under the stealing plan, elimination happens at routing
+             time: certified accesses never even enter a work item. *)
           Obs.span obs "plan" (fun () ->
-              Shard.plan_stealing_prepass ~jobs tr)
+              Shard.plan_stealing_prepass ?skip:config.Config.static_elim
+                ~jobs tr)
         in
         let timeline =
           Obs.span obs "timeline" (fun () ->
@@ -341,9 +379,12 @@ let run_stealing ?(config = Config.default) ~jobs d tr =
                      Int.compare a.Witness.index b.Witness.index)
             in
             let stats =
+              let tl_stats = stats_of_timeline (Sync_timeline.stats timeline) in
+              (* the routed-out accesses are charged to the serial
+                 prefix component, mirroring where they were dropped *)
+              tl_stats.Stats.eliminated <- prepass.Shard.pp_eliminated;
               Stats.sum
-                (stats_of_timeline (Sync_timeline.stats timeline)
-                :: List.map (fun (_, _, s, _) -> s) results)
+                (tl_stats :: List.map (fun (_, _, s, _) -> s) results)
             in
             fun cpu wall ->
               { tool = D.name;
@@ -441,7 +482,7 @@ let sink = ref 0
 
 let replay ?(repeat = 1) tr =
   let (), elapsed =
-    time (fun () ->
+    Obs_clock.wall_time (fun () ->
         for _ = 1 to repeat do
           Trace.iter
             (fun e -> if Event.is_access e then sink := !sink + 1)

@@ -64,11 +64,18 @@ type result = {
 }
 
 val run : ?config:Config.t -> (module Detector.S) -> Trace.t -> result
+(** Sequential analysis.  When the config carries a [static_elim]
+    predicate, accesses to certified variables are skipped before the
+    detector sees them (counted in [Stats.eliminated]); sync events
+    are never skipped, so warnings and witnesses are byte-identical to
+    an unfiltered run. *)
 
-val run_packed : ?obs:Obs.t -> Detector.packed -> Trace.t -> result
+val run_packed :
+  ?obs:Obs.t -> ?skip:(Var.t -> bool) -> Detector.packed -> Trace.t -> result
 (** Feed a trace to an already-instantiated detector (the detector may
     carry state from earlier traces).  [obs] defaults to
-    {!Obs.disabled}; {!run} passes its config's handle. *)
+    {!Obs.disabled}; {!run} passes its config's handle and
+    [static_elim] predicate ([skip]). *)
 
 val run_parallel :
   ?config:Config.t -> ?jobs:int -> ?plan:Shard.kind ->
@@ -140,8 +147,10 @@ val write_metrics :
 (** {!export_metrics} to a file. *)
 
 val replay : ?repeat:int -> Trace.t -> float
-(** CPU time for [repeat] (default 1) bare iterations of the trace,
-    divided by [repeat]. *)
+(** Wall seconds (monotonic clock, {!Obs_clock}) for [repeat]
+    (default 1) bare iterations of the trace, divided by [repeat].
+    Previously measured with [Sys.time], whose ~1ms resolution
+    swamped sub-millisecond replays. *)
 
 val time : (unit -> 'a) -> 'a * float
 (** [time f] runs [f ()] and reports its CPU time in seconds. *)

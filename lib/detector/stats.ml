@@ -3,6 +3,7 @@ type t = {
   mutable reads : int;
   mutable writes : int;
   mutable syncs : int;
+  mutable eliminated : int;
   mutable vc_allocs : int;
   mutable vc_ops : int;
   mutable epoch_ops : int;
@@ -16,6 +17,7 @@ let create () =
     reads = 0;
     writes = 0;
     syncs = 0;
+    eliminated = 0;
     vc_allocs = 0;
     vc_ops = 0;
     epoch_ops = 0;
@@ -54,6 +56,7 @@ let merge_into ~into s =
   into.reads <- into.reads + s.reads;
   into.writes <- into.writes + s.writes;
   into.syncs <- into.syncs + s.syncs;
+  into.eliminated <- into.eliminated + s.eliminated;
   into.vc_allocs <- into.vc_allocs + s.vc_allocs;
   into.vc_ops <- into.vc_ops + s.vc_ops;
   into.epoch_ops <- into.epoch_ops + s.epoch_ops;
@@ -78,6 +81,7 @@ let fields_alist s =
     ("reads", s.reads);
     ("writes", s.writes);
     ("syncs", s.syncs);
+    ("eliminated", s.eliminated);
     ("vc_allocs", s.vc_allocs);
     ("vc_ops", s.vc_ops);
     ("epoch_ops", s.epoch_ops);

@@ -10,6 +10,9 @@ type t = {
   mutable reads : int;
   mutable writes : int;
   mutable syncs : int;
+  mutable eliminated : int;
+      (** accesses skipped by the static pre-pass
+          ([Config.static_elim]); not part of [events] *)
   mutable vc_allocs : int;   (** vector clocks allocated *)
   mutable vc_ops : int;      (** O(n)-time VC operations (copy/join/⊑) *)
   mutable epoch_ops : int;   (** O(1) epoch fast-path comparisons *)

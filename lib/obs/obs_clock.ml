@@ -1,0 +1,17 @@
+(* Monotonic wall clock (CLOCK_MONOTONIC via monotonic_stubs.c).
+   Unix.gettimeofday is subject to NTP steps and manual clock changes;
+   a measurement taken across a step can come out negative and poison
+   benchmark records.  The monotonic clock is immune to both.
+
+   Lives in [ft_obs] — the one library below both the parallel driver
+   and the checker/bench layers — so every timing site (Par_run
+   regions, Filter.run, bench_common) reads the same clock without
+   [ft_checkers] or [bench] having to depend on [ft_parallel]. *)
+external monotonic_seconds : unit -> float = "ft_monotonic_seconds"
+
+let now = monotonic_seconds
+
+let wall_time f =
+  let start = monotonic_seconds () in
+  let x = f () in
+  (x, monotonic_seconds () -. start)

@@ -1,0 +1,16 @@
+(** The process-wide monotonic wall clock.
+
+    Re-homed here from [lib/parallel] so that the prefilter harness
+    ({!Filter.run}) and the bench timing loops can share it with the
+    parallel driver without depending on [ft_parallel]:
+    [ft_obs] sits below all of them in the library graph. *)
+
+val now : unit -> float
+(** Seconds on the system {e monotonic} clock ([CLOCK_MONOTONIC]).
+    The absolute value is meaningless; differences are elapsed wall
+    time immune to NTP steps and manual clock changes, so timing
+    records built from it can never come out negative. *)
+
+val wall_time : (unit -> 'a) -> 'a * float
+(** [wall_time f] runs [f ()] and reports elapsed wall-clock seconds
+    on {!now}, alongside [f]'s result. *)

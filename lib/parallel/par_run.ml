@@ -1,15 +1,8 @@
-(* Monotonic wall clock (CLOCK_MONOTONIC via monotonic_stubs.c).
-   Unix.gettimeofday is subject to NTP steps and manual clock changes;
-   a measurement taken across a step can come out negative and poison
-   benchmark records.  The monotonic clock is immune to both. *)
-external monotonic_seconds : unit -> float = "ft_monotonic_seconds"
-
-let now = monotonic_seconds
-
-let wall_time f =
-  let start = monotonic_seconds () in
-  let x = f () in
-  (x, monotonic_seconds () -. start)
+(* The monotonic wall clock now lives in ft_obs (Obs_clock) so the
+   checker and bench layers can share it; these aliases keep the
+   parallel driver's historical entry points. *)
+let now = Obs_clock.now
+let wall_time f = Obs_clock.wall_time f
 
 let map ?(obs = Obs.disabled) ~jobs f =
   let jobs = max 1 jobs in

@@ -80,6 +80,7 @@ let ibuf_contents b = Array.sub b.buf 0 b.len
 type prepass = {
   pp_nthreads : int;
   pp_sync_indices : int array;
+  pp_eliminated : int;
 }
 
 (* Work-stealing plan: split the *accesses* (only — the shared sync
@@ -94,7 +95,7 @@ type prepass = {
    the side, collects everything [Sync_timeline.build_indexed] needs —
    the non-access event indices and the thread count — so the whole
    serial prefix of a stealing run reads the trace exactly once. *)
-let plan_stealing_prepass ?(factor = default_steal_factor) ~jobs tr =
+let plan_stealing_prepass ?(factor = default_steal_factor) ?skip ~jobs tr =
   let jobs = max 1 jobs in
   let slots = max jobs (max 1 factor * jobs) in
   (* Size buffers for a roughly even split: doubling copies then only
@@ -104,12 +105,29 @@ let plan_stealing_prepass ?(factor = default_steal_factor) ~jobs tr =
   let sync = ibuf_make (Trace.length tr / 16) in
   let max_tid = ref 0 in
   let[@inline] tid t = if t > !max_tid then max_tid := t in
+  (* Static check elimination at routing time: a certified access is
+     dropped here and never enters a work item (so LPT ordering and
+     the measured per-worker balance both see the post-elimination
+     load).  [drop] is selected once, outside the loop. *)
+  let eliminated = ref 0 in
+  let drop =
+    match skip with
+    | None -> fun _ -> false
+    | Some certified ->
+      fun x ->
+        if certified x then begin
+          incr eliminated;
+          true
+        end
+        else false
+  in
   Trace.iteri
     (fun index e ->
       match e with
       | Event.Read { x; t } | Event.Write { x; t } ->
         tid t;
-        ibuf_push bufs.(shard_of_var ~jobs:slots x) index
+        if not (drop x) then
+          ibuf_push bufs.(shard_of_var ~jobs:slots x) index
       | Event.Acquire { t; _ } | Event.Release { t; _ }
       | Event.Volatile_read { t; _ } | Event.Volatile_write { t; _ }
       | Event.Txn_begin { t } | Event.Txn_end { t } ->
@@ -136,10 +154,12 @@ let plan_stealing_prepass ?(factor = default_steal_factor) ~jobs tr =
       else Int.compare a.shard_id b.shard_id)
     shards;
   ( { jobs; kind = Stealing; slots; shards; broadcast = sync.len },
-    { pp_nthreads = !max_tid + 1; pp_sync_indices = ibuf_contents sync } )
+    { pp_nthreads = !max_tid + 1;
+      pp_sync_indices = ibuf_contents sync;
+      pp_eliminated = !eliminated } )
 
-let plan_stealing ?factor ~jobs tr =
-  fst (plan_stealing_prepass ?factor ~jobs tr)
+let plan_stealing ?factor ?skip ~jobs tr =
+  fst (plan_stealing_prepass ?factor ?skip ~jobs tr)
 
 let imbalance_of_counts counts =
   let counts = Array.map float_of_int counts in

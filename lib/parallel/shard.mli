@@ -80,20 +80,29 @@ type prepass = {
   pp_sync_indices : int array;
       (** trace indices of every non-access event, increasing — the
           exact input [Sync_timeline.build_indexed] replays *)
+  pp_eliminated : int;
+      (** accesses dropped at routing time by [?skip] (0 without it) *)
 }
 (** Byproduct of the stealing plan's single trace pass: everything the
     sync-timeline build needs, collected for free so the whole serial
     prefix of a stealing run reads the trace exactly once. *)
 
 val plan_stealing_prepass :
-  ?factor:int -> jobs:int -> Trace.t -> plan * prepass
+  ?factor:int -> ?skip:(Var.t -> bool) -> jobs:int -> Trace.t -> plan * prepass
 (** Materializes the work-stealing split: [max 1 factor * jobs] items
     (default factor {!default_steal_factor}) containing {e only} the
     access events of the objects they own, LPT-sorted.  One pass, no
     event copies.  Items may be empty (few distinct objects);
-    consumers skip them. *)
+    consumers skip them.
 
-val plan_stealing : ?factor:int -> jobs:int -> Trace.t -> plan
+    [skip] is the static check-elimination hook ([Config.static_elim]
+    routed through [Driver.run_stealing]): accesses satisfying it are
+    dropped during routing — before items exist — and counted in
+    [pp_eliminated], so the LPT order and worker balance reflect the
+    post-elimination load.  Sync events are never skipped. *)
+
+val plan_stealing :
+  ?factor:int -> ?skip:(Var.t -> bool) -> jobs:int -> Trace.t -> plan
 (** [fst (plan_stealing_prepass ...)], for callers that build their
     own timeline (tests). *)
 

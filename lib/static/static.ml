@@ -1,0 +1,817 @@
+type node = { n_tid : Tid.t; n_seg : int }
+
+type edge_kind =
+  | Po
+  | Fork_edge
+  | Join_edge
+  | Barrier_edge of { barrier : int; round : int }
+
+type edge = { e_from : node; e_to : node; e_kind : edge_kind }
+
+type skeleton = {
+  sk_segs : (Tid.t * int) list;
+  sk_edges : edge list;
+}
+
+type site = {
+  s_tid : Tid.t;
+  s_seg : int;
+  s_write : bool;
+  s_locks : Lockid.t list;
+  s_count : int;
+}
+
+type verdict =
+  | Thread_local of Tid.t
+  | Read_only
+  | Lock_protected of Lockid.t
+  | Fork_join_ordered
+  | Barrier_phased
+  | May_race
+
+type hop = { h_from : node; h_to : node; h_kind : edge_kind }
+
+type ordered_pair = {
+  op_before : node;
+  op_after : node;
+  op_hops : hop list;
+}
+
+type certificate =
+  | Cert_thread_local of Tid.t
+  | Cert_read_only
+  | Cert_lock_protected of Lockid.t
+  | Cert_ordered of { c_barrier : bool; c_pairs : ordered_pair list }
+
+type entry = {
+  e_var : Var.t;
+  e_verdict : verdict;
+  e_cert : certificate option;
+  e_sites : site list;
+  e_accesses : int;
+}
+
+type finding_kind =
+  | Release_without_hold of Lockid.t
+  | Wait_without_monitor of Lockid.t
+  | Lock_never_released of Lockid.t
+  | Unknown_barrier of int
+  | Barrier_party_mismatch of { barrier : int; parties : int; participants : int }
+  | Barrier_round_mismatch of { barrier : int }
+  | Join_of_unknown of Tid.t
+  | Join_before_fork of Tid.t
+  | Duplicate_fork of Tid.t
+
+type finding = {
+  f_tid : Tid.t option;
+  f_kind : finding_kind;
+}
+
+type summary = {
+  threads : int;
+  skeleton : skeleton;
+  entries : entry list;
+  findings : finding list;
+  total_accesses : int;
+  certified_accesses : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Reachability over the skeleton.                                    *)
+
+(* Nodes are numbered [base(tid) + seg]; adjacency carries the edge
+   kind so BFS parent chains reconstruct certificate hops.  Per-source
+   BFS results are memoized: classification queries many pairs from
+   few distinct source nodes. *)
+type graph = {
+  g_base : (int, int) Hashtbl.t;
+  g_nodes : int;
+  g_node : node array;
+  g_adj : (int * edge_kind) list array;
+  g_memo : (int, Bytes.t * int array * edge_kind array) Hashtbl.t;
+}
+
+let node_id g n = Hashtbl.find g.g_base n.n_tid + n.n_seg
+
+let graphs_of_skeleton sk =
+  let base = Hashtbl.create 16 in
+  let nodes =
+    List.fold_left
+      (fun acc (t, ns) ->
+        Hashtbl.replace base t acc;
+        acc + ns)
+      0 sk.sk_segs
+  in
+  let node_arr = Array.make (max 1 nodes) { n_tid = 0; n_seg = 0 } in
+  List.iter
+    (fun (t, ns) ->
+      let b = Hashtbl.find base t in
+      for s = 0 to ns - 1 do
+        node_arr.(b + s) <- { n_tid = t; n_seg = s }
+      done)
+    sk.sk_segs;
+  let mk ~barriers =
+    let adj = Array.make (max 1 nodes) [] in
+    List.iter
+      (fun (t, ns) ->
+        let b = Hashtbl.find base t in
+        for s = ns - 2 downto 0 do
+          adj.(b + s) <- (b + s + 1, Po) :: adj.(b + s)
+        done)
+      sk.sk_segs;
+    List.iter
+      (fun e ->
+        let keep =
+          match e.e_kind with Barrier_edge _ -> barriers | _ -> true
+        in
+        if keep then begin
+          let f = Hashtbl.find base e.e_from.n_tid + e.e_from.n_seg in
+          let t = Hashtbl.find base e.e_to.n_tid + e.e_to.n_seg in
+          adj.(f) <- (t, e.e_kind) :: adj.(f)
+        end)
+      (List.rev sk.sk_edges);
+    { g_base = base;
+      g_nodes = nodes;
+      g_node = node_arr;
+      g_adj = adj;
+      g_memo = Hashtbl.create 64 }
+  in
+  (mk ~barriers:false, mk ~barriers:true)
+
+let bfs g src =
+  match Hashtbl.find_opt g.g_memo src with
+  | Some r -> r
+  | None ->
+    let visited = Bytes.make g.g_nodes '\000' in
+    let parent = Array.make g.g_nodes (-1) in
+    let pkind = Array.make g.g_nodes Po in
+    let q = Queue.create () in
+    Bytes.set visited src '\001';
+    Queue.add src q;
+    while not (Queue.is_empty q) do
+      let u = Queue.pop q in
+      List.iter
+        (fun (v, k) ->
+          if Bytes.get visited v = '\000' then begin
+            Bytes.set visited v '\001';
+            parent.(v) <- u;
+            pkind.(v) <- k;
+            Queue.add v q
+          end)
+        g.g_adj.(u)
+    done;
+    let r = (visited, parent, pkind) in
+    Hashtbl.replace g.g_memo src r;
+    r
+
+let reaches g a b =
+  a = b
+  ||
+  let visited, _, _ = bfs g a in
+  Bytes.get visited b = '\001'
+
+(* The inter-thread edges of the BFS witness path from [a] to [b]
+   (program-order steps are implied and re-checked by the certificate
+   checker). *)
+let hops_of_path g a b =
+  let _, parent, pkind = bfs g a in
+  let rec up v acc =
+    if v = a then acc
+    else
+      let p = parent.(v) in
+      let acc =
+        match pkind.(v) with
+        | Po -> acc
+        | k -> { h_from = g.g_node.(p); h_to = g.g_node.(v); h_kind = k } :: acc
+      in
+      up p acc
+  in
+  up b []
+
+(* ------------------------------------------------------------------ *)
+(* Classification.                                                    *)
+
+let site_node s = { n_tid = s.s_tid; n_seg = s.s_seg }
+
+let conflicting s1 s2 = s1.s_tid <> s2.s_tid && (s1.s_write || s2.s_write)
+
+(* Distinct unordered node pairs drawn from the conflicting site
+   pairs: ordering is a property of program points, so sites sharing a
+   node collapse into one query. *)
+let conflicting_node_pairs sites =
+  let seen = Hashtbl.create 16 in
+  let out = ref [] in
+  List.iteri
+    (fun i a ->
+      List.iteri
+        (fun j b ->
+          if j > i && conflicting a b then begin
+            let na = site_node a and nb = site_node b in
+            let key = if compare na nb <= 0 then (na, nb) else (nb, na) in
+            if not (Hashtbl.mem seen key) then begin
+              Hashtbl.replace seen key ();
+              out := key :: !out
+            end
+          end)
+        sites)
+    sites;
+  List.rev !out
+
+let order_pairs g pairs =
+  let exception Unordered in
+  try
+    Some
+      (List.map
+         (fun (na, nb) ->
+           let ia = node_id g na and ib = node_id g nb in
+           if reaches g ia ib then
+             { op_before = na; op_after = nb; op_hops = hops_of_path g ia ib }
+           else if reaches g ib ia then
+             { op_before = nb; op_after = na; op_hops = hops_of_path g ib ia }
+           else raise Unordered)
+         pairs)
+  with Unordered -> None
+
+let inter_locks = function
+  | [] -> []
+  | s :: rest ->
+    List.fold_left
+      (fun acc s' -> List.filter (fun m -> List.mem m s'.s_locks) acc)
+      s.s_locks rest
+
+let classify gfj gfull sites =
+  let tids = List.sort_uniq Tid.compare (List.map (fun s -> s.s_tid) sites) in
+  match tids with
+  | [] -> (May_race, None)
+  | [ t ] -> (Thread_local t, Some (Cert_thread_local t))
+  | _ ->
+    if List.for_all (fun s -> not s.s_write) sites then
+      (Read_only, Some Cert_read_only)
+    else begin
+      match inter_locks sites with
+      | m :: _ -> (Lock_protected m, Some (Cert_lock_protected m))
+      | [] -> (
+        let pairs = conflicting_node_pairs sites in
+        match order_pairs gfj pairs with
+        | Some ps ->
+          ( Fork_join_ordered,
+            Some (Cert_ordered { c_barrier = false; c_pairs = ps }) )
+        | None -> (
+          match order_pairs gfull pairs with
+          | Some ps ->
+            ( Barrier_phased,
+              Some (Cert_ordered { c_barrier = true; c_pairs = ps }) )
+          | None -> (May_race, None)))
+    end
+
+(* ------------------------------------------------------------------ *)
+(* The abstract interpreter (one walk per thread body).               *)
+
+let analyze (p : Program.t) =
+  let threads = p.Program.threads in
+  let known = Hashtbl.create 16 in
+  List.iter
+    (fun (th : Program.thread) -> Hashtbl.replace known th.Program.tid ())
+    threads;
+  let parties_of = Hashtbl.create 8 in
+  List.iter
+    (fun (b : Program.barrier) ->
+      Hashtbl.replace parties_of b.Program.id b.Program.parties)
+    p.Program.barriers;
+  (* Pre-pass: global fork multiplicity (duplicate forks make the
+     fork edge's target start ambiguous — lint and drop the edge). *)
+  let fork_count = Hashtbl.create 16 in
+  List.iter
+    (fun (th : Program.thread) ->
+      List.iter
+        (function
+          | Program.Fork u ->
+            Hashtbl.replace fork_count u
+              (1 + Option.value ~default:0 (Hashtbl.find_opt fork_count u))
+          | _ -> ())
+        th.Program.body)
+    threads;
+  let findings = ref [] in
+  let fseen = Hashtbl.create 16 in
+  let finding ?tid kind =
+    let f = { f_tid = tid; f_kind = kind } in
+    if not (Hashtbl.mem fseen f) then begin
+      Hashtbl.replace fseen f ();
+      findings := f :: !findings
+    end
+  in
+  Hashtbl.iter (fun u c -> if c > 1 then finding (Duplicate_fork u)) fork_count;
+  (* Per-variable accumulators: fine key -> (var, site table, count). *)
+  let vars :
+      (int, Var.t * ((int * int * bool * int list), int ref) Hashtbl.t * int ref)
+      Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let total = ref 0 in
+  let record_access x ~tid ~seg ~write locks =
+    incr total;
+    let key = Var.key Var.Fine x in
+    let _, sites, cnt =
+      match Hashtbl.find_opt vars key with
+      | Some e -> e
+      | None ->
+        let e = (x, Hashtbl.create 4, ref 0) in
+        Hashtbl.replace vars key e;
+        e
+    in
+    incr cnt;
+    let sk = (tid, seg, write, locks) in
+    match Hashtbl.find_opt sites sk with
+    | Some r -> incr r
+    | None -> Hashtbl.replace sites sk (ref 1)
+  in
+  let walks =
+    List.map
+      (fun (th : Program.thread) ->
+        let tid = th.Program.tid in
+        let seg = ref 0 in
+        let held = Hashtbl.create 8 in
+        let cur_locks = ref [] in
+        let recompute () =
+          cur_locks :=
+            Hashtbl.fold (fun m c acc -> if c > 0 then m :: acc else acc) held []
+            |> List.sort Lockid.compare
+        in
+        let forks = ref [] and joins = ref [] and bwaits = ref [] in
+        let forked_here = Hashtbl.create 4 in
+        let forks_in_body = Hashtbl.create 4 in
+        List.iter
+          (function
+            | Program.Fork u -> Hashtbl.replace forks_in_body u ()
+            | _ -> ())
+          th.Program.body;
+        List.iter
+          (fun stmt ->
+            match stmt with
+            | Program.Read x ->
+              record_access x ~tid ~seg:!seg ~write:false !cur_locks
+            | Program.Write x ->
+              record_access x ~tid ~seg:!seg ~write:true !cur_locks
+            | Program.Acquire m ->
+              let c = Option.value ~default:0 (Hashtbl.find_opt held m) in
+              Hashtbl.replace held m (c + 1);
+              if c = 0 then recompute ()
+            | Program.Release m ->
+              let c = Option.value ~default:0 (Hashtbl.find_opt held m) in
+              if c = 0 then finding ~tid (Release_without_hold m)
+              else begin
+                Hashtbl.replace held m (c - 1);
+                if c = 1 then recompute ()
+              end
+            | Program.Wait m ->
+              (* wait releases and re-acquires [m]; the lockset after
+                 the statement is unchanged, but the thread must hold
+                 the monitor going in *)
+              if Option.value ~default:0 (Hashtbl.find_opt held m) = 0 then
+                finding ~tid (Wait_without_monitor m)
+            | Program.Fork u ->
+              Hashtbl.replace forked_here u ();
+              forks := (u, !seg) :: !forks;
+              incr seg
+            | Program.Join u ->
+              if not (Hashtbl.mem known u) then finding ~tid (Join_of_unknown u)
+              else begin
+                if Hashtbl.mem forks_in_body u
+                   && not (Hashtbl.mem forked_here u)
+                then finding ~tid (Join_before_fork u);
+                incr seg;
+                joins := (u, !seg) :: !joins
+              end
+            | Program.Barrier_wait b ->
+              if not (Hashtbl.mem parties_of b) then
+                finding ~tid (Unknown_barrier b);
+              bwaits := (b, !seg) :: !bwaits;
+              incr seg
+            | Program.Volatile_read _ | Program.Volatile_write _
+            | Program.Txn_begin | Program.Txn_end ->
+              ())
+          th.Program.body;
+        Hashtbl.iter
+          (fun m c -> if c > 0 then finding ~tid (Lock_never_released m))
+          held;
+        (tid, !seg + 1, List.rev !forks, List.rev !joins, List.rev !bwaits))
+      threads
+  in
+  let nsegs_of = Hashtbl.create 16 in
+  List.iter (fun (t, ns, _, _, _) -> Hashtbl.replace nsegs_of t ns) walks;
+  let edges = ref [] in
+  let add_edge f t k = edges := { e_from = f; e_to = t; e_kind = k } :: !edges in
+  List.iter
+    (fun (t, _, forks, joins, _) ->
+      List.iter
+        (fun (u, s) ->
+          if Hashtbl.find_opt fork_count u = Some 1 then
+            add_edge { n_tid = t; n_seg = s } { n_tid = u; n_seg = 0 } Fork_edge)
+        forks;
+      List.iter
+        (fun (u, s) ->
+          match Hashtbl.find_opt nsegs_of u with
+          | Some ns ->
+            (* join returns only after [u]'s last statement *)
+            add_edge { n_tid = u; n_seg = ns - 1 } { n_tid = t; n_seg = s }
+              Join_edge
+          | None -> ())
+        joins)
+    walks;
+  (* Barrier edges: sound only when the wait structure is
+     deterministic — exactly [parties] participating threads, all with
+     the same wait count; then the k-th fill provably involves every
+     thread's k-th wait (a thread is blocked at its earliest
+     unreleased wait, so by induction on fills). *)
+  let bar_tbl : (int, (int, int list ref) Hashtbl.t) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  List.iter
+    (fun (t, _, _, _, bwaits) ->
+      List.iter
+        (fun (b, pre) ->
+          let per_tid =
+            match Hashtbl.find_opt bar_tbl b with
+            | Some h -> h
+            | None ->
+              let h = Hashtbl.create 8 in
+              Hashtbl.replace bar_tbl b h;
+              h
+          in
+          let l =
+            match Hashtbl.find_opt per_tid t with
+            | Some l -> l
+            | None ->
+              let l = ref [] in
+              Hashtbl.replace per_tid t l;
+              l
+          in
+          l := pre :: !l)
+        bwaits)
+    walks;
+  Hashtbl.iter
+    (fun b per_tid ->
+      match Hashtbl.find_opt parties_of b with
+      | None -> () (* Unknown_barrier already linted during the walk *)
+      | Some parties ->
+        let parts =
+          Hashtbl.fold (fun t l acc -> (t, Array.of_list (List.rev !l)) :: acc)
+            per_tid []
+          |> List.sort (fun (a, _) (b, _) -> Tid.compare a b)
+        in
+        let participants = List.length parts in
+        if participants <> parties then
+          finding (Barrier_party_mismatch { barrier = b; parties; participants })
+        else begin
+          let rounds = Array.length (snd (List.hd parts)) in
+          if List.exists (fun (_, a) -> Array.length a <> rounds) parts then
+            finding (Barrier_round_mismatch { barrier = b })
+          else
+            for k = 0 to rounds - 1 do
+              List.iter
+                (fun (t1, a1) ->
+                  List.iter
+                    (fun (t2, a2) ->
+                      if t1 <> t2 then
+                        add_edge
+                          { n_tid = t1; n_seg = a1.(k) }
+                          { n_tid = t2; n_seg = a2.(k) + 1 }
+                          (Barrier_edge { barrier = b; round = k }))
+                    parts)
+                parts
+            done
+        end)
+    bar_tbl;
+  let skeleton =
+    { sk_segs =
+        List.map (fun (t, ns, _, _, _) -> (t, ns)) walks
+        |> List.sort (fun (a, _) (b, _) -> Tid.compare a b);
+      sk_edges = List.sort compare !edges }
+  in
+  let gfj, gfull = graphs_of_skeleton skeleton in
+  (* Fields of one object typically share a site signature (same
+     loops, same locks), so classification — including the pairwise
+     ordering queries — is memoized on the signature. *)
+  let memo = Hashtbl.create 64 in
+  let entries =
+    Hashtbl.fold (fun _ (x, sites, cnt) acc -> (x, sites, !cnt) :: acc) vars []
+    |> List.sort (fun (a, _, _) (b, _, _) -> Var.compare a b)
+    |> List.map (fun (x, sites_tbl, cnt) ->
+           let sites =
+             Hashtbl.fold
+               (fun (t, s, w, l) r acc ->
+                 { s_tid = t; s_seg = s; s_write = w; s_locks = l;
+                   s_count = !r }
+                 :: acc)
+               sites_tbl []
+             |> List.sort compare
+           in
+           let signature =
+             List.map (fun s -> (s.s_tid, s.s_seg, s.s_write, s.s_locks)) sites
+           in
+           let verdict, cert =
+             match Hashtbl.find_opt memo signature with
+             | Some vc -> vc
+             | None ->
+               let vc = classify gfj gfull sites in
+               Hashtbl.replace memo signature vc;
+               vc
+           in
+           { e_var = x;
+             e_verdict = verdict;
+             e_cert = cert;
+             e_sites = sites;
+             e_accesses = cnt })
+  in
+  let certified_accesses =
+    List.fold_left
+      (fun acc e -> if e.e_verdict <> May_race then acc + e.e_accesses else acc)
+      0 entries
+  in
+  { threads = List.length threads;
+    skeleton;
+    entries;
+    findings = List.sort compare !findings;
+    total_accesses = !total;
+    certified_accesses }
+
+(* ------------------------------------------------------------------ *)
+(* Queries.                                                           *)
+
+let verdict_of summary x =
+  match List.find_opt (fun e -> Var.equal e.e_var x) summary.entries with
+  | Some e -> e.e_verdict
+  | None -> May_race
+
+let certified summary x = verdict_of summary x <> May_race
+
+let eliminator ~granularity summary =
+  match granularity with
+  | Var.Fine ->
+    let tbl = Hashtbl.create 64 in
+    List.iter
+      (fun e ->
+        if e.e_verdict <> May_race then
+          Hashtbl.replace tbl (Var.key Var.Fine e.e_var) ())
+      summary.entries;
+    fun x -> Hashtbl.mem tbl (Var.key Var.Fine x)
+  | Var.Coarse ->
+    (* A coarse detector runs one shadow location per object over the
+       union of all its fields' accesses, so per-field certificates do
+       not compose: re-classify the merged site multiset and certify
+       the object only if the union itself is race-free. *)
+    let gfj, gfull = graphs_of_skeleton summary.skeleton in
+    let by_obj = Hashtbl.create 32 in
+    List.iter
+      (fun e ->
+        let o = e.e_var.Var.obj in
+        Hashtbl.replace by_obj o
+          (e :: Option.value ~default:[] (Hashtbl.find_opt by_obj o)))
+      summary.entries;
+    let ok = Hashtbl.create 32 in
+    Hashtbl.iter
+      (fun o es ->
+        let tbl = Hashtbl.create 16 in
+        List.iter
+          (fun e ->
+            List.iter
+              (fun s ->
+                let k = (s.s_tid, s.s_seg, s.s_write, s.s_locks) in
+                let r =
+                  match Hashtbl.find_opt tbl k with
+                  | Some r -> r
+                  | None ->
+                    let r = ref 0 in
+                    Hashtbl.replace tbl k r;
+                    r
+                in
+                r := !r + s.s_count)
+              e.e_sites)
+          es;
+        let sites =
+          Hashtbl.fold
+            (fun (t, s, w, l) r acc ->
+              { s_tid = t; s_seg = s; s_write = w; s_locks = l; s_count = !r }
+              :: acc)
+            tbl []
+          |> List.sort compare
+        in
+        match classify gfj gfull sites with
+        | May_race, _ -> ()
+        | _ -> Hashtbl.replace ok o ())
+      by_obj;
+    fun x -> Hashtbl.mem ok x.Var.obj
+
+let elimination_ratio summary =
+  if summary.total_accesses = 0 then 0.
+  else
+    float_of_int summary.certified_accesses
+    /. float_of_int summary.total_accesses
+
+(* ------------------------------------------------------------------ *)
+(* Certificate checking.                                              *)
+
+let verdict_name = function
+  | Thread_local _ -> "thread_local"
+  | Read_only -> "read_only"
+  | Lock_protected _ -> "lock_protected"
+  | Fork_join_ordered -> "fork_join_ordered"
+  | Barrier_phased -> "barrier_phased"
+  | May_race -> "may_race"
+
+let check_certificate summary entry =
+  let err fmt = Format.kasprintf (fun s -> Error s) fmt in
+  let sites = entry.e_sites in
+  let segs_of = Hashtbl.create 16 in
+  List.iter
+    (fun (t, ns) -> Hashtbl.replace segs_of t ns)
+    summary.skeleton.sk_segs;
+  let node_ok n =
+    match Hashtbl.find_opt segs_of n.n_tid with
+    | Some ns -> n.n_seg >= 0 && n.n_seg < ns
+    | None -> false
+  in
+  match (entry.e_cert, entry.e_verdict) with
+  | None, May_race -> Ok ()
+  | None, v -> err "verdict %s carries no certificate" (verdict_name v)
+  | Some _, May_race -> err "may_race carries a certificate"
+  | Some (Cert_thread_local t), Thread_local t' ->
+    if not (Tid.equal t t') then
+      err "certificate names thread %d, verdict names %d" t t'
+    else if List.for_all (fun s -> Tid.equal s.s_tid t) sites then Ok ()
+    else err "an access site lies outside thread %d" t
+  | Some Cert_read_only, Read_only ->
+    if List.exists (fun s -> s.s_write) sites then
+      err "write site under a read_only certificate"
+    else Ok ()
+  | Some (Cert_lock_protected m), Lock_protected m' ->
+    if not (Lockid.equal m m') then err "lock mismatch (%d vs %d)" m m'
+    else if List.for_all (fun s -> List.mem m s.s_locks) sites then Ok ()
+    else err "an access site does not hold lock %d" m
+  | Some (Cert_ordered { c_barrier; c_pairs }), (Fork_join_ordered | Barrier_phased)
+    ->
+    if entry.e_verdict = Fork_join_ordered && c_barrier then
+      err "fork_join_ordered certificate claims barrier edges"
+    else begin
+      let edge_set = Hashtbl.create 64 in
+      List.iter
+        (fun e -> Hashtbl.replace edge_set (e.e_from, e.e_to, e.e_kind) ())
+        summary.skeleton.sk_edges;
+      let ptbl = Hashtbl.create 16 in
+      List.iter
+        (fun op -> Hashtbl.replace ptbl (op.op_before, op.op_after) op)
+        c_pairs;
+      let glue a b = a.n_tid = b.n_tid && a.n_seg <= b.n_seg in
+      let check_pair op =
+        let rec chain cur = function
+          | [] ->
+            if glue cur op.op_after then Ok ()
+            else
+              err "chain ends at t%d/s%d, not at t%d/s%d" cur.n_tid cur.n_seg
+                op.op_after.n_tid op.op_after.n_seg
+          | h :: rest ->
+            if not (glue cur h.h_from) then
+              err "hop t%d/s%d not reached by program order" h.h_from.n_tid
+                h.h_from.n_seg
+            else if not (node_ok h.h_from && node_ok h.h_to) then
+              err "hop node out of segment range"
+            else if
+              match h.h_kind with
+              | Po -> true
+              | Barrier_edge _ -> not c_barrier
+              | Fork_edge | Join_edge -> false
+            then err "illegal hop kind"
+            else if not (Hashtbl.mem edge_set (h.h_from, h.h_to, h.h_kind))
+            then err "hop is not a skeleton edge"
+            else chain h.h_to rest
+        in
+        if not (node_ok op.op_before && node_ok op.op_after) then
+          err "pair endpoint out of segment range"
+        else chain op.op_before op.op_hops
+      in
+      let rec all_pairs = function
+        | [] -> Ok ()
+        | op :: rest -> (
+          match check_pair op with Ok () -> all_pairs rest | Error _ as e -> e)
+      in
+      match all_pairs c_pairs with
+      | Error _ as e -> e
+      | Ok () ->
+        (* coverage: every conflicting cross-thread site pair must be
+           witnessed *)
+        let missing = ref None in
+        List.iteri
+          (fun i a ->
+            List.iteri
+              (fun j b ->
+                if j > i && conflicting a b && !missing = None then begin
+                  let na = site_node a and nb = site_node b in
+                  if
+                    not
+                      (Hashtbl.mem ptbl (na, nb) || Hashtbl.mem ptbl (nb, na))
+                  then missing := Some (na, nb)
+                end)
+              sites)
+          sites;
+        (match !missing with
+        | Some (na, nb) ->
+          err "conflicting pair t%d/s%d - t%d/s%d not covered" na.n_tid
+            na.n_seg nb.n_tid nb.n_seg
+        | None -> Ok ())
+    end
+  | Some _, v -> err "certificate kind does not match verdict %s" (verdict_name v)
+
+(* ------------------------------------------------------------------ *)
+(* Rendering.                                                         *)
+
+let pp_verdict ppf = function
+  | Thread_local t -> Format.fprintf ppf "thread-local(t%d)" t
+  | Read_only -> Format.pp_print_string ppf "read-only"
+  | Lock_protected m -> Format.fprintf ppf "lock-protected(m%d)" m
+  | Fork_join_ordered -> Format.pp_print_string ppf "fork-join-ordered"
+  | Barrier_phased -> Format.pp_print_string ppf "barrier-phased"
+  | May_race -> Format.pp_print_string ppf "may-race"
+
+let pp_finding ppf f =
+  (match f.f_tid with
+  | Some t -> Format.fprintf ppf "[t%d] " t
+  | None -> Format.pp_print_string ppf "[program] ");
+  match f.f_kind with
+  | Release_without_hold m -> Format.fprintf ppf "release of lock %d without holding it" m
+  | Wait_without_monitor m -> Format.fprintf ppf "wait on monitor %d without holding it" m
+  | Lock_never_released m -> Format.fprintf ppf "lock %d acquired but never released" m
+  | Unknown_barrier b -> Format.fprintf ppf "wait on undeclared barrier %d" b
+  | Barrier_party_mismatch { barrier; parties; participants } ->
+    Format.fprintf ppf
+      "barrier %d declares %d parties but %d thread(s) wait on it" barrier
+      parties participants
+  | Barrier_round_mismatch { barrier } ->
+    Format.fprintf ppf "threads wait on barrier %d unequal numbers of times"
+      barrier
+  | Join_of_unknown u -> Format.fprintf ppf "join of unknown thread %d" u
+  | Join_before_fork u -> Format.fprintf ppf "join of thread %d before forking it" u
+  | Duplicate_fork u -> Format.fprintf ppf "thread %d forked more than once" u
+
+let pp_site ppf s =
+  Format.fprintf ppf "t%d/s%d %s{%s}x%d" s.s_tid s.s_seg
+    (if s.s_write then "W" else "R")
+    (String.concat "," (List.map string_of_int s.s_locks))
+    s.s_count
+
+let verdict_order = function
+  | Thread_local _ -> 0
+  | Read_only -> 1
+  | Lock_protected _ -> 2
+  | Fork_join_ordered -> 3
+  | Barrier_phased -> 4
+  | May_race -> 5
+
+let pp_report ppf s =
+  let segments =
+    List.fold_left (fun acc (_, ns) -> acc + ns) 0 s.skeleton.sk_segs
+  in
+  Format.fprintf ppf "@[<v>static analysis: %d thread(s), %d segment(s), %d skeleton edge(s)@,"
+    s.threads segments (List.length s.skeleton.sk_edges);
+  let counts = Array.make 6 0 and accs = Array.make 6 0 in
+  List.iter
+    (fun e ->
+      let o = verdict_order e.e_verdict in
+      counts.(o) <- counts.(o) + 1;
+      accs.(o) <- accs.(o) + e.e_accesses)
+    s.entries;
+  Format.fprintf ppf "verdicts over %d variable(s), %d access(es):@,"
+    (List.length s.entries) s.total_accesses;
+  List.iteri
+    (fun o name ->
+      if counts.(o) > 0 then
+        Format.fprintf ppf "  %-18s %6d var(s) %10d access(es)@," name
+          counts.(o) accs.(o))
+    [ "thread-local"; "read-only"; "lock-protected"; "fork-join-ordered";
+      "barrier-phased"; "may-race" ];
+  Format.fprintf ppf "certified: %d / %d accesses eliminable (%.1f%%)@,"
+    s.certified_accesses s.total_accesses (100. *. elimination_ratio s);
+  (match s.findings with
+  | [] -> Format.fprintf ppf "lint: clean@,"
+  | fs ->
+    Format.fprintf ppf "lint findings (%d):@," (List.length fs);
+    List.iter (fun f -> Format.fprintf ppf "  %a@," pp_finding f) fs);
+  let racy = List.filter (fun e -> e.e_verdict = May_race) s.entries in
+  (match racy with
+  | [] -> Format.fprintf ppf "no may-race variables@]"
+  | _ ->
+    Format.fprintf ppf "may-race variables (%d):@," (List.length racy);
+    let shown = ref 0 in
+    List.iter
+      (fun e ->
+        if !shown < 20 then begin
+          incr shown;
+          Format.fprintf ppf "  %a  sites: %a@," Var.pp e.e_var
+            (Format.pp_print_list
+               ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+               pp_site)
+            e.e_sites
+        end)
+      racy;
+    if List.length racy > 20 then
+      Format.fprintf ppf "  ... and %d more@," (List.length racy - 20);
+    Format.fprintf ppf "@]")

@@ -1,0 +1,166 @@
+(** Ahead-of-run (static) race analysis over the {!Program} DSL.
+
+    DSL programs are straight-line per thread: every [Fork]/[Join]/
+    [Barrier_wait] statement and every lock acquisition is visible at
+    construction time, so a flow-sensitive walk over the statement
+    arrays can prove — before a single event is scheduled — that many
+    variables cannot race under {e any} interleaving the {!Scheduler}
+    can produce.  Each proof is a machine-checkable {!certificate}; the
+    dynamic drivers use {!eliminator} to skip the certified accesses
+    with zero coverage loss (contrast Section 5.2's dynamic prefilters,
+    which footnote 6 concedes may drop an access later involved in a
+    race).
+
+    {2 Abstract domain}
+
+    Each thread body is cut into {e segments}: maximal statement runs
+    containing no inter-thread ordering point.  [Fork u] ends its
+    segment (the fork edge leaves the segment containing the fork);
+    [Join u] and [Barrier_wait b] begin a new one (their edges arrive
+    at the segment after the ordering point).  Program points are
+    [(tid, segment)] {!node}s; the {e static happens-before skeleton}
+    is the graph over nodes with
+
+    - [Po] edges [(t, i) -> (t, i + 1)] (program order, implicit),
+    - [Fork_edge] [(t, seg of the fork) -> (u, 0)],
+    - [Join_edge] [(u, last seg of u) -> (t, seg after the join)], and
+    - [Barrier_edge] round-[k] cross edges
+      [(t1, seg before t1's k-th wait) -> (t2, seg after t2's k-th
+      wait)] for every participant pair — emitted only when the
+      barrier's wait structure is deterministic (exactly [parties]
+      participating threads, all with equal wait counts), because only
+      then does the k-th release provably pair the k-th waits.
+
+    Alongside the skeleton the walk tracks the held lockset at every
+    program point (re-entrant, like the Scheduler) and collapses the
+    accesses of each variable into {!site}s keyed by
+    [(tid, segment, kind, lockset)]. *)
+
+type node = { n_tid : Tid.t; n_seg : int }
+
+type edge_kind =
+  | Po
+  | Fork_edge
+  | Join_edge
+  | Barrier_edge of { barrier : int; round : int }
+
+type edge = { e_from : node; e_to : node; e_kind : edge_kind }
+
+type skeleton = {
+  sk_segs : (Tid.t * int) list;
+      (** segment count per thread, ascending tid *)
+  sk_edges : edge list;  (** inter-thread edges only ([Po] is implicit) *)
+}
+
+type site = {
+  s_tid : Tid.t;
+  s_seg : int;
+  s_write : bool;
+  s_locks : Lockid.t list;  (** locks held at the access, sorted *)
+  s_count : int;            (** accesses collapsed into this site *)
+}
+
+(** Verdicts, strongest first; every verdict except [May_race] carries
+    a certificate proving no interleaving can race on the variable. *)
+type verdict =
+  | Thread_local of Tid.t     (** one thread touches it *)
+  | Read_only                 (** no write anywhere *)
+  | Lock_protected of Lockid.t
+      (** some lock is held at every access site *)
+  | Fork_join_ordered
+      (** all conflicting site pairs ordered by fork/join edges alone *)
+  | Barrier_phased
+      (** ordered, but some pair needs a barrier edge *)
+  | May_race                  (** no proof found — instrument it *)
+
+(** One inter-thread step of an ordering proof.  Consecutive hops are
+    glued by program order: [h_to] and the next hop's [h_from] share a
+    tid with non-decreasing segments. *)
+type hop = { h_from : node; h_to : node; h_kind : edge_kind }
+
+type ordered_pair = {
+  op_before : node;
+  op_after : node;
+  op_hops : hop list;  (** inter-thread edges of the witness path *)
+}
+
+type certificate =
+  | Cert_thread_local of Tid.t
+  | Cert_read_only
+  | Cert_lock_protected of Lockid.t
+  | Cert_ordered of { c_barrier : bool; c_pairs : ordered_pair list }
+      (** one witness path per conflicting cross-thread site pair;
+          [c_barrier] says whether barrier edges were needed *)
+
+type entry = {
+  e_var : Var.t;
+  e_verdict : verdict;
+  e_cert : certificate option;  (** [None] iff [May_race] *)
+  e_sites : site list;
+  e_accesses : int;
+}
+
+(** {2 Linter} *)
+
+type finding_kind =
+  | Release_without_hold of Lockid.t
+  | Wait_without_monitor of Lockid.t
+  | Lock_never_released of Lockid.t
+  | Unknown_barrier of int
+  | Barrier_party_mismatch of { barrier : int; parties : int; participants : int }
+  | Barrier_round_mismatch of { barrier : int }
+  | Join_of_unknown of Tid.t
+  | Join_before_fork of Tid.t
+      (** a thread joins [u] before (in its own program order) forking it *)
+  | Duplicate_fork of Tid.t
+
+type finding = {
+  f_tid : Tid.t option;  (** offending thread, if thread-local *)
+  f_kind : finding_kind;
+}
+
+type summary = {
+  threads : int;
+  skeleton : skeleton;
+  entries : entry list;  (** ascending {!Var.compare} *)
+  findings : finding list;
+  total_accesses : int;
+  certified_accesses : int;
+}
+
+val analyze : Program.t -> summary
+
+(** {2 Queries} *)
+
+val verdict_of : summary -> Var.t -> verdict
+(** [May_race] for variables the program never touches. *)
+
+val certified : summary -> Var.t -> bool
+(** True iff the verdict is not [May_race]. *)
+
+val eliminator : granularity:Var.granularity -> summary -> Var.t -> bool
+(** The predicate the dynamic drivers skip accesses with.  Under
+    [Fine] a variable passes iff certified.  Under [Coarse] (shared
+    per-object shadow state) a variable passes only if the {e merged}
+    site set of its whole object is itself certified — per-field
+    certificates do not compose (e.g. an array with one thread-local
+    field per thread is racy to a coarse detector). *)
+
+val elimination_ratio : summary -> float
+(** certified accesses / total accesses ([0.] when no accesses). *)
+
+val check_certificate : summary -> entry -> (unit, string) result
+(** Replays a certificate against the entry's sites and the skeleton:
+    thread-locality/read-onlyness/lock membership are re-verified site
+    by site; ordering certificates must cover {e every} conflicting
+    cross-thread site pair with a hop chain whose edges all belong to
+    the skeleton and whose hops are glued by program order. *)
+
+(** {2 Rendering} *)
+
+val verdict_name : verdict -> string
+val pp_verdict : Format.formatter -> verdict -> unit
+val pp_finding : Format.formatter -> finding -> unit
+val pp_site : Format.formatter -> site -> unit
+val pp_report : Format.formatter -> summary -> unit
+(** The human-readable [ftrace lint] report. *)

@@ -1,0 +1,158 @@
+open Static
+
+let max_pairs = 8
+let max_sites = 16
+
+let node n =
+  Obs_json.obj [ ("tid", Obs_json.int n.n_tid); ("seg", Obs_json.int n.n_seg) ]
+
+let edge_kind_fields = function
+  | Po -> [ ("kind", Obs_json.str "po") ]
+  | Fork_edge -> [ ("kind", Obs_json.str "fork") ]
+  | Join_edge -> [ ("kind", Obs_json.str "join") ]
+  | Barrier_edge { barrier; round } ->
+    [ ("kind", Obs_json.str "barrier");
+      ("barrier", Obs_json.int barrier);
+      ("round", Obs_json.int round) ]
+
+let hop h =
+  Obs_json.obj
+    ([ ("from", node h.h_from); ("to", node h.h_to) ] @ edge_kind_fields h.h_kind)
+
+let take n l =
+  let rec go n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: rest -> x :: go (n - 1) rest
+  in
+  go n l
+
+let ordered_pair op =
+  Obs_json.obj
+    [ ("before", node op.op_before);
+      ("after", node op.op_after);
+      ("hops", Obs_json.arr (List.map hop op.op_hops)) ]
+
+let certificate = function
+  | Cert_thread_local t ->
+    Obs_json.obj
+      [ ("kind", Obs_json.str "thread_local"); ("tid", Obs_json.int t) ]
+  | Cert_read_only -> Obs_json.obj [ ("kind", Obs_json.str "read_only") ]
+  | Cert_lock_protected m ->
+    Obs_json.obj
+      [ ("kind", Obs_json.str "lock_protected"); ("lock", Obs_json.int m) ]
+  | Cert_ordered { c_barrier; c_pairs } ->
+    (* the full pair list can be quadratic in sites; the document
+       carries a bounded sample plus the total (the in-memory
+       certificate stays complete — [Static.check_certificate] sees
+       all of it) *)
+    Obs_json.obj
+      [ ("kind", Obs_json.str "ordered");
+        ("barrier", Obs_json.bool c_barrier);
+        ("pair_count", Obs_json.int (List.length c_pairs));
+        ("pairs", Obs_json.arr (List.map ordered_pair (take max_pairs c_pairs)))
+      ]
+
+let site s =
+  Obs_json.obj
+    [ ("tid", Obs_json.int s.s_tid);
+      ("seg", Obs_json.int s.s_seg);
+      ("write", Obs_json.bool s.s_write);
+      ("locks", Obs_json.arr (List.map Obs_json.int s.s_locks));
+      ("count", Obs_json.int s.s_count) ]
+
+let entry e =
+  Obs_json.obj
+    [ ("var", Obs_json.str (Var.to_string e.e_var));
+      ("obj", Obs_json.int e.e_var.Var.obj);
+      ("field", Obs_json.int e.e_var.Var.field);
+      ("verdict", Obs_json.str (verdict_name e.e_verdict));
+      ("accesses", Obs_json.int e.e_accesses);
+      ("site_count", Obs_json.int (List.length e.e_sites));
+      ("sites", Obs_json.arr (List.map site (take max_sites e.e_sites)));
+      ( "certificate",
+        match e.e_cert with None -> Obs_json.null | Some c -> certificate c )
+    ]
+
+let finding_kind_fields = function
+  | Release_without_hold m ->
+    [ ("kind", Obs_json.str "release_without_hold"); ("lock", Obs_json.int m) ]
+  | Wait_without_monitor m ->
+    [ ("kind", Obs_json.str "wait_without_monitor"); ("lock", Obs_json.int m) ]
+  | Lock_never_released m ->
+    [ ("kind", Obs_json.str "lock_never_released"); ("lock", Obs_json.int m) ]
+  | Unknown_barrier b ->
+    [ ("kind", Obs_json.str "unknown_barrier"); ("barrier", Obs_json.int b) ]
+  | Barrier_party_mismatch { barrier; parties; participants } ->
+    [ ("kind", Obs_json.str "barrier_party_mismatch");
+      ("barrier", Obs_json.int barrier);
+      ("parties", Obs_json.int parties);
+      ("participants", Obs_json.int participants) ]
+  | Barrier_round_mismatch { barrier } ->
+    [ ("kind", Obs_json.str "barrier_round_mismatch");
+      ("barrier", Obs_json.int barrier) ]
+  | Join_of_unknown u ->
+    [ ("kind", Obs_json.str "join_of_unknown"); ("tid", Obs_json.int u) ]
+  | Join_before_fork u ->
+    [ ("kind", Obs_json.str "join_before_fork"); ("tid", Obs_json.int u) ]
+  | Duplicate_fork u ->
+    [ ("kind", Obs_json.str "duplicate_fork"); ("tid", Obs_json.int u) ]
+
+let finding f =
+  Obs_json.obj
+    (( "tid",
+       match f.f_tid with None -> Obs_json.null | Some t -> Obs_json.int t )
+    :: finding_kind_fields f.f_kind)
+
+let verdict_counts entries =
+  let bump tbl k =
+    Hashtbl.replace tbl k (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k))
+  in
+  let tbl = Hashtbl.create 8 in
+  List.iter (fun e -> bump tbl (verdict_name e.e_verdict)) entries;
+  Obs_json.obj
+    (List.map
+       (fun k ->
+         (k, Obs_json.int (Option.value ~default:0 (Hashtbl.find_opt tbl k))))
+       [ "thread_local"; "read_only"; "lock_protected"; "fork_join_ordered";
+         "barrier_phased"; "may_race" ])
+
+let document ?(source = "") s =
+  let segments =
+    List.fold_left (fun acc (_, ns) -> acc + ns) 0 s.skeleton.sk_segs
+  in
+  Obs_json.obj
+    [ ("schema", Obs_json.str "ftrace.static/1");
+      ("source", Obs_json.str source);
+      ( "program",
+        Obs_json.obj
+          [ ("threads", Obs_json.int s.threads);
+            ("segments", Obs_json.int segments);
+            ("skeleton_edges", Obs_json.int (List.length s.skeleton.sk_edges))
+          ] );
+      ( "totals",
+        Obs_json.obj
+          [ ("variables", Obs_json.int (List.length s.entries));
+            ("accesses", Obs_json.int s.total_accesses);
+            ("certified_accesses", Obs_json.int s.certified_accesses);
+            ("elimination_ratio", Obs_json.float (elimination_ratio s));
+            ("verdicts", verdict_counts s.entries) ] );
+      ("findings", Obs_json.arr (List.map finding s.findings));
+      ("variables", Obs_json.arr (List.map entry s.entries)) ]
+
+let to_string ?source s = Obs_json.to_string (document ?source s)
+
+let write ?source ~path s =
+  let doc = document ?source s in
+  if path = "-" then begin
+    Obs_json.to_channel stdout doc;
+    print_newline ()
+  end
+  else begin
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        Obs_json.to_channel oc doc;
+        output_char oc '\n')
+  end

@@ -1,0 +1,10 @@
+(** The ["ftrace.static/1"] JSON document for [ftrace lint --json]:
+    per-variable verdicts with (bounded) certificates, lint findings,
+    and the elimination ratio. *)
+
+val document : ?source:string -> Static.summary -> Obs_json.t
+
+val to_string : ?source:string -> Static.summary -> string
+
+val write : ?source:string -> path:string -> Static.summary -> unit
+(** [path = "-"] writes to stdout. *)

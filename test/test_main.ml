@@ -21,4 +21,5 @@ let () =
       Test_stats.suite;
       Test_obs.suite;
       Test_report.suite;
+      Test_static.suite;
       Test_workloads.suite ]

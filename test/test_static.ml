@@ -1,0 +1,422 @@
+(* lib/static's contract, tested from three directions.
+
+   (1) Certificates are machine-checkable: every certificate the
+   analysis emits for every built-in workload (and for random DSL
+   programs below) must replay through Static.check_certificate, and
+   May_race entries must carry none.
+
+   (2) Sound elimination is a differential oracle: running any
+   per-shadow-key detector with Config.static_elim must leave the
+   warning AND witness lists byte-identical to an unfiltered run —
+   sequentially and under both parallel plans — because skipped
+   accesses never touch the sync state other variables depend on.
+   Dually, a certified variable can never appear in a precise
+   detector's warnings for any scheduling seed (certificates quantify
+   over all interleavings).
+
+   (3) The prefilters (Filter.keep) must forward every
+   synchronization event no matter what they drop: downstream
+   checkers rebuild the happens-before order from the sync stream. *)
+
+let warning : Warning.t Alcotest.testable =
+  Alcotest.testable Warning.pp (fun (a : Warning.t) b -> a = b)
+
+let warnings_t = Alcotest.list warning
+
+let witness : Witness.t Alcotest.testable =
+  Alcotest.testable Witness.pp (fun (a : Witness.t) b -> a = b)
+
+let witnesses_t = Alcotest.list witness
+
+let precise_detectors =
+  [ ("FastTrack", (module Fasttrack : Detector.S));
+    ("DJIT+", (module Djit_plus)); ("MultiRace", (module Multi_race)) ]
+
+let summary_of (w : Workload.t) = Static.analyze (w.program ~scale:1)
+
+(* ------------------------------------------------------------------ *)
+(* certificates                                                       *)
+
+let check_all_certificates name summary =
+  List.iter
+    (fun (e : Static.entry) ->
+      match (e.e_verdict, e.e_cert) with
+      | Static.May_race, None -> ()
+      | Static.May_race, Some _ ->
+        Alcotest.failf "%s/%s: may-race entry carries a certificate" name
+          (Var.to_string e.e_var)
+      | _, None ->
+        Alcotest.failf "%s/%s: certified verdict without a certificate"
+          name (Var.to_string e.e_var)
+      | _, Some _ -> (
+        match Static.check_certificate summary e with
+        | Ok () -> ()
+        | Error msg ->
+          Alcotest.failf "%s/%s: certificate rejected: %s" name
+            (Var.to_string e.e_var) msg))
+    summary.Static.entries
+
+let test_workload_certificates () =
+  List.iter
+    (fun (w : Workload.t) ->
+      let summary = summary_of w in
+      check_all_certificates w.name summary;
+      (* accounting: certified_accesses is the certified entries' sum *)
+      let certified_sum =
+        List.fold_left
+          (fun acc (e : Static.entry) ->
+            if e.e_verdict <> Static.May_race then acc + e.e_accesses
+            else acc)
+          0 summary.Static.entries
+      in
+      Alcotest.(check int)
+        (w.name ^ ": certified access accounting")
+        certified_sum summary.Static.certified_accesses)
+    Workloads.all
+
+(* Barrier- and fork/join-structured workloads must certify most of
+   their accesses — the whole point of the ahead-of-run pass. *)
+let test_certified_fraction () =
+  List.iter
+    (fun name ->
+      match Workloads.find name with
+      | None -> Alcotest.failf "unknown workload %s" name
+      | Some w ->
+        let r = Static.elimination_ratio (summary_of w) in
+        if r < 0.5 then
+          Alcotest.failf "%s: only %.1f%% of accesses certified" name
+            (100. *. r))
+    [ "moldyn"; "sor"; "lufact"; "sparse"; "series"; "crypt";
+      "montecarlo"; "raytracer" ]
+
+(* ------------------------------------------------------------------ *)
+(* soundness oracle                                                   *)
+
+(* A certified variable cannot race under any interleaving, so no
+   precise detector may warn on it — across scheduling seeds. *)
+let test_certified_never_warned () =
+  List.iter
+    (fun (w : Workload.t) ->
+      let summary = summary_of w in
+      List.iter
+        (fun seed ->
+          let tr = Workload.trace ~seed ~scale:1 w in
+          List.iter
+            (fun (name, d) ->
+              List.iter
+                (fun (warn : Warning.t) ->
+                  if Static.certified summary warn.Warning.x then
+                    Alcotest.failf
+                      "%s/%s (seed %d): warning on certified variable %s"
+                      w.name name seed
+                      (Var.to_string warn.Warning.x))
+                (Driver.run d tr).Driver.warnings)
+            precise_detectors)
+        [ 7; 11; 23 ])
+    Workloads.all
+
+(* Dynamically racy variables must have been left uncertified (the
+   May_race verdict is what keeps elimination sound). *)
+let test_warned_vars_are_may_race () =
+  List.iter
+    (fun (w : Workload.t) ->
+      let summary = summary_of w in
+      let tr = Workload.trace ~seed:11 ~scale:1 w in
+      List.iter
+        (fun (warn : Warning.t) ->
+          Alcotest.(check string)
+            (Printf.sprintf "%s: verdict of warned %s" w.name
+               (Var.to_string warn.Warning.x))
+            "may_race"
+            (Static.verdict_name
+               (Static.verdict_of summary warn.Warning.x)))
+        (Driver.run (module Fasttrack) tr).Driver.warnings)
+    Workloads.all
+
+(* The differential: static_elim on/off is warning- and
+   witness-identical for per-shadow-key detectors, sequentially and
+   under both parallel plans. *)
+let check_differential ?(jobs = 3) name d tr ~elim_config =
+  let base = Driver.run d tr in
+  let elim = Driver.run ~config:elim_config d tr in
+  Alcotest.check warnings_t (name ^ ": seq warnings") base.Driver.warnings
+    elim.Driver.warnings;
+  Alcotest.check witnesses_t (name ^ ": seq witnesses")
+    base.Driver.witnesses elim.Driver.witnesses;
+  (* every event is either seen by the detector or counted eliminated *)
+  Alcotest.(check int)
+    (name ^ ": events + eliminated")
+    (Trace.length tr)
+    (elim.Driver.stats.Stats.events + elim.Driver.stats.Stats.eliminated);
+  List.iter
+    (fun plan ->
+      let par = Driver.run_parallel ~config:elim_config ~jobs ~plan d tr in
+      let pname =
+        Printf.sprintf "%s [%s]" name (Shard.kind_to_string plan)
+      in
+      Alcotest.check warnings_t (pname ^ ": warnings") base.Driver.warnings
+        par.Driver.warnings;
+      Alcotest.check witnesses_t (pname ^ ": witnesses")
+        base.Driver.witnesses par.Driver.witnesses)
+    [ Shard.Static; Shard.Stealing ]
+
+let test_elimination_differential () =
+  List.iter
+    (fun (w : Workload.t) ->
+      let summary = summary_of w in
+      let skip = Static.eliminator ~granularity:Var.Fine summary in
+      let elim_config = Config.with_static_elim skip Config.default in
+      let tr = Workload.trace ~seed:11 ~scale:1 w in
+      List.iter
+        (fun (name, d) ->
+          check_differential
+            (Printf.sprintf "%s/%s" w.name name)
+            d tr ~elim_config)
+        precise_detectors)
+    Workloads.all
+
+(* Coarse shadow state shares one word per object, so the Fine
+   eliminator would be unsound there; the Coarse eliminator merges
+   each object's site sets before certifying.  Differential under
+   coarse granularity proves the composition is handled. *)
+let test_elimination_differential_coarse () =
+  List.iter
+    (fun (w : Workload.t) ->
+      let summary = summary_of w in
+      let skip = Static.eliminator ~granularity:Var.Coarse summary in
+      let coarse = { Config.default with granularity = Shadow.Coarse } in
+      let elim_config = Config.with_static_elim skip coarse in
+      let tr = Workload.trace ~seed:11 ~scale:1 w in
+      let base = Driver.run ~config:coarse (module Fasttrack) tr in
+      let elim = Driver.run ~config:elim_config (module Fasttrack) tr in
+      Alcotest.check warnings_t
+        (w.name ^ ": coarse warnings")
+        base.Driver.warnings elim.Driver.warnings;
+      Alcotest.check witnesses_t
+        (w.name ^ ": coarse witnesses")
+        base.Driver.witnesses elim.Driver.witnesses)
+    Workloads.all
+
+(* ------------------------------------------------------------------ *)
+(* linter                                                             *)
+
+let kinds_of (s : Static.summary) =
+  List.map (fun (f : Static.finding) -> f.f_kind) s.Static.findings
+
+let has_finding s k = List.mem k (kinds_of s)
+
+let x0 = Var.make ~obj:900 ~field:0
+
+let test_linter_findings () =
+  let check name program expected =
+    let s = Static.analyze program in
+    if not (has_finding s expected) then
+      Alcotest.failf "%s: expected finding missing (got %d finding(s))"
+        name
+        (List.length s.Static.findings)
+  in
+  check "release without hold"
+    (Program.make [ { Program.tid = 0; body = [ Program.Release 3 ] } ])
+    (Static.Release_without_hold 3);
+  check "lock never released"
+    (Program.make
+       [ { Program.tid = 0;
+           body = [ Program.Acquire 2; Program.Read x0 ] } ])
+    (Static.Lock_never_released 2);
+  check "wait without monitor"
+    (Program.make [ { Program.tid = 0; body = [ Program.Wait 1 ] } ])
+    (Static.Wait_without_monitor 1);
+  check "unknown barrier"
+    (Program.make [ { Program.tid = 0; body = [ Program.Barrier_wait 7 ] } ])
+    (Static.Unknown_barrier 7);
+  check "barrier party mismatch"
+    (Program.make
+       ~barriers:[ { Program.id = 0; parties = 3 } ]
+       [ { Program.tid = 0; body = [ Program.Barrier_wait 0 ] };
+         { Program.tid = 1; body = [ Program.Barrier_wait 0 ] } ])
+    (Static.Barrier_party_mismatch
+       { barrier = 0; parties = 3; participants = 2 });
+  check "barrier round mismatch"
+    (Program.make
+       ~barriers:[ { Program.id = 0; parties = 2 } ]
+       [ { Program.tid = 0;
+           body = [ Program.Barrier_wait 0; Program.Barrier_wait 0 ] };
+         { Program.tid = 1; body = [ Program.Barrier_wait 0 ] } ])
+    (Static.Barrier_round_mismatch { barrier = 0 });
+  check "join of unknown"
+    (Program.make [ { Program.tid = 0; body = [ Program.Join 9 ] } ])
+    (Static.Join_of_unknown 9);
+  check "join before fork"
+    (Program.make
+       [ { Program.tid = 0; body = [ Program.Join 1; Program.Fork 1 ] };
+         { Program.tid = 1; body = [ Program.Read x0 ] } ])
+    (Static.Join_before_fork 1);
+  (* the built-in workloads must all lint clean *)
+  List.iter
+    (fun (w : Workload.t) ->
+      match (summary_of w).Static.findings with
+      | [] -> ()
+      | f :: _ ->
+        Alcotest.failf "%s: unexpected lint finding: %s" w.name
+          (Format.asprintf "%a" Static.pp_finding f))
+    Workloads.all
+
+(* ------------------------------------------------------------------ *)
+(* prefilters forward every sync event                                *)
+
+let filter_forwards_syncs kind tr =
+  let f = Filter.create kind in
+  let ok = ref true in
+  Trace.iteri
+    (fun index e ->
+      let kept = Filter.keep f ~index e in
+      if (not (Event.is_access e)) && not kept then ok := false)
+    tr;
+  !ok
+
+let prefilters_forward_syncs tr =
+  List.for_all (fun kind -> filter_forwards_syncs kind tr) Filter.all_kinds
+  (* a Static_pre with a drop-everything predicate is the harshest
+     instance: it must still forward the sync stream untouched *)
+  && filter_forwards_syncs (Filter.Static_pre (fun _ -> true)) tr
+
+(* ------------------------------------------------------------------ *)
+(* random DSL programs                                                *)
+
+(* Trace_gen-style generator over Program.t: a main thread forks
+   workers and joins them; workers run blocks of accesses to a shared
+   variable pool — plain, lock-protected, or volatile-flanked — with
+   an optional all-worker barrier between block rounds.  Everything
+   the Scheduler accepts (locks nested, joins after forks, barrier
+   waits balanced), nothing more. *)
+let gen_program_and_seed =
+  QCheck2.Gen.(
+    let* workers = int_range 1 4 in
+    let* nvars = int_range 1 6 in
+    let* nlocks = int_range 1 3 in
+    let* rounds = int_range 1 3 in
+    let* use_barrier = if workers >= 2 then bool else return false in
+    let var i = Var.make ~obj:(100 + i) ~field:0 in
+    let block =
+      let* v = int_range 0 (nvars - 1) in
+      let* nr = int_range 0 3 in
+      let* nw = int_range 0 2 in
+      let body = Program.reads (var v) nr @ Program.writes (var v) nw in
+      let* shape = int_range 0 3 in
+      match shape with
+      | 0 | 1 -> return body
+      | 2 ->
+        let* m = int_range 0 (nlocks - 1) in
+        return (Program.locked m body)
+      | _ ->
+        let* vo = int_range 0 1 in
+        return
+          ((Program.Volatile_read vo :: body)
+          @ [ Program.Volatile_write vo ])
+    in
+    let round = list_size (int_range 1 3) block >|= List.concat in
+    let* worker_bodies =
+      list_repeat workers (list_repeat rounds round)
+    in
+    let barrier_stmt =
+      if use_barrier then [ Program.Barrier_wait 0 ] else []
+    in
+    let worker i rs =
+      { Program.tid = i + 1;
+        body = List.concat_map (fun r -> r @ barrier_stmt) rs }
+    in
+    let* prologue = int_range 0 (nvars - 1) in
+    let* epilogue = int_range 0 (nvars - 1) in
+    let main =
+      { Program.tid = 0;
+        body =
+          Program.writes (var prologue) 2
+          @ List.init workers (fun i -> Program.Fork (i + 1))
+          @ List.init workers (fun i -> Program.Join (i + 1))
+          @ Program.reads (var epilogue) 2 }
+    in
+    let barriers =
+      if use_barrier then [ { Program.id = 0; parties = workers } ]
+      else []
+    in
+    let program =
+      Program.make ~barriers (main :: List.mapi worker worker_bodies)
+    in
+    let* seed = int_range 1 1_000_000 in
+    return (program, seed))
+
+let prop_random_program (program, seed) =
+  let summary = Static.analyze program in
+  (* (a) every certificate replays *)
+  List.iter
+    (fun (e : Static.entry) ->
+      match e.Static.e_cert with
+      | None -> ()
+      | Some _ -> (
+        match Static.check_certificate summary e with
+        | Ok () -> ()
+        | Error msg ->
+          QCheck2.Test.fail_reportf "certificate rejected on %s: %s"
+            (Var.to_string e.Static.e_var)
+            msg))
+    summary.Static.entries;
+  (* (b) generated programs are well-formed: no lint findings *)
+  if summary.Static.findings <> [] then
+    QCheck2.Test.fail_reportf "unexpected lint finding on generated program";
+  let tr =
+    Scheduler.run
+      ~options:{ Scheduler.default_options with seed }
+      program
+  in
+  (* (c) sound elimination differential on the scheduled trace *)
+  let skip = Static.eliminator ~granularity:Var.Fine summary in
+  let base = Driver.run (module Fasttrack) tr in
+  let elim =
+    Driver.run
+      ~config:(Config.with_static_elim skip Config.default)
+      (module Fasttrack) tr
+  in
+  if base.Driver.warnings <> elim.Driver.warnings then
+    QCheck2.Test.fail_reportf "warnings differ under static elimination";
+  if base.Driver.witnesses <> elim.Driver.witnesses then
+    QCheck2.Test.fail_reportf "witnesses differ under static elimination";
+  (* (d) certified variables never warn *)
+  List.iter
+    (fun (warn : Warning.t) ->
+      if Static.certified summary warn.Warning.x then
+        QCheck2.Test.fail_reportf "warning on certified variable %s"
+          (Var.to_string warn.Warning.x))
+    base.Driver.warnings;
+  (* (e) every prefilter forwards the whole sync stream *)
+  prefilters_forward_syncs tr
+
+let qtest_programs =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:150
+       ~name:"random programs: certificates check, elimination sound, \
+              prefilters forward syncs"
+       gen_program_and_seed prop_random_program)
+
+(* The same sync-forwarding law over raw random traces (no program
+   needed for the dynamic prefilters). *)
+let qtest_trace_prefilters =
+  Helpers.qtest ~count:150 "prefilters forward sync events (random traces)"
+    prefilters_forward_syncs
+
+let suite =
+  ( "static",
+    [ Alcotest.test_case "certificates on all workloads" `Quick
+        test_workload_certificates;
+      Alcotest.test_case "certified fraction on structured workloads"
+        `Quick test_certified_fraction;
+      Alcotest.test_case "certified variables never warned" `Slow
+        test_certified_never_warned;
+      Alcotest.test_case "warned variables are may-race" `Quick
+        test_warned_vars_are_may_race;
+      Alcotest.test_case "elimination differential (seq + both plans)"
+        `Slow test_elimination_differential;
+      Alcotest.test_case "elimination differential (coarse)" `Quick
+        test_elimination_differential_coarse;
+      Alcotest.test_case "linter findings" `Quick test_linter_findings;
+      qtest_programs;
+      qtest_trace_prefilters ] )

@@ -108,7 +108,7 @@ let test_fields_alist () =
   in
   Alcotest.(check int) "events" 7 (get "events");
   Alcotest.(check int) "peak_words" 33 (get "peak_words");
-  Alcotest.(check int) "field count" 9 (List.length fields)
+  Alcotest.(check int) "field count" 10 (List.length fields)
 
 let suite =
   ( "stats",
