@@ -46,7 +46,10 @@ let run ~scale ~repeat () =
         (* The certificates come from the program at the same scale the
            trace was generated from; the interleaving seed does not
            affect the program structure. *)
-        let summary = Static.analyze (w.Workload.program ~scale) in
+        let summary =
+          Static_cache.analyze ~workload:w.Workload.name ~scale (fun () ->
+              w.Workload.program ~scale)
+        in
         let skip = Static.eliminator ~granularity:Var.Fine summary in
         let base = Bench_common.base_time ~repeat tr in
         let r0, base_s = Bench_common.measure ~repeat d tr in
@@ -73,7 +76,8 @@ let run ~scale ~repeat () =
               slowdown = Bench_common.slowdown elapsed base;
               speedup = (if static_elim then speedup else 1.0);
               warnings = List.length r.Driver.warnings;
-              imbalance = 1.0; static_elim; dropped_frac }
+              imbalance = 1.0; static_elim; dropped_frac;
+              prefix_wall = 0.; prefix_frac = 0.; amdahl_ceiling = 0. }
         in
         record ~static_elim:false ~elapsed:base_s ~dropped_frac:0. r0;
         record ~static_elim:true ~elapsed:elim_s ~dropped_frac r1;

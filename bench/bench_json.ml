@@ -13,6 +13,9 @@ type record = {
   imbalance : float;
   static_elim : bool;
   dropped_frac : float;
+  prefix_wall : float;
+  prefix_frac : float;
+  amdahl_ceiling : float;
 }
 
 let throughput ~events ~elapsed =
@@ -41,15 +44,33 @@ let escape s =
   Buffer.contents b
 
 let record_to_json r =
+  (* The prefix/Amdahl fields only mean something for stealing-plan
+     rows; elsewhere they are zero and omitted to keep the other
+     experiments' records unchanged. *)
+  let prefix_fields =
+    if r.prefix_wall > 0. || r.prefix_frac > 0. || r.amdahl_ceiling > 0.
+    then
+      Printf.sprintf
+        ",\"prefix_wall\":%.6f,\"prefix_frac\":%.4f,\"amdahl_ceiling\":%.3f"
+        r.prefix_wall r.prefix_frac r.amdahl_ceiling
+    else ""
+  in
   Printf.sprintf
     "{\"experiment\":\"%s\",\"workload\":\"%s\",\"tool\":\"%s\",\
      \"jobs\":%d,\"plan\":\"%s\",\"events\":%d,\"elapsed_s\":%.6f,\
      \"throughput\":%.1f,\
      \"slowdown\":%.3f,\"speedup\":%.3f,\"warnings\":%d,\
-     \"imbalance\":%.3f,\"static_elim\":%b,\"dropped_frac\":%.4f}"
+     \"imbalance\":%.3f,\"static_elim\":%b,\"dropped_frac\":%.4f%s}"
     (escape r.experiment) (escape r.workload) (escape r.tool) r.jobs
     (escape r.plan) r.events r.elapsed r.throughput r.slowdown r.speedup
-    r.warnings r.imbalance r.static_elim r.dropped_frac
+    r.warnings r.imbalance r.static_elim r.dropped_frac prefix_fields
+
+(* Honesty marker: set when the harness ran parallel experiments on a
+   host below the 4-core floor with --allow-few-cores.  Readers (CI,
+   README refresh scripts) must treat such speedup cells as
+   unmeasured. *)
+let few_cores_override = ref false
+let set_few_cores_override v = few_cores_override := v
 
 let write ~scale ~repeat path =
   let oc = open_out path in
@@ -57,11 +78,13 @@ let write ~scale ~repeat path =
     ~finally:(fun () -> close_out_noerr oc)
     (fun () ->
       Printf.fprintf oc
-        "{\"host\":{\"cores\":%d,\"ocaml\":\"%s\",\"word_size\":%d},\n\
+        "{\"host\":{\"cores\":%d,\"ocaml\":\"%s\",\"word_size\":%d%s},\n\
         \ \"scale\":%d,\"repeat\":%d,\n\
         \ \"records\":[\n"
         (Domain.recommended_domain_count ())
-        (escape Sys.ocaml_version) Sys.word_size scale repeat;
+        (escape Sys.ocaml_version) Sys.word_size
+        (if !few_cores_override then ",\"few_cores_override\":true" else "")
+        scale repeat;
       let rs = recorded () in
       List.iteri
         (fun i r ->

@@ -43,6 +43,20 @@ type record = {
       (** fraction of the trace's events eliminated before the
           detector ([Stats.eliminated / trace length]); [0.] when
           [static_elim] is false *)
+  prefix_wall : float;
+      (** wall seconds of the stealing plan's (parallelized) prefix —
+          [Driver.result.prefix_wall] of the best run; [0.] for rows
+          with no such phase (seq, static plan, other experiments),
+          and the field is then omitted from the JSON *)
+  prefix_frac : float;
+      (** [prefix_wall / wall] of the same run — the measured Amdahl
+          serial fraction [s] of that cell *)
+  amdahl_ceiling : float;
+      (** the speedup ceiling [1 / (s1 + (1 - s1) / jobs)] implied by
+          the {e jobs = 1} stealing row's measured [prefix_frac] [s1]
+          of the same workload: what this cell could reach at best if
+          the prefix were the only serial part.  [0.] where
+          inapplicable. *)
 }
 
 val throughput : events:int -> elapsed:float -> float
@@ -57,6 +71,13 @@ val recorded : unit -> record list
 
 val reset : unit -> unit
 
+val set_few_cores_override : bool -> unit
+(** Mark the run as having forced parallel experiments on a
+    sub-4-core host (the [--allow-few-cores] escape hatch): {!write}
+    then stamps ["few_cores_override": true] into the host header so
+    no reader mistakes the speedup cells for multicore measurements. *)
+
 val write : scale:int -> repeat:int -> string -> unit
-(** [write ~scale ~repeat path] dumps host metadata and every
+(** [write ~scale ~repeat path] dumps host metadata — core count,
+    OCaml version, the few-cores marker when set — and every
     accumulated record to [path]. *)

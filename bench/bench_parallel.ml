@@ -36,6 +36,23 @@ let best_wall ~repeat f =
   in
   go (max 1 repeat) infinity
 
+(* Like [best_wall] but keeping the fastest run's result alongside its
+   wall time, so the recorded prefix accounting belongs to the same
+   run the elapsed cell reports rather than to an arbitrary one. *)
+let best_run ~repeat f =
+  let rec go n best =
+    if n = 0 then best
+    else
+      let r, t = Par_run.wall_time f in
+      let best =
+        match best with Some (_, bt) when bt <= t -> best | _ -> Some (r, t)
+      in
+      go (n - 1) best
+  in
+  match go (max 1 repeat) None with
+  | Some x -> x
+  | None -> assert false
+
 let same_warnings (a : Warning.t list) (b : Warning.t list) = a = b
 
 let run ~scale ~repeat () =
@@ -82,7 +99,11 @@ let run ~scale ~repeat () =
             slowdown = Bench_common.slowdown seq_elapsed base;
             speedup = 1.0;
             warnings = List.length seq_result.Driver.warnings;
-            imbalance = 1.0; static_elim = false; dropped_frac = 0. };
+            imbalance = 1.0; static_elim = false; dropped_frac = 0.;
+            prefix_wall = 0.; prefix_frac = 0.; amdahl_ceiling = 0. };
+        (* the jobs=1 stealing row's measured serial fraction: the [s]
+           every later stealing cell's Amdahl ceiling is derived from *)
+        let stealing_s1 = ref None in
         (* one measured row per (jobs, plan); the printed table shows
            the default (stealing) columns, the JSON carries both *)
         let measure ~jobs plan =
@@ -98,12 +119,21 @@ let run ~scale ~repeat () =
                   sequential — precision regression"
                  w.name jobs
                  (Shard.kind_to_string plan));
-          let elapsed =
-            best_wall ~repeat (fun () ->
-                ignore (Driver.run_parallel ~jobs ~plan d tr))
+          let best, elapsed =
+            best_run ~repeat (fun () -> Driver.run_parallel ~jobs ~plan d tr)
           in
           let speedup =
             if elapsed > 0. then seq_elapsed /. elapsed else 0.
+          in
+          let prefix_wall = best.Driver.prefix_wall in
+          let prefix_frac = Driver.prefix_frac best in
+          (if plan = Shard.Stealing && jobs = 1 then
+             stealing_s1 := Some prefix_frac);
+          let amdahl_ceiling =
+            match (plan, !stealing_s1) with
+            | Shard.Stealing, Some s1 ->
+              1. /. (s1 +. ((1. -. s1) /. float_of_int (max 1 jobs)))
+            | _ -> 0.
           in
           Bench_json.add
             { Bench_json.experiment = "parallel"; workload = w.name;
@@ -114,7 +144,8 @@ let run ~scale ~repeat () =
               speedup;
               warnings = List.length par_result.Driver.warnings;
               imbalance = par_result.Driver.imbalance;
-              static_elim = false; dropped_frac = 0. };
+              static_elim = false; dropped_frac = 0.;
+              prefix_wall; prefix_frac; amdahl_ceiling };
           (elapsed, speedup)
         in
         let cells =

@@ -103,7 +103,8 @@ let run ~scale ~repeat () =
               speedup = 1.0;
               warnings =
                 Option.value ~default:0 (List.assoc_opt tool r.warnings);
-              imbalance = 1.0; static_elim = false; dropped_frac = 0. })
+              imbalance = 1.0; static_elim = false; dropped_frac = 0.;
+              prefix_wall = 0.; prefix_frac = 0.; amdahl_ceiling = 0. })
         r.slowdowns)
     rows;
   render rows;

@@ -34,10 +34,20 @@ let experiments :
     ("elimination", Bench_elimination.run);
     ("micro", fun ~scale:_ ~repeat:_ () -> Bench_micro.run ()) ]
 
+(* Experiments whose headline numbers are multicore speedups: running
+   them on a starved host produces cells that look like measurements
+   but are noise (the committed BENCH_parallel.json was once exactly
+   that — every jobs>1 cell < 1x on a 1-core container).  Refuse below
+   the floor unless the caller owns the decision with
+   --allow-few-cores; the override is stamped into the JSON host
+   header so downstream readers can tell. *)
+let parallel_experiments = [ "parallel" ]
+let min_cores = 4
+
 let usage () =
   prerr_endline
     "usage: main.exe [--scale N] [--repeat N] [--json FILE] \
-     [--metrics FILE] [experiment ...]";
+     [--metrics FILE] [--allow-few-cores] [experiment ...]";
   Printf.eprintf "experiments: %s (default: all)\n"
     (String.concat " " (List.map fst experiments));
   exit 2
@@ -47,6 +57,7 @@ let () =
   let repeat = ref 3 in
   let json = ref None in
   let metrics = ref None in
+  let allow_few_cores = ref false in
   let chosen = ref [] in
   let rec parse = function
     | [] -> ()
@@ -62,6 +73,9 @@ let () =
     | "--metrics" :: path :: rest ->
       metrics := Some path;
       parse rest
+    | "--allow-few-cores" :: rest ->
+      allow_few_cores := true;
+      parse rest
     | name :: rest when List.mem_assoc name experiments ->
       chosen := name :: !chosen;
       parse rest
@@ -73,6 +87,27 @@ let () =
     | [] -> List.map fst experiments
     | names -> names
   in
+  let cores = Domain.recommended_domain_count () in
+  let wants_parallel =
+    List.exists (fun n -> List.mem n parallel_experiments) chosen
+  in
+  if wants_parallel && cores < min_cores then
+    if !allow_few_cores then begin
+      Bench_json.set_few_cores_override true;
+      Printf.eprintf
+        "warning: running parallel experiments on %d core(s) (< %d); \
+         speedup cells are NOT multicore measurements (host header \
+         carries few_cores_override)\n"
+        cores min_cores
+    end
+    else begin
+      Printf.eprintf
+        "error: parallel experiments need >= %d cores, host has %d; \
+         pass --allow-few-cores to run anyway (results will be marked \
+         as unmeasured)\n"
+        min_cores cores;
+      exit 3
+    end;
   Printf.printf
     "FastTrack reproduction benchmarks (scale %d, repeat %d)\n\n" !scale
     !repeat;

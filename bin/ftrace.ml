@@ -99,7 +99,10 @@ let config_of granularity = { Config.default with granularity }
    no lock-scoping or thread-structure left to analyze. *)
 let static_summary spec =
   match Workloads.find spec with
-  | Some w -> Ok (Static.analyze (w.Workload.program ~scale:1))
+  | Some w ->
+    Ok
+      (Static_cache.analyze ~workload:w.Workload.name ~scale:1 (fun () ->
+           w.Workload.program ~scale:1))
   | None ->
     Error
       (Printf.sprintf
@@ -780,7 +783,10 @@ let lint name scale json fail_on_finding =
       name;
     1
   | Some w ->
-    let summary = Static.analyze (w.Workload.program ~scale) in
+    let summary =
+      Static_cache.analyze ~workload:w.Workload.name ~scale (fun () ->
+          w.Workload.program ~scale)
+    in
     (* --json - owns stdout (CI pipes it into a parser), so the human
        report steps aside. *)
     if json <> Some "-" then Format.printf "%a@." Static.pp_report summary;

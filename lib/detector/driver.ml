@@ -14,11 +14,14 @@ type result = {
   elapsed : float;
   cpu : float;
   wall : float;
+  prefix_wall : float;
   shards : shard_info array;
   imbalance : float;
   plan_kind : Shard.kind;
   slots : int;
 }
+
+let prefix_frac r = if r.wall > 0. then r.prefix_wall /. r.wall else 0.
 
 let time f =
   let start = Sys.time () in
@@ -99,6 +102,7 @@ let run_packed ?(obs = Obs.disabled) ?skip packed tr =
     elapsed = cpu;
     cpu;
     wall;
+    prefix_wall = 0.;
     shards = [||];
     imbalance = 1.0;
     plan_kind = Shard.Static;
@@ -201,6 +205,7 @@ let merge_shards (module D : Detector.S) shard_results ~jobs ~cpu ~wall =
     elapsed = wall;
     cpu;
     wall;
+    prefix_wall = 0.;
     shards;
     imbalance;
     plan_kind = Shard.Static;
@@ -299,26 +304,21 @@ let run_stealing ?(config = Config.default) ~jobs d tr =
   Obs.gc_sample obs;
   let cpu0 = Sys.time () in
   let result, wall =
-    (* Unlike the static path, the serial prefix (timeline + plan) is
-       part of the measured wall time: it is real Amdahl cost of this
-       plan, and charging it keeps the jobs-sweep speedups honest. *)
+    (* Unlike the static path, the prefix (routing + timeline) is part
+       of the measured wall time: it is real Amdahl cost of this plan,
+       and charging it keeps the jobs-sweep speedups honest. *)
     Par_run.wall_time (fun () ->
-        (* One trace pass for the whole serial prefix: the plan's
-           single pass also collects the non-access indices and the
-           thread count the timeline build replays from. *)
-        let plan, prepass =
-          (* Under the stealing plan, elimination happens at routing
-             time: certified accesses never even enter a work item. *)
-          Obs.span obs "plan" (fun () ->
-              Shard.plan_stealing_prepass ?skip:config.Config.static_elim
-                ~jobs tr)
+        (* The prefix is itself parallel now (segmented routing with a
+           pipelined timeline build, see Prefix): what remains serial
+           is the sync replay — ~3% of the trace — and the stitch.
+           Under the stealing plan, elimination happens at routing
+           time: certified accesses never even enter a work item. *)
+        let prefix =
+          Prefix.build ~obs ?skip:config.Config.static_elim ~jobs tr
         in
-        let timeline =
-          Obs.span obs "timeline" (fun () ->
-              Sync_timeline.build_indexed
-                ~nthreads:prepass.Shard.pp_nthreads
-                ~sync_indices:prepass.Shard.pp_sync_indices tr)
-        in
+        let plan = prefix.Prefix.plan in
+        let prepass = prefix.Prefix.prepass in
+        let timeline = prefix.Prefix.timeline in
         timeline_gauges obs (Sync_timeline.stats timeline);
         (* Empty items (slots owning no live object) are dropped, not
            scheduled; LPT order is preserved. *)
@@ -394,6 +394,7 @@ let run_stealing ?(config = Config.default) ~jobs d tr =
                 elapsed = wall;
                 cpu;
                 wall;
+                prefix_wall = prefix.Prefix.wall;
                 shards;
                 imbalance;
                 plan_kind = Shard.Stealing;
@@ -405,7 +406,10 @@ let run_stealing ?(config = Config.default) ~jobs d tr =
   finish_metrics obs result.stats ~wall;
   if Obs.is_enabled obs then begin
     Obs.set_gauge obs "shard.slots" (float_of_int result.slots);
-    Obs.set_gauge obs "shard.imbalance" result.imbalance
+    Obs.set_gauge obs "shard.imbalance" result.imbalance;
+    (* The Amdahl accounting the bench harness and CI gate read:
+       absolute prefix wall and its fraction of the run. *)
+    Obs.set_gauge obs "prefix.frac" (prefix_frac result)
   end;
   result
 
@@ -454,6 +458,8 @@ let result_json ?(source = "") r =
       ("witnesses", Obs_json.int (List.length r.witnesses));
       ("cpu_s", Obs_json.float r.cpu);
       ("wall_s", Obs_json.float r.wall);
+      ("prefix_wall_s", Obs_json.float r.prefix_wall);
+      ("prefix_frac", Obs_json.float (prefix_frac r));
       ("imbalance", Obs_json.float r.imbalance);
       ("shards", Obs_json.arr (Array.to_list (Array.map shard_info_json r.shards)));
       ("stats",

@@ -47,6 +47,12 @@ type result = {
           process CPU clock, which on Linux sums across the region's
           domains — detector work, not wall x jobs. *)
   wall : float;  (** wall-clock seconds of the analysis region *)
+  prefix_wall : float;
+      (** wall seconds of the stealing plan's prefix (segmented
+          routing + pipelined timeline build, see [Prefix]) — the
+          Amdahl accounting the bench harness exports as
+          [prefix_wall]/[prefix_frac]; [0.] for sequential and
+          static-plan runs, which have no such phase *)
   shards : shard_info array;
       (** one entry per shard (static) or per worker (stealing) for
           {!run_parallel}; [[||]] for {!run} *)
@@ -123,12 +129,20 @@ val run_parallel :
     Load-balance accounting rides along for free: [shards] carries
     per-shard (static) or per-worker (stealing) access counts, wall
     time and warning counts, and [imbalance] summarizes them.  With
-    observability enabled the run additionally records [timeline] /
-    [plan] / [parallel.region] / per-task / [merge] spans on one
-    wall-clock timeline, plus [timeline.*] and [shard.*] gauges. *)
+    observability enabled the run additionally records [prefix] (with
+    [prefix.route] / [prefix.timeline]) / [parallel.region] /
+    per-task / [merge] spans on one wall-clock timeline, plus
+    [timeline.*], [shard.*] and [prefix.*] gauges — the latter making
+    the serial-prefix fraction visible in the [ftrace.obs/1]
+    document. *)
 
 val default_jobs : unit -> int
 (** The runtime's [Domain.recommended_domain_count ()]. *)
+
+val prefix_frac : result -> float
+(** [prefix_wall / wall] ([0.] for a zero-wall run): the measured
+    serial-prefix fraction, the [s] of the Amdahl ceiling
+    [1 / (s + (1-s)/jobs)] the bench harness derives per cell. *)
 
 (** {2 Metrics export} *)
 

@@ -106,6 +106,55 @@ val plan_stealing :
 (** [fst (plan_stealing_prepass ...)], for callers that build their
     own timeline (tests). *)
 
+(** {2 Segmented routing (the parallel prefix)}
+
+    {!plan_stealing_prepass} is a single sequential trace pass — the
+    serial prefix of a stealing run, and its Amdahl term.  Routing is
+    a {e pure per-event function} ([x.obj mod slots] for accesses,
+    "push to the sync run" for everything else), so the pass segments
+    trivially: {!route_segment} routes one half-open trace range into
+    private per-slot index runs, and {!concat_routes} stitches any
+    partition's runs back — in segment order — into {e exactly} the
+    serial pass's plan and prepass (same item index sequences, same
+    LPT order, same sync indices, same thread count; asserted against
+    the serial path in [test/test_prefix.ml]).  [Prefix.build] runs
+    the segments on separate domains and pipelines the sync-timeline
+    build against routing. *)
+
+type segment_route
+(** One segment's routing byproduct: per-slot index runs, the
+    segment's sync-event run, max tid and elimination count. *)
+
+val route_segment :
+  ?factor:int -> ?skip:(Var.t -> bool) -> jobs:int -> lo:int -> hi:int ->
+  Trace.t -> segment_route
+(** Route the events of [[lo, hi)] exactly as the serial pass would
+    ([factor]/[skip] as in {!plan_stealing_prepass}).  Pure function
+    of the segment: safe to run concurrently for disjoint segments
+    ([skip] must itself be safe for concurrent calls — the certified
+    sets built by [Static] are read-only hash tables, which are). *)
+
+val route_bounds : segment_route -> int * int
+(** The [(lo, hi)] range the segment covered. *)
+
+val route_max_tid : segment_route -> int
+(** Largest tid mentioned in the segment (0 if none). *)
+
+val route_sync_length : segment_route -> int
+(** Number of non-access events in the segment. *)
+
+val route_iter_sync : segment_route -> (int -> unit) -> unit
+(** Iterate the segment's non-access event indices in trace order —
+    the pipelined timeline builder's input, copy-free. *)
+
+val concat_routes :
+  jobs:int -> segment_route array -> Trace.t -> plan * prepass
+(** Stitch the segments' runs (given in segment order, covering the
+    trace) into the stealing plan and prepass.  Equal to
+    [plan_stealing_prepass]'s result for {e any} segmentation.  All
+    routes must share one [factor]/[jobs] (hence slot count).
+    @raise Invalid_argument on an empty route array. *)
+
 val default_steal_factor : int
 (** Items per worker (8): enough slack for dynamic balancing while
     keeping per-item detector-instance overhead negligible. *)

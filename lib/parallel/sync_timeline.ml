@@ -195,45 +195,88 @@ let handle_sync_event m ~index e =
       threads
   | Event.Txn_begin _ | Event.Txn_end _ -> ()
 
-let build_indexed ~nthreads ~sync_indices tr =
-  let nthreads = max 1 nthreads in
-  let m =
-    { m_clocks =
-        Array.init nthreads (fun t ->
-            let v = VC.create () in
-            VC.inc v t;
-            v);
-      m_locks = Hashtbl.create 16;
-      m_volatiles = Hashtbl.create 8;
-      cps = Array.make nthreads [];
-      held = Array.make nthreads [];
-      held_cps = Array.make nthreads [];
-      held_n = Array.make nthreads 0;
-      barriers_rev = [];
-      intern = Hashtbl.create 64;
-      c_sync = 0;
-      c_other = 0;
-      c_vc_ops = 0;
-      c_vc_allocs = nthreads;
-      c_checkpoints = 0;
-      c_snapshots = 0;
-      c_snapshot_hits = 0;
-      c_words = 0 }
-  in
-  (* The initial state σ₀ = (λt. inc_t(⊥V), …): one checkpoint per
-     thread at index -1, so every lookup finds a state. *)
-  for t = 0 to nthreads - 1 do
-    checkpoint m ~index:(-1) t
-  done;
-  Array.iter
-    (fun index ->
-      let e = Trace.get tr index in
-      if Event.is_sync e then begin
-        m.c_sync <- m.c_sync + 1;
-        handle_sync_event m ~index e
-      end
-      else m.c_other <- m.c_other + 1)
-    sync_indices;
+(* -- incremental builder ------------------------------------------- *)
+
+(* The machine starts with zero threads and grows on first touch:
+   [ensure_thread m t] creates every missing thread up to [t] —
+   contiguously, so tid ranges stay dense exactly as the fixed-size
+   build allocated them — giving each new thread its initial clock
+   inc_t(⊥V) and its σ₀ checkpoint at index -1.  Growth is exact (no
+   doubling): it happens at most once per distinct tid, and thread
+   counts are tiny next to trace lengths.
+
+   Stats equality with the fixed-size build: totals are sums, so only
+   interning *hit patterns* could diverge with creation order — and
+   they cannot: an initial snapshot's content (1 at t, 0 elsewhere) is
+   reachable only by thread t's own unchanged clock (any other thread
+   u's clock has u-component >= 1), so every initial interning is a
+   miss and every later lookup hits/misses identically.  Asserted
+   stats-equal against the one-shot build in test/test_prefix.ml. *)
+type builder = machine
+
+let ensure_thread (m : machine) t =
+  let n = Array.length m.m_clocks in
+  if t >= n then begin
+    let n' = t + 1 in
+    let grow a fill = Array.init n' (fun u -> if u < n then a.(u) else fill u) in
+    m.m_clocks <-
+      grow m.m_clocks (fun u ->
+          let v = VC.create () in
+          VC.inc v u;
+          v);
+    m.c_vc_allocs <- m.c_vc_allocs + (n' - n);
+    m.cps <- grow m.cps (fun _ -> []);
+    m.held <- grow m.held (fun _ -> []);
+    m.held_cps <- grow m.held_cps (fun _ -> []);
+    m.held_n <- grow m.held_n (fun _ -> 0);
+    (* σ₀ checkpoints at index -1, so every lookup finds a state. *)
+    for u = n to n' - 1 do
+      checkpoint m ~index:(-1) u
+    done
+  end
+
+let builder_create () : builder =
+  { m_clocks = [||];
+    m_locks = Hashtbl.create 16;
+    m_volatiles = Hashtbl.create 8;
+    cps = [||];
+    held = [||];
+    held_cps = [||];
+    held_n = [||];
+    barriers_rev = [];
+    intern = Hashtbl.create 64;
+    c_sync = 0;
+    c_other = 0;
+    c_vc_ops = 0;
+    c_vc_allocs = 0;
+    c_checkpoints = 0;
+    c_snapshots = 0;
+    c_snapshot_hits = 0;
+    c_words = 0 }
+
+let event_max_tid e =
+  match e with
+  | Event.Read { t; _ } | Event.Write { t; _ }
+  | Event.Acquire { t; _ } | Event.Release { t; _ }
+  | Event.Volatile_read { t; _ } | Event.Volatile_write { t; _ }
+  | Event.Txn_begin { t } | Event.Txn_end { t } -> t
+  | Event.Fork { t; u } | Event.Join { t; u } -> max t u
+  | Event.Barrier_release { threads } -> List.fold_left max 0 threads
+
+let feed (m : builder) tr ~index =
+  let e = Trace.get tr index in
+  if Event.is_sync e then begin
+    ensure_thread m (event_max_tid e);
+    m.c_sync <- m.c_sync + 1;
+    handle_sync_event m ~index e
+  end
+  else m.c_other <- m.c_other + 1
+
+let finalize (m : builder) ~nthreads =
+  let nthreads = max (max 1 nthreads) (Array.length m.m_clocks) in
+  (* Pad threads never touched by a sync event (they exist in the
+     trace via accesses or txn markers only) with their σ₀ state. *)
+  ensure_thread m (nthreads - 1);
   { nthreads;
     clocks = Array.map (fun rev -> Array.of_list (List.rev rev)) m.cps;
     locks =
@@ -251,6 +294,13 @@ let build_indexed ~nthreads ~sync_indices tr =
         snapshots = m.c_snapshots;
         snapshot_hits = m.c_snapshot_hits;
         words = m.c_words } }
+
+let build_indexed ~nthreads ~sync_indices tr =
+  let m = builder_create () in
+  (* All threads exist up front, so the replay below never grows. *)
+  ensure_thread m (max 1 nthreads - 1);
+  Array.iter (fun index -> feed m tr ~index) sync_indices;
+  finalize m ~nthreads
 
 (* Standalone build: one collecting pass (non-access indices + thread
    count), then the indexed replay.  The sharded driver avoids even

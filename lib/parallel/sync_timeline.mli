@@ -65,6 +65,35 @@ val build_indexed :
     byproduct so the stealing run's serial prefix reads the trace
     exactly once.  [nthreads] must cover every tid in the trace. *)
 
+(** {2 Incremental builder (the pipelined prefix)}
+
+    [Prefix.build] overlaps the timeline build with segmented routing:
+    a dedicated builder domain {!feed}s each segment's sync-event run
+    as it is published, in segment order — the same index sequence
+    {!build_indexed} replays, so the result (checkpoints, interning,
+    cursor semantics {e and} every [stats] counter) is identical to
+    the one-shot build's; asserted in [test/test_prefix.ml].  Threads
+    are created on first touch and padded at {!finalize}, because the
+    trace's thread count is only known once routing has finished.
+
+    A builder is single-domain mutable state: feed it from one domain
+    at a time, and hand it across domains only through a
+    synchronizing operation (the prefix hands it through
+    [Domain.join]). *)
+
+type builder
+
+val builder_create : unit -> builder
+
+val feed : builder -> Trace.t -> index:int -> unit
+(** Replay the (non-access) event at [index].  Indices must arrive in
+    increasing order across all feeds. *)
+
+val finalize : builder -> nthreads:int -> t
+(** Freeze into an immutable timeline covering [max nthreads seen]
+    threads; threads no sync event touched get their initial σ₀
+    checkpoint, exactly as {!build_indexed} records them. *)
+
 val stats : t -> stats
 val thread_count : t -> int
 

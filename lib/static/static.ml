@@ -61,6 +61,7 @@ type finding_kind =
   | Join_of_unknown of Tid.t
   | Join_before_fork of Tid.t
   | Duplicate_fork of Tid.t
+  | Lock_order_cycle of { locks : Lockid.t list }
 
 type finding = {
   f_tid : Tid.t option;
@@ -301,6 +302,25 @@ let analyze (p : Program.t) =
     end
   in
   Hashtbl.iter (fun u c -> if c > 1 then finding (Duplicate_fork u)) fork_count;
+  (* Lock-order graph: an edge m1 -> m2 when some thread acquires m2
+     (or re-acquires it inside a wait) while holding m1.  Edges carry
+     their contributing threads: a cycle walked entirely by one thread
+     cannot deadlock — its acquisitions are sequential in program
+     order — so only cycles with two or more contributors alarm. *)
+  let lock_edges : (Lockid.t * Lockid.t, (Tid.t, unit) Hashtbl.t) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let lock_edge ~tid m1 m2 =
+    let tids =
+      match Hashtbl.find_opt lock_edges (m1, m2) with
+      | Some h -> h
+      | None ->
+        let h = Hashtbl.create 4 in
+        Hashtbl.replace lock_edges (m1, m2) h;
+        h
+    in
+    Hashtbl.replace tids tid ()
+  in
   (* Per-variable accumulators: fine key -> (var, site table, count). *)
   let vars :
       (int, Var.t * ((int * int * bool * int list), int ref) Hashtbl.t * int ref)
@@ -354,6 +374,7 @@ let analyze (p : Program.t) =
               record_access x ~tid ~seg:!seg ~write:true !cur_locks
             | Program.Acquire m ->
               let c = Option.value ~default:0 (Hashtbl.find_opt held m) in
+              if c = 0 then List.iter (fun h -> lock_edge ~tid h m) !cur_locks;
               Hashtbl.replace held m (c + 1);
               if c = 0 then recompute ()
             | Program.Release m ->
@@ -369,6 +390,14 @@ let analyze (p : Program.t) =
                  the monitor going in *)
               if Option.value ~default:0 (Hashtbl.find_opt held m) = 0 then
                 finding ~tid (Wait_without_monitor m)
+              else
+                (* the wakeup re-acquires [m] while every other held
+                   lock stays held — the same ordering constraint as a
+                   fresh acquisition *)
+                List.iter
+                  (fun h ->
+                    if not (Lockid.equal h m) then lock_edge ~tid h m)
+                  !cur_locks
             | Program.Fork u ->
               Hashtbl.replace forked_here u ();
               forks := (u, !seg) :: !forks;
@@ -396,6 +425,97 @@ let analyze (p : Program.t) =
           held;
         (tid, !seg + 1, List.rev !forks, List.rev !joins, List.rev !bwaits))
       threads
+  in
+  (* Deadlock-cycle lint: Tarjan SCCs over the lock-order graph.  Any
+     SCC with two or more locks contains a cycle (no self-loops: a
+     re-entrant acquisition adds no edge), and inside one SCC every
+     internal edge lies on a cycle, so the contributing threads of the
+     internal edges are exactly the threads that can interleave into
+     the deadlock. *)
+  let () =
+    let ids = Hashtbl.create 16 in
+    let locks_rev = ref [] in
+    let nlocks = ref 0 in
+    let id_of m =
+      match Hashtbl.find_opt ids m with
+      | Some i -> i
+      | None ->
+        let i = !nlocks in
+        Hashtbl.replace ids m i;
+        locks_rev := m :: !locks_rev;
+        incr nlocks;
+        i
+    in
+    Hashtbl.iter
+      (fun (a, b) _ ->
+        ignore (id_of a);
+        ignore (id_of b))
+      lock_edges;
+    let n = !nlocks in
+    let lock_of = Array.of_list (List.rev !locks_rev) in
+    let succs = Array.make (max 1 n) [] in
+    Hashtbl.iter
+      (fun (a, b) _ ->
+        let ia = id_of a in
+        succs.(ia) <- id_of b :: succs.(ia))
+      lock_edges;
+    let index = Array.make (max 1 n) (-1) in
+    let low = Array.make (max 1 n) 0 in
+    let on_stack = Array.make (max 1 n) false in
+    let stack = ref [] in
+    let counter = ref 0 in
+    let sccs = ref [] in
+    let rec strong v =
+      index.(v) <- !counter;
+      low.(v) <- !counter;
+      incr counter;
+      stack := v :: !stack;
+      on_stack.(v) <- true;
+      List.iter
+        (fun w ->
+          if index.(w) < 0 then begin
+            strong w;
+            low.(v) <- min low.(v) low.(w)
+          end
+          else if on_stack.(w) then low.(v) <- min low.(v) index.(w))
+        succs.(v);
+      if low.(v) = index.(v) then begin
+        let rec pop acc =
+          match !stack with
+          | w :: rest ->
+            stack := rest;
+            on_stack.(w) <- false;
+            if w = v then w :: acc else pop (w :: acc)
+          | [] -> acc
+        in
+        sccs := pop [] :: !sccs
+      end
+    in
+    for v = 0 to n - 1 do
+      if index.(v) < 0 then strong v
+    done;
+    List.iter
+      (fun scc ->
+        match scc with
+        | [] | [ _ ] -> ()
+        | _ ->
+          let memb = Hashtbl.create 8 in
+          List.iter (fun v -> Hashtbl.replace memb v ()) scc;
+          let tids = Hashtbl.create 8 in
+          Hashtbl.iter
+            (fun (a, b) contrib ->
+              if
+                Hashtbl.mem memb (Hashtbl.find ids a)
+                && Hashtbl.mem memb (Hashtbl.find ids b)
+              then Hashtbl.iter (fun t () -> Hashtbl.replace tids t ()) contrib)
+            lock_edges;
+          if Hashtbl.length tids >= 2 then
+            finding
+              (Lock_order_cycle
+                 { locks =
+                     List.sort Lockid.compare
+                       (List.map (fun v -> lock_of.(v)) scc) }))
+      !sccs
   in
   let nsegs_of = Hashtbl.create 16 in
   List.iter (fun (t, ns, _, _, _) -> Hashtbl.replace nsegs_of t ns) walks;
@@ -751,6 +871,11 @@ let pp_finding ppf f =
   | Join_of_unknown u -> Format.fprintf ppf "join of unknown thread %d" u
   | Join_before_fork u -> Format.fprintf ppf "join of thread %d before forking it" u
   | Duplicate_fork u -> Format.fprintf ppf "thread %d forked more than once" u
+  | Lock_order_cycle { locks } ->
+    Format.fprintf ppf
+      "locks {%s} acquired in conflicting orders by multiple threads \
+       (potential deadlock cycle)"
+      (String.concat "," (List.map string_of_int locks))
 
 let pp_site ppf s =
   Format.fprintf ppf "t%d/s%d %s{%s}x%d" s.s_tid s.s_seg

@@ -113,6 +113,13 @@ type finding_kind =
   | Join_before_fork of Tid.t
       (** a thread joins [u] before (in its own program order) forking it *)
   | Duplicate_fork of Tid.t
+  | Lock_order_cycle of { locks : Lockid.t list }
+      (** the locks of one strongly connected component of the
+          held→acquired lock-order graph (sorted ascending): at least
+          two threads acquire them in conflicting orders, so an
+          interleaving can deadlock.  Single-thread order inversions
+          are not reported — one thread's acquisitions are sequential
+          and cannot deadlock alone. *)
 
 type finding = {
   f_tid : Tid.t option;  (** offending thread, if thread-local *)

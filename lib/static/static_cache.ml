@@ -1,0 +1,22 @@
+let table : (string * int, Static.summary) Hashtbl.t = Hashtbl.create 8
+let hits = ref 0
+let misses = ref 0
+
+let analyze ~workload ~scale program =
+  let key = (workload, scale) in
+  match Hashtbl.find_opt table key with
+  | Some s ->
+    incr hits;
+    s
+  | None ->
+    let s = Static.analyze (program ()) in
+    incr misses;
+    Hashtbl.replace table key s;
+    s
+
+let stats () = (!hits, !misses)
+
+let clear () =
+  Hashtbl.reset table;
+  hits := 0;
+  misses := 0

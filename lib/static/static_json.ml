@@ -97,6 +97,9 @@ let finding_kind_fields = function
     [ ("kind", Obs_json.str "join_before_fork"); ("tid", Obs_json.int u) ]
   | Duplicate_fork u ->
     [ ("kind", Obs_json.str "duplicate_fork"); ("tid", Obs_json.int u) ]
+  | Lock_order_cycle { locks } ->
+    [ ("kind", Obs_json.str "lock_order_cycle");
+      ("locks", Obs_json.arr (List.map Obs_json.int locks)) ]
 
 let finding f =
   Obs_json.obj

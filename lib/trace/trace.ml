@@ -18,6 +18,23 @@ let iter_shard ~jobs ~shard f tr =
     | _ -> f i e
   done
 
+let iter_range ~lo ~hi f tr =
+  let hi = min hi (Array.length tr) in
+  for i = max 0 lo to hi - 1 do
+    f i (Array.unsafe_get tr i)
+  done
+
+(* Segment boundaries for an n-way split: [segment_bounds ~count tr]
+   yields [count] half-open [(lo, hi)] ranges covering [0, length),
+   in order, sizes differing by at most one.  Degenerate inputs
+   (count > length) simply produce empty tail segments. *)
+let segment_bounds ~count tr =
+  let len = Array.length tr in
+  let count = max 1 count in
+  Array.init count (fun k ->
+      let lo = k * len / count and hi = (k + 1) * len / count in
+      (lo, hi))
+
 let max_tid tr =
   Array.fold_left
     (fun acc e ->

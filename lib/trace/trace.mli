@@ -28,6 +28,18 @@ val iter_shard : jobs:int -> shard:int -> (int -> Event.t -> unit) -> t -> unit
     from several domains share the immutable trace.
     [iter_shard ~jobs:1 ~shard:0] enumerates the whole trace. *)
 
+val iter_range : lo:int -> hi:int -> (int -> Event.t -> unit) -> t -> unit
+(** [iter_range ~lo ~hi f tr] calls [f index event] for every event of
+    the half-open segment [[lo, hi)], in trace order with original
+    indices — the per-segment iterator of the parallel prefix
+    ([Shard.route_segment]).  Out-of-range bounds are clamped. *)
+
+val segment_bounds : count:int -> t -> (int * int) array
+(** [count] half-open [(lo, hi)] ranges covering the trace in order,
+    sizes differing by at most one; concatenating them is the identity
+    partition the segmented prefix's stitching invariant relies on.
+    [count <= 1] yields the whole trace as one segment. *)
+
 val fold : ('a -> Event.t -> 'a) -> 'a -> t -> 'a
 
 val max_tid : t -> int

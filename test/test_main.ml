@@ -17,6 +17,7 @@ let () =
       Test_accordion.suite;
       Test_smoke.suite;
       Test_timeline.suite;
+      Test_prefix.suite;
       Test_parallel.suite;
       Test_stats.suite;
       Test_obs.suite;

@@ -370,9 +370,10 @@ let test_metrics_schema () =
   ignore (member "stats" run);
   ignore (member "rules" run)
 
-(* The work-stealing plan's document: serial-prefix spans (timeline,
-   plan), the queue region, merge; plan/slots fields in the run
-   section; per-worker shard table still partitions the accesses. *)
+(* The work-stealing plan's document: prefix spans (the umbrella plus
+   its route/timeline phases), the queue region, merge; plan/slots and
+   prefix accounting fields in the run section; per-worker shard table
+   still partitions the accesses. *)
 let test_metrics_schema_stealing () =
   let doc, result = metrics_doc ~plan:Shard.Stealing () in
   let j = parse_json doc in
@@ -385,7 +386,8 @@ let test_metrics_schema_stealing () =
       if not (List.mem expected span_names) then
         Alcotest.failf "missing span %S (have: %s)" expected
           (String.concat ", " span_names))
-    [ "timeline"; "plan"; "parallel.region"; "merge" ];
+    [ "prefix"; "prefix.route"; "prefix.timeline"; "parallel.region";
+      "merge" ];
   if not (List.exists (fun n -> String.length n > 5
                                 && String.sub n 0 5 = "item-") span_names)
   then Alcotest.fail "no item-N span recorded";
@@ -418,7 +420,20 @@ let test_metrics_schema_stealing () =
     Alcotest.fail "timeline.words gauge missing";
   Alcotest.(check (float 1e-4)) "imbalance exported"
     result.Driver.imbalance
-    (as_num (member "imbalance" run))
+    (as_num (member "imbalance" run));
+  (* the Amdahl accounting: prefix wall/fraction in the run section
+     and as gauges, consistent with the result record *)
+  Alcotest.(check (float 1e-4)) "prefix_wall_s exported"
+    result.Driver.prefix_wall
+    (as_num (member "prefix_wall_s" run));
+  let frac = as_num (member "prefix_frac" run) in
+  if frac < 0. || frac > 1. then
+    Alcotest.failf "prefix_frac out of range: %f" frac;
+  if result.Driver.prefix_wall <= 0. then
+    Alcotest.fail "stealing run must measure a positive prefix wall";
+  if as_num (member "prefix.wall_s" gauges) <= 0. then
+    Alcotest.fail "prefix.wall_s gauge missing";
+  ignore (member "prefix.frac" gauges)
 
 let test_disabled_document () =
   (* The disabled handle still exports a well-formed document with

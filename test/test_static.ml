@@ -261,6 +261,115 @@ let test_linter_findings () =
           (Format.asprintf "%a" Static.pp_finding f))
     Workloads.all
 
+(* Lock-order (deadlock-cycle) lint: a cycle in the held→acquired
+   graph alarms exactly when two or more threads contribute its edges
+   — a single thread's order inversion cannot deadlock, and properly
+   nested or wait-mediated acquisition must stay clean. *)
+let test_lock_order_cycle () =
+  let acq_rel ms body =
+    List.fold_right
+      (fun m inner -> (Program.Acquire m :: inner) @ [ Program.Release m ])
+      ms body
+  in
+  let cycle_finding s =
+    List.find_map
+      (fun (f : Static.finding) ->
+        match f.f_kind with
+        | Static.Lock_order_cycle { locks } -> Some locks
+        | _ -> None)
+      s.Static.findings
+  in
+  (* two threads, opposite nesting: the classic AB/BA deadlock *)
+  let s =
+    Static.analyze
+      (Program.make
+         [ { Program.tid = 0; body = acq_rel [ 1; 2 ] [ Program.Read x0 ] };
+           { Program.tid = 1; body = acq_rel [ 2; 1 ] [ Program.Read x0 ] } ])
+  in
+  (match cycle_finding s with
+  | Some locks -> Alcotest.(check (list int)) "AB/BA cycle" [ 1; 2 ] locks
+  | None -> Alcotest.fail "AB/BA inversion not reported");
+  (* the same inversion inside one thread: sequential, no deadlock *)
+  let s =
+    Static.analyze
+      (Program.make
+         [ { Program.tid = 0;
+             body =
+               acq_rel [ 1; 2 ] [ Program.Read x0 ]
+               @ acq_rel [ 2; 1 ] [ Program.Read x0 ] } ])
+  in
+  Alcotest.(check bool) "single-thread inversion clean" true
+    (cycle_finding s = None);
+  (* consistent order across threads: nesting alone is fine *)
+  let s =
+    Static.analyze
+      (Program.make
+         [ { Program.tid = 0; body = acq_rel [ 1; 2 ] [ Program.Read x0 ] };
+           { Program.tid = 1; body = acq_rel [ 1; 2 ] [ Program.Write x0 ] } ])
+  in
+  Alcotest.(check bool) "consistent order clean" true
+    (cycle_finding s = None);
+  (* three threads, a 3-cycle: 5->7, 7->9, 9->5 *)
+  let s =
+    Static.analyze
+      (Program.make
+         [ { Program.tid = 0; body = acq_rel [ 5; 7 ] [] };
+           { Program.tid = 1; body = acq_rel [ 7; 9 ] [] };
+           { Program.tid = 2; body = acq_rel [ 9; 5 ] [] } ])
+  in
+  (match cycle_finding s with
+  | Some locks -> Alcotest.(check (list int)) "3-cycle" [ 5; 7; 9 ] locks
+  | None -> Alcotest.fail "three-lock cycle not reported");
+  (* wait re-acquires its monitor while other locks stay held: thread 0
+     waits on 2 while holding 1, thread 1 acquires 1 while holding 2 *)
+  let s =
+    Static.analyze
+      (Program.make
+         [ { Program.tid = 0;
+             body =
+               [ Program.Acquire 1; Program.Acquire 2; Program.Wait 2;
+                 Program.Release 2; Program.Release 1 ] };
+           { Program.tid = 1; body = acq_rel [ 2; 1 ] [] } ])
+  in
+  (match cycle_finding s with
+  | Some locks -> Alcotest.(check (list int)) "wait cycle" [ 1; 2 ] locks
+  | None -> Alcotest.fail "wait re-acquisition cycle not reported")
+
+(* ------------------------------------------------------------------ *)
+(* certificate cache                                                  *)
+
+let test_static_cache () =
+  Static_cache.clear ();
+  let w =
+    match Workloads.find "moldyn" with
+    | Some w -> w
+    | None -> Alcotest.fail "moldyn workload missing"
+  in
+  let thunk scale () = w.Workload.program ~scale in
+  let s1 = Static_cache.analyze ~workload:"moldyn" ~scale:1 (thunk 1) in
+  let s2 = Static_cache.analyze ~workload:"moldyn" ~scale:1 (thunk 1) in
+  Alcotest.(check bool) "hit returns the same summary" true (s1 == s2);
+  Alcotest.(check (pair int int)) "one hit, one miss" (1, 1)
+    (Static_cache.stats ());
+  (* a hit must not even build the program *)
+  let s3 =
+    Static_cache.analyze ~workload:"moldyn" ~scale:1 (fun () ->
+        Alcotest.fail "program thunk forced on a cache hit")
+  in
+  Alcotest.(check bool) "thunk unused on hit" true (s1 == s3);
+  (* a different scale is a different program: fresh derivation *)
+  let s4 = Static_cache.analyze ~workload:"moldyn" ~scale:2 (thunk 2) in
+  Alcotest.(check bool) "scale is part of the key" true (not (s1 == s4));
+  Alcotest.(check (pair int int)) "two hits, two misses" (2, 2)
+    (Static_cache.stats ());
+  (* cached summaries still agree with a fresh derivation *)
+  let fresh = Static.analyze (w.Workload.program ~scale:1) in
+  Alcotest.(check int) "cached = fresh (certified accesses)"
+    fresh.Static.certified_accesses s1.Static.certified_accesses;
+  Static_cache.clear ();
+  Alcotest.(check (pair int int)) "clear zeroes the counters" (0, 0)
+    (Static_cache.stats ())
+
 (* ------------------------------------------------------------------ *)
 (* prefilters forward every sync event                                *)
 
@@ -418,5 +527,9 @@ let suite =
       Alcotest.test_case "elimination differential (coarse)" `Quick
         test_elimination_differential_coarse;
       Alcotest.test_case "linter findings" `Quick test_linter_findings;
+      Alcotest.test_case "lock-order cycle lint" `Quick
+        test_lock_order_cycle;
+      Alcotest.test_case "static certificate cache" `Quick
+        test_static_cache;
       qtest_programs;
       qtest_trace_prefilters ] )
