@@ -1,0 +1,199 @@
+(* Bench-history regression tracker.
+
+   `bench --history DIR <experiments>` appends one stamped NDJSON line
+   per measurement record to DIR/history.ndjson — an append-only log
+   that survives across runs, unlike --json FILE which is a snapshot.
+   `bench history --history DIR` then reads the log, keeps the latest
+   entry per measurement key, and diffs it against a committed
+   baseline document (a --json snapshot, e.g. BENCH_parallel.json):
+
+   - elapsed above baseline x (1 + tolerance)  -> timing regression;
+   - warning-count drift on the same key       -> correctness
+     regression (never tolerated: the detector's output changed);
+
+   non-zero exit on any regression, so CI can gate on it.  Keys are
+   (experiment, workload, tool, jobs, plan, static_elim) — everything
+   that identifies a cell; a key present in only one side is reported
+   but not a failure (experiments and sweeps grow over time). *)
+
+module J = Obs_json_read
+
+let log_file dir = Filename.concat dir "history.ndjson"
+
+(* ------------------------------------------------------------------ *)
+(* Append                                                             *)
+
+let timestamp () =
+  let t = Unix.gmtime (Unix.gettimeofday ()) in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (t.Unix.tm_year + 1900)
+    (t.Unix.tm_mon + 1) t.Unix.tm_mday t.Unix.tm_hour t.Unix.tm_min
+    t.Unix.tm_sec
+
+let append ~dir ~scale ~repeat =
+  let records = Bench_json.recorded () in
+  if records = [] then
+    print_endline "history: no records to append (nothing measured?)"
+  else begin
+    if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+    let path = log_file dir in
+    let oc =
+      open_out_gen [ Open_append; Open_creat ] 0o644 path
+    in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        let at = timestamp () in
+        List.iter
+          (fun r ->
+            Printf.fprintf oc
+              "{\"at\":\"%s\",\"cores\":%d,\"scale\":%d,\"repeat\":%d,\
+               \"record\":%s}\n"
+              at
+              (Obs_cores.recommended ())
+              scale repeat
+              (Bench_json.record_to_json r))
+          records);
+    Printf.printf "history: appended %d record(s) to %s\n"
+      (List.length records) path
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Report                                                             *)
+
+type row = {
+  key : string * string * string * int * string * bool;
+  at : string;  (* "" for baseline rows *)
+  elapsed : float;
+  warnings : int;
+}
+
+let key_of_record j =
+  ( J.str j "experiment",
+    J.str j "workload",
+    J.str j "tool",
+    J.int j "jobs",
+    J.str j "plan",
+    J.bool j "static_elim" )
+
+let key_to_string (e, w, t, j, p, s) =
+  Printf.sprintf "%s/%s/%s j%d %s%s" e w t j p
+    (if s then " +elim" else "")
+
+let row_of ~at j =
+  { key = key_of_record j;
+    at;
+    elapsed = J.num j "elapsed_s";
+    warnings = J.int j "warnings" }
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Latest row per key from the NDJSON log (later lines win). *)
+let load_history path =
+  let tbl = Hashtbl.create 32 in
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      try
+        while true do
+          let line = input_line ic in
+          if String.trim line <> "" then
+            match J.parse_opt line with
+            | None -> ()
+            | Some j -> (
+              match J.member "record" j with
+              | None -> ()
+              | Some r ->
+                let row = row_of ~at:(J.str j "at") r in
+                Hashtbl.replace tbl row.key row)
+        done
+      with End_of_file -> ());
+  tbl
+
+(* Baseline: a --json snapshot document ({"host":..., "records":[...]}). *)
+let load_baseline path =
+  match J.parse_opt (read_file path) with
+  | None -> Error (Printf.sprintf "%s: not valid JSON" path)
+  | Some j -> (
+    match Option.bind (J.member "records" j) J.to_arr with
+    | None -> Error (Printf.sprintf "%s: no \"records\" array" path)
+    | Some rs ->
+      let tbl = Hashtbl.create 32 in
+      List.iter
+        (fun r ->
+          let row = row_of ~at:"" r in
+          Hashtbl.replace tbl row.key row)
+        rs;
+      Ok tbl)
+
+let report ~dir ~baseline ~tolerance =
+  let hist_path = log_file dir in
+  if not (Sys.file_exists hist_path) then begin
+    Printf.eprintf
+      "history: %s does not exist (run `bench --history %s <experiment>` \
+       first)\n"
+      hist_path dir;
+    2
+  end
+  else
+    match load_baseline baseline with
+    | Error msg ->
+      Printf.eprintf "history: baseline %s\n" msg;
+      2
+    | Ok base ->
+      let hist = load_history hist_path in
+      let regressions = ref 0 in
+      let compared = ref 0 in
+      Printf.printf
+        "bench history: %s (latest per key) vs baseline %s \
+         (tolerance +%.0f%%)\n\n"
+        hist_path baseline (100. *. tolerance);
+      let keys =
+        Hashtbl.fold (fun k _ acc -> k :: acc) hist []
+        |> List.sort compare
+      in
+      List.iter
+        (fun key ->
+          let h = Hashtbl.find hist key in
+          match Hashtbl.find_opt base key with
+          | None ->
+            Printf.printf "  new       %-46s %8.2f ms (no baseline)\n"
+              (key_to_string key) (h.elapsed *. 1000.)
+          | Some b ->
+            incr compared;
+            let ratio =
+              if b.elapsed > 0. then h.elapsed /. b.elapsed else 1.
+            in
+            if h.warnings <> b.warnings then begin
+              incr regressions;
+              Printf.printf
+                "  WARNINGS  %-46s %d warning(s), baseline %d — \
+                 detector output changed\n"
+                (key_to_string key) h.warnings b.warnings
+            end
+            else if b.elapsed > 0. && ratio > 1. +. tolerance then begin
+              incr regressions;
+              Printf.printf
+                "  SLOWER    %-46s %8.2f ms vs %8.2f ms (x%.2f)\n"
+                (key_to_string key) (h.elapsed *. 1000.)
+                (b.elapsed *. 1000.) ratio
+            end
+            else
+              Printf.printf "  ok        %-46s %8.2f ms vs %8.2f ms (x%.2f)\n"
+                (key_to_string key) (h.elapsed *. 1000.)
+                (b.elapsed *. 1000.) ratio)
+        keys;
+      (* baseline keys the history never measured: informational *)
+      Hashtbl.iter
+        (fun key _ ->
+          if not (Hashtbl.mem hist key) then
+            Printf.printf "  unmeasured %-45s (baseline only)\n"
+              (key_to_string key))
+        base;
+      Printf.printf "\n%d key(s) compared, %d regression(s)\n" !compared
+        !regressions;
+      if !regressions > 0 then 1 else 0

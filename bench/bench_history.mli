@@ -1,0 +1,20 @@
+(** Bench-history regression tracker.
+
+    [append] stamps every record the current run pushed into
+    [dir]/history.ndjson (one self-contained JSON line per record:
+    UTC timestamp, core count, scale/repeat, and the
+    {!Bench_json.record} payload).  The log is append-only; successive
+    runs accumulate, and the report keeps only the latest entry per
+    measurement key.
+
+    [report] diffs the latest history entry per key
+    (experiment, workload, tool, jobs, plan, static_elim) against a
+    committed baseline snapshot (a [--json] document such as
+    BENCH_parallel.json).  Elapsed time above baseline x (1 +
+    [tolerance]) is a timing regression; any warning-count drift is a
+    correctness regression regardless of tolerance.  Returns the
+    process exit code: 0 clean, 1 regression(s), 2 usage/input
+    error. *)
+
+val append : dir:string -> scale:int -> repeat:int -> unit
+val report : dir:string -> baseline:string -> tolerance:float -> int

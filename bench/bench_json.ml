@@ -81,7 +81,7 @@ let write ~scale ~repeat path =
         "{\"host\":{\"cores\":%d,\"ocaml\":\"%s\",\"word_size\":%d%s},\n\
         \ \"scale\":%d,\"repeat\":%d,\n\
         \ \"records\":[\n"
-        (Domain.recommended_domain_count ())
+        (Obs_cores.recommended ())
         (escape Sys.ocaml_version) Sys.word_size
         (if !few_cores_override then ",\"few_cores_override\":true" else "")
         scale repeat;

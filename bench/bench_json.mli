@@ -71,6 +71,11 @@ val recorded : unit -> record list
 
 val reset : unit -> unit
 
+val record_to_json : record -> string
+(** One record as a single-line JSON object — the element shape of
+    {!write}'s ["records"] array, reused by the bench-history log so
+    both sides of a {!Bench_history.report} diff parse identically. *)
+
 val set_few_cores_override : bool -> unit
 (** Mark the run as having forced parallel experiments on a
     sub-4-core host (the [--allow-few-cores] escape hatch): {!write}

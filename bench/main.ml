@@ -32,6 +32,7 @@ let experiments :
     ("churn", Bench_churn.run);
     ("parallel", Bench_parallel.run);
     ("elimination", Bench_elimination.run);
+    ("live", Bench_live.run);
     ("micro", fun ~scale:_ ~repeat:_ () -> Bench_micro.run ()) ]
 
 (* Experiments whose headline numbers are multicore speedups: running
@@ -47,7 +48,11 @@ let min_cores = 4
 let usage () =
   prerr_endline
     "usage: main.exe [--scale N] [--repeat N] [--json FILE] \
-     [--metrics FILE] [--allow-few-cores] [experiment ...]";
+     [--metrics FILE] [--history DIR] [--allow-few-cores] \
+     [experiment ...]";
+  prerr_endline
+    "       main.exe history --history DIR [--baseline FILE] \
+     [--tolerance F]";
   Printf.eprintf "experiments: %s (default: all)\n"
     (String.concat " " (List.map fst experiments));
   exit 2
@@ -57,6 +62,10 @@ let () =
   let repeat = ref 3 in
   let json = ref None in
   let metrics = ref None in
+  let history = ref None in
+  let baseline = ref "BENCH_parallel.json" in
+  let tolerance = ref 0.25 in
+  let history_report = ref false in
   let allow_few_cores = ref false in
   let chosen = ref [] in
   let rec parse = function
@@ -73,6 +82,18 @@ let () =
     | "--metrics" :: path :: rest ->
       metrics := Some path;
       parse rest
+    | "--history" :: dir :: rest ->
+      history := Some dir;
+      parse rest
+    | "--baseline" :: path :: rest ->
+      baseline := path;
+      parse rest
+    | "--tolerance" :: v :: rest ->
+      tolerance := float_of_string v;
+      parse rest
+    | "history" :: rest ->
+      history_report := true;
+      parse rest
     | "--allow-few-cores" :: rest ->
       allow_few_cores := true;
       parse rest
@@ -82,12 +103,24 @@ let () =
     | _ -> usage ()
   in
   parse (List.tl (Array.to_list Sys.argv));
+  if !history_report then begin
+    (* `history` is a report-only pseudo-command: diff the history log
+       against the committed baseline and exit; no experiment runs. *)
+    match !history with
+    | None ->
+      prerr_endline "history: --history DIR is required";
+      exit 2
+    | Some dir ->
+      exit
+        (Bench_history.report ~dir ~baseline:!baseline
+           ~tolerance:!tolerance)
+  end;
   let chosen =
     match List.rev !chosen with
     | [] -> List.map fst experiments
     | names -> names
   in
-  let cores = Domain.recommended_domain_count () in
+  let cores = Obs_cores.recommended () in
   let wants_parallel =
     List.exists (fun n -> List.mem n parallel_experiments) chosen
   in
@@ -123,6 +156,9 @@ let () =
       print_newline ())
     chosen;
   Option.iter (Bench_json.write ~scale:!scale ~repeat:!repeat) !json;
+  Option.iter
+    (fun dir -> Bench_history.append ~dir ~scale:!scale ~repeat:!repeat)
+    !history;
   Option.iter
     (fun path ->
       Obs.gc_sample_full obs;

@@ -348,8 +348,32 @@ let analyze_prefiltered ~granularity ~fail_on_race pf d tr path =
     else if r.Filter.warnings = [] then 0
     else 2
 
+(* Several flags can write to stdout via "-".  Two NDJSON/JSON streams
+   interleaved on one descriptor are garbage for every consumer, so
+   the collision is an error, not a surprise. *)
+let stdout_sink_collision ~metrics ~report ~trace_out ~live =
+  let sinks =
+    List.filter_map
+      (fun (flag, v) -> if v = Some "-" then Some flag else None)
+      [ ("--metrics", metrics); ("--report", report);
+        ("--trace-out", trace_out); ("--live", live) ]
+  in
+  if List.length sinks > 1 then Some (String.concat " and " sinks)
+  else None
+
 let analyze path tool granularity jobs prefilter static_elim show_stats
-    verbose_stats metrics explain_race report trace_out fail_on_race =
+    verbose_stats metrics explain_race report trace_out live live_period
+    fail_on_race =
+  match
+    stdout_sink_collision ~metrics ~report ~trace_out ~live
+  with
+  | Some clash ->
+    Printf.eprintf
+      "ftrace: %s would interleave on stdout; write at most one of \
+       them to `-'\n"
+      clash;
+    1
+  | None -> (
   match load_trace path with
   | Error msg ->
     prerr_endline msg;
@@ -362,13 +386,14 @@ let analyze path tool granularity jobs prefilter static_elim show_stats
     | Some d when prefilter <> None ->
       if
         jobs <> 1 || verbose_stats || metrics <> None || explain_race
-        || report <> None || trace_out <> None || static_elim
+        || report <> None || trace_out <> None || live <> None
+        || static_elim
       then begin
         prerr_endline
           "ftrace: --prefilter runs the sequential composition pipeline \
            and cannot be combined with --jobs, --static-elim, \
-           --verbose-stats, --metrics, --explain, --report or \
-           --trace-out";
+           --verbose-stats, --metrics, --explain, --report, \
+           --trace-out or --live";
         1
       end
       else
@@ -405,9 +430,30 @@ let analyze path tool granularity jobs prefilter static_elim show_stats
         if explain_race || report <> None then Obs_recorder.create ()
         else Obs_recorder.disabled
       in
+      (* The live telemetry bus streams in-flight snapshots while the
+         run is still going (--metrics is post-hoc); the CLI owns the
+         sink's lifecycle, the driver only feeds the bus. *)
+      let live_r =
+        match live with
+        | None -> Ok Obs_live.disabled
+        | Some spec -> (
+          match Obs_live.open_sink spec with
+          | Error msg -> Error (Printf.sprintf "--live %s" msg)
+          | Ok (sink, owns_sink) ->
+            Ok
+              (Obs_live.create ~period:live_period
+                 ~total:(Trace.length tr) ~source:path
+                 ~tool:(String.lowercase_ascii tool) ~sink ~owns_sink ()))
+      in
+      match live_r with
+      | Error msg ->
+        prerr_endline msg;
+        1
+      | Ok live ->
       let config =
-        Config.with_recorder recorder
-          (Config.with_obs obs (config_of granularity))
+        Config.with_live live
+          (Config.with_recorder recorder
+             (Config.with_obs obs (config_of granularity)))
       in
       let config =
         match static_pred with
@@ -429,6 +475,8 @@ let analyze path tool granularity jobs prefilter static_elim show_stats
         if jobs > 1 then Driver.run_parallel ~config ~jobs d tr
         else Driver.run ~config d tr
       in
+      (* The driver already emitted the stream's final record. *)
+      Obs_live.close live;
       let mode =
         if jobs > 1 then
           Printf.sprintf " [%d %s, %s plan]" jobs
@@ -498,7 +546,7 @@ let analyze path tool granularity jobs prefilter static_elim show_stats
         trace_out;
       if fail_on_race then if result.warnings = [] then 0 else 1
       else if result.warnings = [] then 0
-      else 2)
+      else 2))
 
 let analyze_cmd =
   let prefilter =
@@ -579,6 +627,26 @@ let analyze_cmd =
                    chrome://tracing; $(b,-) writes to stdout.  Enables \
                    the observability layer for this run.")
   in
+  let live =
+    Arg.(value & opt (some string) None
+         & info [ "live" ] ~docv:"SINK"
+             ~doc:"Stream live telemetry while the run is in flight: \
+                   delta-encoded NDJSON records (schema \
+                   $(b,ftrace.live/1): progress, events/s, rule hits, \
+                   epoch-fast-path share, per-worker load, GC heap) to \
+                   $(docv) — a file path, $(b,-) for stdout, or \
+                   $(b,fd:N) for an inherited descriptor.  Watch it \
+                   with $(b,ftrace watch).  The final record carries \
+                   the run's exact cumulative counters (equal to the \
+                   $(b,--metrics) export).  Off by default; the hot \
+                   loop is unchanged when off.")
+  in
+  let live_period =
+    Arg.(value & opt float 0.05
+         & info [ "live-period" ] ~docv:"SECONDS"
+             ~doc:"Tick period of the $(b,--live) stream (default \
+                   0.05s): at most one record is emitted per period.")
+  in
   let fail_on_race =
     Arg.(value & flag
          & info [ "fail-on-race" ]
@@ -593,7 +661,8 @@ let analyze_cmd =
     Term.(
       const analyze $ trace_arg $ tool_arg $ granularity_arg $ jobs_arg
       $ prefilter $ static_elim $ stats $ verbose_stats $ metrics
-      $ explain_race $ report $ trace_out $ fail_on_race)
+      $ explain_race $ report $ trace_out $ live $ live_period
+      $ fail_on_race)
 
 (* ------------------------------------------------------------------ *)
 (* compare                                                            *)
@@ -772,6 +841,122 @@ let stats_cmd =
     Term.(const mix $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
+(* watch                                                              *)
+
+(* Tail an ftrace.live/1 NDJSON stream and render a self-updating
+   terminal panel (TTY) or one status line per record (pipe).  The
+   reader splits lines itself on a raw descriptor, so a record the
+   producer has only half-written is held back until its newline
+   arrives — never fed to the parser torn. *)
+let watch path once interval width =
+  let fd_r =
+    if path = "-" then Ok Unix.stdin
+    else
+      try Ok (Unix.openfile path [ Unix.O_RDONLY ] 0)
+      with Unix.Unix_error (e, _, _) ->
+        Error (Printf.sprintf "%s: %s" path (Unix.error_message e))
+  in
+  match fd_r with
+  | Error msg ->
+    prerr_endline msg;
+    1
+  | Ok fd ->
+    let st = Obs_watch.create () in
+    let buf = Bytes.create 65536 in
+    let pending = Buffer.create 256 in
+    let feed_chunk n =
+      Buffer.add_subbytes pending buf 0 n;
+      let s = Buffer.contents pending in
+      Buffer.clear pending;
+      let rec feed = function
+        | [] -> ()
+        | [ tail ] -> Buffer.add_string pending tail
+        | line :: rest ->
+          Obs_watch.feed_line st line;
+          feed rest
+      in
+      feed (String.split_on_char '\n' s)
+    in
+    let tty = Unix.isatty Unix.stdout in
+    let render () =
+      if tty then begin
+        (* clear + home: the panel redraws in place *)
+        print_string "\027[2J\027[H";
+        List.iter print_endline (Obs_watch.render_panel ~width st)
+      end
+      else print_endline (Obs_watch.render_line st);
+      flush stdout
+    in
+    let verdict () = if Obs_watch.warnings st > 0 then 2 else 0 in
+    if once then begin
+      (* read to EOF, render the latest state once *)
+      let rec slurp () =
+        let n = Unix.read fd buf 0 (Bytes.length buf) in
+        if n > 0 then begin
+          feed_chunk n;
+          slurp ()
+        end
+      in
+      slurp ();
+      List.iter print_endline (Obs_watch.render_panel ~width st);
+      verdict ()
+    end
+    else begin
+      (* follow until the final record (like tail -f; interrupt to
+         stop early if the producer never finishes) *)
+      let rec loop last_seq =
+        let n = Unix.read fd buf 0 (Bytes.length buf) in
+        if n = 0 then begin
+          Unix.sleepf interval;
+          loop last_seq
+        end
+        else begin
+          feed_chunk n;
+          let seq = Obs_watch.seq st in
+          if seq <> last_seq then render ();
+          if Obs_watch.final st then verdict () else loop seq
+        end
+      in
+      loop (-1)
+    end
+
+let watch_cmd =
+  let file =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"LIVE"
+             ~doc:"The $(b,--live) NDJSON stream to watch: a file being \
+                   appended by a concurrent $(b,ftrace analyze --live \
+                   FILE), a completed stream, or $(b,-) for stdin \
+                   (e.g. $(b,ftrace analyze --live - ... | ftrace \
+                   watch -)).")
+  in
+  let once =
+    Arg.(value & flag
+         & info [ "once" ]
+             ~doc:"Read the stream to EOF, render one panel and exit \
+                   instead of following.")
+  in
+  let interval =
+    Arg.(value & opt float 0.1
+         & info [ "interval" ] ~docv:"SECONDS"
+             ~doc:"Poll interval while waiting for the producer to \
+                   append (default 0.1s).")
+  in
+  let width =
+    Arg.(value & opt int 72
+         & info [ "width" ] ~docv:"COLS"
+             ~doc:"Panel width in columns (default 72).")
+  in
+  Cmd.v
+    (Cmd.info "watch"
+       ~doc:"Watch a live telemetry stream (schema $(b,ftrace.live/1)) \
+             as a self-updating panel: progress and ETA, events/s \
+             sparkline, epoch-fast-path share, top rules, per-worker \
+             load bars.  Exit code 2 if the finished run reported \
+             races, mirroring $(b,analyze)")
+    Term.(const watch $ file $ once $ interval $ width)
+
+(* ------------------------------------------------------------------ *)
 (* lint                                                               *)
 
 let lint name scale json fail_on_finding =
@@ -860,6 +1045,6 @@ let main_cmd =
        ~doc:"Dynamic race detection on execution traces (FastTrack, \
              PLDI 2009 reproduction)")
     [ generate_cmd; analyze_cmd; compare_cmd; check_cmd; explain_cmd;
-      lint_cmd; stats_cmd; workloads_cmd ]
+      lint_cmd; stats_cmd; watch_cmd; workloads_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -4,6 +4,7 @@ type t = {
   read_demotion : bool;
   obs : Obs.t;
   recorder : Obs_recorder.t;
+  live : Obs_live.t;
   sync_source : Sync_timeline.t option;
   static_elim : (Var.t -> bool) option;
 }
@@ -14,11 +15,13 @@ let default =
     read_demotion = true;
     obs = Obs.disabled;
     recorder = Obs_recorder.disabled;
+    live = Obs_live.disabled;
     sync_source = None;
     static_elim = None }
 
 let with_obs obs t = { t with obs }
 let with_recorder recorder t = { t with recorder }
+let with_live live t = { t with live }
 let with_sync_source tl t = { t with sync_source = Some tl }
 let with_static_elim skip t = { t with static_elim = Some skip }
 

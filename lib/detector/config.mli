@@ -31,6 +31,14 @@
     location.  Like [obs], it never changes analysis results
     (asserted in [test/test_report.ml]).
 
+    [live] is the live telemetry bus ({!Obs_live}) the drivers feed
+    with in-flight snapshots: default {!Obs_live.disabled} (the hot
+    loop is selected uninstrumented, same one-branch idiom as [obs]),
+    enabled by [ftrace analyze --live].  Like the other observability
+    handles it never changes analysis results — warnings and witnesses
+    are byte-identical with it on or off (asserted in
+    [test/test_live.ml]).
+
     [sync_source] selects the detector's {!Clock_source} mode: [None]
     (the default, and the only sensible value for sequential runs)
     gives each detector instance a private live {!Vc_state};
@@ -57,16 +65,18 @@ type t = {
   read_demotion : bool;
   obs : Obs.t;
   recorder : Obs_recorder.t;
+  live : Obs_live.t;
   sync_source : Sync_timeline.t option;
   static_elim : (Var.t -> bool) option;
 }
 
 val default : t
-(** Fine granularity, all optimizations on, observability and the
-    flight recorder off, live sync state. *)
+(** Fine granularity, all optimizations on, observability, the flight
+    recorder and the live bus off, live sync state. *)
 
 val with_obs : Obs.t -> t -> t
 val with_recorder : Obs_recorder.t -> t -> t
+val with_live : Obs_live.t -> t -> t
 val with_sync_source : Sync_timeline.t -> t -> t
 val with_static_elim : (Var.t -> bool) -> t -> t
 

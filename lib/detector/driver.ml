@@ -11,7 +11,6 @@ type result = {
   warnings : Warning.t list;
   witnesses : Witness.t list;
   stats : Stats.t;
-  elapsed : float;
   cpu : float;
   wall : float;
   prefix_wall : float;
@@ -45,6 +44,32 @@ let finish_metrics obs (stats : Stats.t) ~wall =
       (float_of_int stats.Stats.state_words)
   end
 
+(* Flatten a detector's live counters into the plain record the
+   telemetry bus publishes.  Only ever called on the domain that owns
+   [st] (the hot loop's own ticker, at publish granularity), so the
+   unsynchronized reads are safe; a torn read across fields would only
+   smear one snapshot anyway. *)
+let live_counts (st : Stats.t) ~extra_elim ~warnings =
+  { Obs_snapshot.events = st.Stats.events;
+    reads = st.Stats.reads;
+    writes = st.Stats.writes;
+    syncs = st.Stats.syncs;
+    eliminated = st.Stats.eliminated + extra_elim;
+    epoch_ops = st.Stats.epoch_ops;
+    vc_ops = st.Stats.vc_ops;
+    state_words = st.Stats.state_words;
+    warnings }
+
+(* Final live record, from the same merged counters the --metrics
+   export writes — the stream's cumulative totals must equal the
+   ftrace.obs/1 document to the last integer. *)
+let finish_live live r ~wall =
+  if Obs_live.is_enabled live then
+    Obs_live.finish live ~wall
+      ~fields:(Stats.fields_alist r.stats)
+      ~rules:(Stats.rules_alist r.stats)
+      ~warnings:(List.length r.warnings)
+
 (* Flight-recorder footprint gauges: cold, and only when both the
    registry and the recorder are on (the default run has neither). *)
 let recorder_gauges obs recorder =
@@ -59,7 +84,8 @@ let recorder_gauges obs recorder =
       (float_of_int (Obs_recorder.approx_words recorder))
   end
 
-let run_packed ?(obs = Obs.disabled) ?skip packed tr =
+let run_packed ?(obs = Obs.disabled) ?(live = Obs_live.disabled) ?skip
+    packed tr =
   (* Select the event-loop body once, outside the loop: the disabled
      path is byte-for-byte the pre-observability loop. *)
   let on_event =
@@ -84,33 +110,68 @@ let run_packed ?(obs = Obs.disabled) ?skip packed tr =
           incr eliminated
         | _ -> on_event index e)
   in
+  (* Live telemetry: the sequential driver owns a contiguous loop, so
+     instead of wrapping [on_event] it re-chunks the iteration —
+     [iter_range] over [tick_events]-sized windows with a publish
+     between windows.  The hot loop stays the exact uninstrumented
+     handler; the enabled-mode cost is entirely off the per-event
+     path.  The sequential run has no collector domain, so the
+     publish is standalone — it drives emission itself. *)
+  let iterate =
+    let st = Detector.packed_stats packed in
+    let pub = Obs_live.publisher live ~worker:0 in
+    match
+      Obs_live.pub_chunk ~standalone:true pub
+        ~current:(fun () ->
+          live_counts st ~extra_elim:!eliminated
+            ~warnings:(List.length (Detector.packed_warnings packed)))
+        ~rules:(fun () -> Stats.rules_alist st)
+    with
+    | None -> fun () -> Trace.iteri on_event tr
+    | Some (chunk, publish) ->
+      fun () ->
+        let n = Trace.length tr in
+        let rec go lo =
+          if lo < n then begin
+            let hi = min n (lo + chunk) in
+            Trace.iter_range ~lo ~hi on_event tr;
+            publish ();
+            go hi
+          end
+        in
+        go 0
+  in
+  Obs_live.set_phase live "analyze";
   Obs.gc_sample obs;
   let cpu0 = Sys.time () in
   let (), wall =
-    Par_run.wall_time (fun () ->
-        Obs.span obs "analyze" (fun () -> Trace.iteri on_event tr))
+    Par_run.wall_time (fun () -> Obs.span obs "analyze" iterate)
   in
   let cpu = Sys.time () -. cpu0 in
   Obs.gc_sample_full obs;
   let stats = Detector.packed_stats packed in
   stats.Stats.eliminated <- stats.Stats.eliminated + !eliminated;
   finish_metrics obs stats ~wall;
-  { tool = Detector.packed_name packed;
-    warnings = Detector.packed_warnings packed;
-    witnesses = Detector.packed_witnesses packed;
-    stats;
-    elapsed = cpu;
-    cpu;
-    wall;
-    prefix_wall = 0.;
-    shards = [||];
-    imbalance = 1.0;
-    plan_kind = Shard.Static;
-    slots = 1 }
+  let r =
+    { tool = Detector.packed_name packed;
+      warnings = Detector.packed_warnings packed;
+      witnesses = Detector.packed_witnesses packed;
+      stats;
+      cpu;
+      wall;
+      prefix_wall = 0.;
+      shards = [||];
+      imbalance = 1.0;
+      plan_kind = Shard.Static;
+      slots = 1 }
+  in
+  finish_live live r ~wall;
+  r
 
 let run ?(config = Config.default) d tr =
   let r =
-    run_packed ~obs:config.Config.obs ?skip:config.Config.static_elim
+    run_packed ~obs:config.Config.obs ~live:config.Config.live
+      ?skip:config.Config.static_elim
       (Detector.instantiate d config) tr
   in
   recorder_gauges config.Config.obs config.Config.recorder;
@@ -121,7 +182,8 @@ let run ?(config = Config.default) d tr =
 
 let default_jobs = Domain_pool.recommended_jobs
 
-let analyze_shard ?(obs = Obs.disabled) d config ~jobs ~shard tr =
+let analyze_shard ?(obs = Obs.disabled) ?(live = Obs_live.disabled) d
+    config ~jobs ~shard tr =
   let start = Obs.now obs in
   (* Each shard records into a private flight-recorder view (fresh
      rings, fresh lock picture): recorders are unsynchronized, and the
@@ -148,12 +210,36 @@ let analyze_shard ?(obs = Obs.disabled) d config ~jobs ~shard tr =
                 incr eliminated
               | _ -> on_event index e)
         in
+        (* Live partials are built here, on the shard's own domain,
+           from the shard's own counters; the collector domain only
+           ever sees the immutable snapshots the ticker publishes. *)
+        let pub = Obs_live.publisher live ~worker:shard in
+        let on_event =
+          let st = Detector.packed_stats packed in
+          match
+            Obs_live.pub_ticker pub
+              ~current:(fun () ->
+                live_counts st ~extra_elim:!eliminated
+                  ~warnings:
+                    (List.length (Detector.packed_warnings packed)))
+              ~rules:(fun () -> Stats.rules_alist st)
+          with
+          | None -> on_event
+          | Some tick ->
+            fun index e ->
+              on_event index e;
+              tick ()
+        in
         Trace.iter_shard ~jobs ~shard on_event tr;
         let stats = Detector.packed_stats packed in
         stats.Stats.eliminated <- stats.Stats.eliminated + !eliminated;
-        ( Detector.packed_warnings packed,
-          Detector.packed_witnesses packed,
-          stats ))
+        let warnings = Detector.packed_warnings packed in
+        Obs_live.pub_fold pub
+          ~counts:
+            (live_counts stats ~extra_elim:0
+               ~warnings:(List.length warnings))
+          ~rules:(Stats.rules_alist stats);
+        (warnings, Detector.packed_witnesses packed, stats))
   in
   (* One span per shard (one mutex acquisition per shard, not per
      event); attributes carry the per-shard load-balance inputs. *)
@@ -202,7 +288,6 @@ let merge_shards (module D : Detector.S) shard_results ~jobs ~cpu ~wall =
     warnings;
     witnesses;
     stats = Stats.sum (List.map (fun (_, _, s, _, _) -> s) results);
-    elapsed = wall;
     cpu;
     wall;
     prefix_wall = 0.;
@@ -213,6 +298,7 @@ let merge_shards (module D : Detector.S) shard_results ~jobs ~cpu ~wall =
 
 let run_static ?(config = Config.default) ~jobs d tr =
   let obs = config.Config.obs in
+  let live = config.Config.live in
   if Obs.is_enabled obs then begin
     Obs.gc_sample obs;
     (* The materialized plan costs one extra counting pass, so it is
@@ -223,14 +309,19 @@ let run_static ?(config = Config.default) ~jobs d tr =
         Obs.set_gauge obs "shard.plan_imbalance" (Shard.imbalance plan);
         Obs.bump obs "shard.broadcast_events" plan.Shard.broadcast)
   end;
+  Obs_live.set_phase live "analyze";
   let cpu0 = Sys.time () in
   let shard_results, wall =
-    Par_run.map ~obs ~jobs (fun ~shard ->
-        analyze_shard ~obs d config ~jobs ~shard tr)
+    (* The collector domain merges the shards' published partials and
+       emits records for the duration of the region. *)
+    Obs_live.with_collector live (fun () ->
+        Par_run.map ~obs ~jobs (fun ~shard ->
+            analyze_shard ~obs ~live d config ~jobs ~shard tr))
   in
   (* On Linux, [Sys.time]'s clock sums CPU across the region's
      domains, so this is detector work, not wall x jobs. *)
   let cpu = Sys.time () -. cpu0 in
+  Obs_live.set_phase live "merge";
   let result =
     Obs.span obs "merge" (fun () ->
         merge_shards d shard_results ~jobs ~cpu ~wall)
@@ -247,6 +338,7 @@ let run_static ?(config = Config.default) ~jobs d tr =
   recorder_gauges obs config.Config.recorder;
   if Obs.is_enabled obs then
     Obs.set_gauge obs "shard.imbalance" result.imbalance;
+  finish_live live result ~wall;
   result
 
 (* ------------------------------------------------------------------ *)
@@ -280,14 +372,41 @@ let timeline_gauges obs (ts : Sync_timeline.stats) =
    events, resolving sync lookups against the shared timeline (the
    item config's [sync_source]).  Cursor state is private to the
    instance, so items are safe to run concurrently. *)
-let analyze_item ?(obs = Obs.disabled) (module D : Detector.S) item_config
-    (s : Shard.t) =
+let analyze_item ?(obs = Obs.disabled) ?(pub = Obs_live.pub_disabled)
+    (module D : Detector.S) item_config (s : Shard.t) =
   let start = Obs.now obs in
   let (warnings, witnesses, stats), item_wall =
     Par_run.wall_time (fun () ->
         let d = D.create item_config in
-        Shard.iteri (fun index e -> D.on_event d ~index e) s;
-        (D.warnings d, D.witnesses d, D.stats d))
+        let on_event index e = D.on_event d ~index e in
+        (* The worker's live publisher outlives items: completed items
+           are folded into its accumulated counts ([pub_fold]), the
+           in-flight one is read through [current] — both on the
+           worker's own domain. *)
+        let on_event =
+          let st = D.stats d in
+          match
+            Obs_live.pub_ticker pub
+              ~current:(fun () ->
+                live_counts st ~extra_elim:0
+                  ~warnings:(List.length (D.warnings d)))
+              ~rules:(fun () -> Stats.rules_alist st)
+          with
+          | None -> on_event
+          | Some tick ->
+            fun index e ->
+              on_event index e;
+              tick ()
+        in
+        Shard.iteri on_event s;
+        let stats = D.stats d in
+        let warnings = D.warnings d in
+        Obs_live.pub_fold pub
+          ~counts:
+            (live_counts stats ~extra_elim:0
+               ~warnings:(List.length warnings))
+          ~rules:(Stats.rules_alist stats);
+        (warnings, D.witnesses d, stats))
   in
   Obs.record_span obs
     ~name:(Printf.sprintf "item-%d" s.Shard.shard_id)
@@ -301,6 +420,7 @@ let analyze_item ?(obs = Obs.disabled) (module D : Detector.S) item_config
 let run_stealing ?(config = Config.default) ~jobs d tr =
   let (module D : Detector.S) = d in
   let obs = config.Config.obs in
+  let live = config.Config.live in
   Obs.gc_sample obs;
   let cpu0 = Sys.time () in
   let result, wall =
@@ -313,6 +433,7 @@ let run_stealing ?(config = Config.default) ~jobs d tr =
            is the sync replay — ~3% of the trace — and the stitch.
            Under the stealing plan, elimination happens at routing
            time: certified accesses never even enter a work item. *)
+        Obs_live.set_phase live "prefix";
         let prefix =
           Prefix.build ~obs ?skip:config.Config.static_elim ~jobs tr
         in
@@ -320,6 +441,15 @@ let run_stealing ?(config = Config.default) ~jobs d tr =
         let prepass = prefix.Prefix.prepass in
         let timeline = prefix.Prefix.timeline in
         timeline_gauges obs (Sync_timeline.stats timeline);
+        (* The prefix's work — timeline replay events and routed-out
+           (eliminated) accesses — is owned by no worker; publish it
+           as the bus base so mid-run progress accounts for it. *)
+        if Obs_live.is_enabled live then
+          Obs_live.set_base live
+            (live_counts
+               (stats_of_timeline (Sync_timeline.stats timeline))
+               ~extra_elim:prepass.Shard.pp_eliminated ~warnings:0);
+        Obs_live.set_phase live "analyze";
         (* Empty items (slots owning no live object) are dropped, not
            scheduled; LPT order is preserved. *)
         let items =
@@ -329,11 +459,20 @@ let run_stealing ?(config = Config.default) ~jobs d tr =
                (Array.to_seq plan.Shard.shards))
         in
         let item_config = Config.with_sync_source timeline config in
-        let (item_results, claimed), _region_wall =
-          Par_run.queue ~obs ~jobs ~tasks:(Array.length items)
-            (fun ~worker:_ ~task ->
-              analyze_item ~obs (module D) item_config items.(task))
+        (* One live publisher per worker, created up front on the
+           calling domain; workers only touch their own. *)
+        let pubs =
+          Array.init (max 1 jobs) (fun w ->
+              Obs_live.publisher live ~worker:w)
         in
+        let (item_results, claimed), _region_wall =
+          Obs_live.with_collector live (fun () ->
+              Par_run.queue ~obs ~jobs ~tasks:(Array.length items)
+                (fun ~worker ~task ->
+                  analyze_item ~obs ~pub:pubs.(worker) (module D)
+                    item_config items.(task)))
+        in
+        Obs_live.set_phase live "merge";
         Obs.span obs "merge" (fun () ->
             (* Per-worker accounting: the dynamic-queue analogue of the
                static per-shard table.  [shard_syncs] is 0 by
@@ -391,7 +530,6 @@ let run_stealing ?(config = Config.default) ~jobs d tr =
                 warnings;
                 witnesses;
                 stats;
-                elapsed = wall;
                 cpu;
                 wall;
                 prefix_wall = prefix.Prefix.wall;
@@ -411,6 +549,7 @@ let run_stealing ?(config = Config.default) ~jobs d tr =
        absolute prefix wall and its fraction of the run. *)
     Obs.set_gauge obs "prefix.frac" (prefix_frac result)
   end;
+  finish_live live result ~wall;
   result
 
 let run_parallel ?(config = Config.default) ?jobs ?plan d tr =

@@ -36,12 +36,6 @@ type result = {
           (chronological, never longer than [warnings]; empty for
           detectors that keep no clocks) *)
   stats : Stats.t;
-  elapsed : float;
-      (** @deprecated alias kept so existing tables don't silently
-          change meaning: equals [cpu] for {!run} (CPU seconds, the
-          historical unit of the sequential driver) and [wall] for
-          {!run_parallel} (CPU would sum across domains).  New code
-          should read [cpu] or [wall] explicitly. *)
   cpu : float;
       (** CPU seconds in the detector; for parallel runs this is the
           process CPU clock, which on Linux sums across the region's
@@ -77,11 +71,19 @@ val run : ?config:Config.t -> (module Detector.S) -> Trace.t -> result
     an unfiltered run. *)
 
 val run_packed :
-  ?obs:Obs.t -> ?skip:(Var.t -> bool) -> Detector.packed -> Trace.t -> result
+  ?obs:Obs.t ->
+  ?live:Obs_live.t ->
+  ?skip:(Var.t -> bool) ->
+  Detector.packed ->
+  Trace.t ->
+  result
 (** Feed a trace to an already-instantiated detector (the detector may
-    carry state from earlier traces).  [obs] defaults to
-    {!Obs.disabled}; {!run} passes its config's handle and
-    [static_elim] predicate ([skip]). *)
+    carry state from earlier traces).  [obs] and [live] default to
+    their disabled handles; {!run} passes its config's handles and
+    [static_elim] predicate ([skip]).  With an enabled [live] the
+    event loop carries a standalone telemetry ticker (the sequential
+    run is its own collector) and the run ends with the stream's final
+    cumulative record. *)
 
 val run_parallel :
   ?config:Config.t -> ?jobs:int -> ?plan:Shard.kind ->

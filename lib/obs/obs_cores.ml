@@ -1,0 +1,15 @@
+(* One core-count authority for the whole tree.
+
+   Before this module, the CLI's --jobs oversubscription warning
+   (through Domain_pool.recommended_jobs) and the exporters' host
+   headers (Obs_export / Obs_traceevent / Bench_json) each called
+   Domain.recommended_domain_count on their own; a future override
+   knob (containers lie about cores; CI wants to pin the figure)
+   would have had to chase every site.  Everyone now reads the one
+   value sampled at program start — the figure cannot drift within a
+   process, and the sample avoids re-querying the runtime from
+   multiple domains. *)
+
+let sampled = Domain.recommended_domain_count ()
+
+let recommended () = sampled

@@ -22,7 +22,7 @@ let document ?(extra = []) t =
     ([ ("schema", Obs_json.str schema_version);
        ("host",
         Obs_json.obj
-          [ ("cores", Obs_json.int (Domain.recommended_domain_count ()));
+          [ ("cores", Obs_json.int (Obs_cores.recommended ()));
             ("ocaml", Obs_json.str Sys.ocaml_version);
             ("word_size", Obs_json.int Sys.word_size) ]);
        ("enabled", Obs_json.bool (Obs.is_enabled t));

@@ -1,0 +1,129 @@
+(** Live telemetry bus: streams in-flight {!Obs_snapshot} merges as
+    delta-encoded NDJSON in the versioned [ftrace.live/1] schema.
+
+    Roles:
+    - the {e driver} creates the bus ({!create}) and one {!pub} per
+      worker ({!publisher});
+    - each {e worker} publishes every [tick_events] events — via a
+      {!pub_ticker} closure wrapped around sharded hot loops, or via
+      {!pub_chunk} when the driver can re-chunk the iteration itself
+      (the sequential loop; zero per-event cost): it flattens its own
+      counters into an immutable partial and publishes it with one
+      atomic store (it never touches the sink or another worker's
+      state), and folds completed detector instances in with
+      {!pub_fold};
+    - the {e collector} merges the latest partials and appends one
+      record per elapsed period — the calling thread itself for
+      sequential runs ([~standalone:true] tickers), a dedicated domain
+      for parallel regions ({!with_collector}).
+
+    Stream layout: a header line ([schema]/[source]/[tool]/
+    [total_events]/[period_s]/[tick_events]/[host]), then records with
+    monotone [seq] and [cum_events], per-record counter deltas under
+    ["d"], and gauges ([evps], [fast_frac], [imbalance], [heap_words],
+    [workers]); finally one [{"final":true}] record whose ["cum"]
+    object carries the run's exact cumulative counters — the same
+    fields the [ftrace.obs/1] [--metrics] export writes, so the stream
+    can be cross-checked against it to the last integer.
+
+    The disabled handle costs one branch at closure-selection time and
+    nothing per event (the ticker is [None], so drivers keep their
+    uninstrumented loop). *)
+
+type t
+type pub
+
+val disabled : t
+val pub_disabled : pub
+val is_enabled : t -> bool
+
+val open_sink : string -> (out_channel * bool, string) result
+(** Parse a [--live] sink spec: ["-"] is stdout (not owned),
+    ["fd:N"] wraps an inherited descriptor, anything else is a file
+    path (truncated).  Returns the channel and whether the caller owns
+    (must close) it. *)
+
+val create :
+  ?period:float ->
+  ?tick_events:int ->
+  ?total:int ->
+  ?source:string ->
+  ?tool:string ->
+  sink:out_channel ->
+  owns_sink:bool ->
+  unit ->
+  t
+(** Open the bus and write the header line.  [period] (default 0.05s)
+    gates record emission; [tick_events] (default 8192) is the
+    per-worker publish granularity; [total] is the trace length used
+    by consumers for progress/ETA (0 when unknown). *)
+
+val publisher : t -> worker:int -> pub
+(** A per-worker publisher handle.  Call once per worker, before its
+    hot loop; on a disabled bus this is free and yields a disabled
+    [pub]. *)
+
+val pub_ticker :
+  ?standalone:bool ->
+  ?rules:(unit -> (string * int) list) ->
+  pub ->
+  current:(unit -> Obs_snapshot.counts) ->
+  (unit -> unit) option
+(** The hot-loop closure, or [None] when disabled (so the driver keeps
+    its uninstrumented loop — the one-branch idiom).  [current] reads
+    the worker's {e own} live counters (same-domain, so the read is
+    safe); it is re-created per detector instance because the counters
+    move.  [rules] likewise reads the instance's own rule tally,
+    invoked only at publish granularity (every [tick_events]), not per
+    event.  [standalone] makes the ticker also drive collection (for
+    sequential runs with no collector domain). *)
+
+val pub_chunk :
+  ?standalone:bool ->
+  ?rules:(unit -> (string * int) list) ->
+  pub ->
+  current:(unit -> Obs_snapshot.counts) ->
+  (int * (unit -> unit)) option
+(** Zero-per-event alternative to {!pub_ticker} for drivers that
+    control their own iteration: returns [(tick_events, publish)].
+    The driver walks the trace in chunks of [tick_events] events and
+    calls [publish] between chunks, so the hot loop runs the exact
+    uninstrumented event handler — the enabled-mode cost moves
+    entirely off the per-event path.  Only applicable when the loop
+    can be re-chunked (the sequential driver's contiguous
+    [Trace.iter_range]); sharded loops iterate index subsequences and
+    keep {!pub_ticker}. *)
+
+val pub_fold :
+  pub -> counts:Obs_snapshot.counts -> rules:(string * int) list -> unit
+(** Fold a {e completed} detector instance into the worker's
+    accumulated counts (and rule hits), and republish.  Rules are only
+    read here — at completion, on the owning domain — never mid-item. *)
+
+val set_phase : t -> string -> unit
+(** Change the driver phase; emits a record immediately on change. *)
+
+val set_base : t -> Obs_snapshot.counts -> unit
+(** Counters not owned by any worker (the stealing prefix's timeline
+    replay and routed-out eliminated accesses); added to every merge. *)
+
+val with_collector : t -> (unit -> 'a) -> 'a
+(** Run [f] with a dedicated collector domain merging and emitting at
+    the bus period; joins it before returning.  On a disabled bus just
+    runs [f]. *)
+
+val finish :
+  t ->
+  wall:float ->
+  fields:(string * int) list ->
+  rules:(string * int) list ->
+  warnings:int ->
+  unit
+(** Emit the final record from the run's merged result counters
+    ([Stats.fields_alist]-shaped), guaranteeing the stream's cumulative
+    totals equal the [--metrics] export exactly.  Idempotent; the bus
+    stops emitting afterwards. *)
+
+val close : t -> unit
+(** Flush, and close the sink if owned.  The CLI owns the lifecycle;
+    the driver never closes. *)

@@ -66,8 +66,13 @@ let observe h v =
   let i = bucket_of v in
   h.buckets.(i) <- h.buckets.(i) + 1;
   h.count <- h.count + 1;
-  h.sum <- h.sum +. v;
-  if v > h.max_sample then h.max_sample <- v
+  (* non-finite samples clamp in the bucket map above; keep them out
+     of the running sum/max so one NaN or infinity can't poison the
+     aggregates for the whole run *)
+  if Float.is_finite v then begin
+    h.sum <- h.sum +. v;
+    if v > h.max_sample then h.max_sample <- v
+  end
 
 (* ------------------------------------------------------------------ *)
 

@@ -88,7 +88,7 @@ let document t =
        Obs_json.obj
          [ ("schema", Obs_json.str schema_version);
            ("ocaml", Obs_json.str Sys.ocaml_version);
-           ("cores", Obs_json.int (Domain.recommended_domain_count ())) ]);
+           ("cores", Obs_json.int (Obs_cores.recommended ())) ]);
       ("traceEvents", Obs_json.arr (names @ events)) ]
 
 let to_string t = Obs_json.to_string (document t)

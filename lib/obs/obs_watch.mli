@@ -1,0 +1,33 @@
+(** State and rendering for [ftrace watch]: folds [ftrace.live/1]
+    NDJSON lines into a running view and renders it as a terminal
+    panel or a one-line-per-record stream.
+
+    Pure string-out rendering — the CLI owns the tailing loop and the
+    redraw escapes — so panels are testable by feeding records and
+    asserting on the output. *)
+
+type t
+
+val create : unit -> t
+
+val feed : t -> Obs_json_read.t -> unit
+(** Fold one parsed record (header, delta, or final) in.  Unknown
+    fields are ignored (forward compatibility within the /1 major). *)
+
+val feed_line : t -> string -> unit
+(** [feed] after parsing; blank and malformed lines are skipped. *)
+
+val final : t -> bool
+val warnings : t -> int
+
+val seq : t -> int
+(** Sequence number of the latest record folded in (0 before any) —
+    lets a tailing loop detect that a redraw is due. *)
+
+val render_line : t -> string
+(** One status line for the latest record (non-TTY sinks). *)
+
+val render_panel : ?width:int -> t -> string list
+(** The self-updating panel: progress bar + ETA, ev/s sparkline,
+    fast-path share, counters, top rules, per-worker bars; as lines
+    without trailing newlines. *)

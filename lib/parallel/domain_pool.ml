@@ -1,4 +1,7 @@
-let recommended_jobs () = Domain.recommended_domain_count ()
+(* One authority for the figure (Obs_cores samples the runtime once at
+   program start): the CLI's oversubscription warning, the pool's
+   sizing and the exporters' host headers can never disagree. *)
+let recommended_jobs () = Obs_cores.recommended ()
 
 type 'a outcome =
   | Ok of 'a

@@ -1,0 +1,374 @@
+(* The live telemetry bus's contract (ISSUE 7):
+
+   1. the bus NEVER changes analysis results: warnings and witnesses
+      are identical with --live on vs off, sequentially and under both
+      parallel plans (the bus observes, it does not steer);
+   2. the stream is a valid ftrace.live/1 document: header first,
+      monotone cum_events, loss-free delta encoding (summing deltas
+      reproduces the cumulative counters), and the final record's
+      totals equal the run's Stats exactly — i.e. the --metrics
+      export;
+   3. snapshot arithmetic is exact ([sub (add a b) a = b]) and the
+      derived figures (progress, fast-path share, imbalance) behave
+      at the edges;
+   4. satellite coverage: Obs_metrics histograms at the edge buckets
+      (zero, negative, max_int) and Obs.merge of empty/disabled shard
+      views; Obs_cores as the single sizing authority;
+   5. ftrace watch's state machine reproduces the stream's verdict
+      from the NDJSON alone. *)
+
+module J = Obs_json_read
+
+let fasttrack = (module Fasttrack : Detector.S)
+
+let trace_of name =
+  match Workloads.find name with
+  | Some w -> Workload.trace ~seed:11 ~scale:1 w
+  | None -> Alcotest.failf "unknown workload %s" name
+
+(* Run [d] on [tr] with the live bus writing to a temp file; return
+   the result and the stream's lines. *)
+let run_live ?jobs ?plan d tr =
+  let path = Filename.temp_file "ftlive" ".ndjson" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let sink = open_out path in
+      let live =
+        Obs_live.create ~total:(Trace.length tr) ~source:"test"
+          ~tool:"FastTrack" ~sink ~owns_sink:true ()
+      in
+      let config = Config.with_live live Config.default in
+      let r =
+        match jobs with
+        | None -> Driver.run ~config d tr
+        | Some jobs -> Driver.run_parallel ~config ~jobs ?plan d tr
+      in
+      Obs_live.close live;
+      let ic = open_in path in
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> close_in ic);
+      (r, List.rev !lines))
+
+let parse_stream lines =
+  let docs = List.map J.parse lines in
+  match docs with
+  | header :: records -> (header, records)
+  | [] -> Alcotest.fail "empty live stream"
+
+let counts_of_delta j =
+  match J.member "d" j with
+  | None -> Obs_snapshot.zero
+  | Some d ->
+    { Obs_snapshot.events = J.int d "events";
+      reads = J.int d "reads";
+      writes = J.int d "writes";
+      syncs = J.int d "syncs";
+      eliminated = J.int d "eliminated";
+      epoch_ops = J.int d "epoch_ops";
+      vc_ops = J.int d "vc_ops";
+      state_words = J.int d "state_words";
+      warnings = J.int d "warnings" }
+
+(* ------------------------------------------------------------------ *)
+(* 1. invariance: live on vs off                                      *)
+
+let check_same_verdict (off : Driver.result) (on : Driver.result) =
+  Alcotest.(check int)
+    "same warning count"
+    (List.length off.Driver.warnings)
+    (List.length on.Driver.warnings);
+  Alcotest.(check bool) "identical warnings" true
+    (off.Driver.warnings = on.Driver.warnings);
+  Alcotest.(check bool) "identical witnesses" true
+    (off.Driver.witnesses = on.Driver.witnesses)
+
+let test_invariance_seq () =
+  List.iter
+    (fun name ->
+      let tr = trace_of name in
+      let off = Driver.run fasttrack tr in
+      let on, _ = run_live fasttrack tr in
+      check_same_verdict off on)
+    [ "raytracer"; "moldyn"; "hedc" ]
+
+let test_invariance_parallel () =
+  List.iter
+    (fun plan ->
+      let tr = trace_of "raytracer" in
+      let off = Driver.run_parallel ~jobs:3 ~plan fasttrack tr in
+      let on, _ = run_live ~jobs:3 ~plan fasttrack tr in
+      check_same_verdict off on)
+    [ Shard.Static; Shard.Stealing ]
+
+(* ------------------------------------------------------------------ *)
+(* 2. stream schema, monotonicity, delta/final consistency            *)
+
+let check_stream ?jobs ?plan name =
+  let tr = trace_of name in
+  let r, lines = run_live ?jobs ?plan fasttrack tr in
+  let header, records = parse_stream lines in
+  Alcotest.(check string)
+    "schema" "ftrace.live/1" (J.str header "schema");
+  Alcotest.(check int)
+    "header total" (Trace.length tr) (J.int header "total_events");
+  Alcotest.(check bool) "has records" true (records <> []);
+  (* monotone cum_events; deltas sum to the final cumulative *)
+  let last_cum = ref (-1) in
+  let summed = ref Obs_snapshot.zero in
+  List.iter
+    (fun rec_j ->
+      let cum = J.int rec_j "cum_events" in
+      if cum < !last_cum then
+        Alcotest.failf "cum_events not monotone: %d after %d" cum !last_cum;
+      last_cum := cum;
+      summed := Obs_snapshot.add !summed (counts_of_delta rec_j))
+    records;
+  let final = List.nth records (List.length records - 1) in
+  Alcotest.(check bool) "final flag" true (J.bool final "final");
+  Alcotest.(check string) "final phase" "done" (J.str final "phase");
+  (* final totals == the run's Stats (the --metrics export's fields) *)
+  let fields = Stats.fields_alist r.Driver.stats in
+  let field name = List.assoc name fields in
+  let cum =
+    match J.member "cum" final with
+    | Some c -> c
+    | None -> Alcotest.fail "final record has no cum object"
+  in
+  List.iter
+    (fun (k, v) ->
+      Alcotest.(check int) (Printf.sprintf "final cum.%s" k) v (J.int cum k))
+    fields;
+  Alcotest.(check int)
+    "final cum_events = events + eliminated"
+    (field "events" + field "eliminated")
+    (J.int final "cum_events");
+  Alcotest.(check int)
+    "final warnings" (List.length r.Driver.warnings)
+    (J.int final "warnings");
+  (* loss-free deltas: the summed deltas reach the final cumulative
+     event count (the final record carries no delta of its own) *)
+  Alcotest.(check int)
+    "summed deltas = cum_events"
+    (J.int final "cum_events")
+    (!summed.Obs_snapshot.events + !summed.Obs_snapshot.eliminated)
+
+let test_stream_seq () = check_stream "raytracer"
+let test_stream_static () = check_stream ~jobs:3 ~plan:Shard.Static "hedc"
+
+let test_stream_stealing () =
+  check_stream ~jobs:3 ~plan:Shard.Stealing "raytracer"
+
+(* ------------------------------------------------------------------ *)
+(* 3. snapshot arithmetic and derived figures                         *)
+
+let some_counts =
+  { Obs_snapshot.events = 100; reads = 60; writes = 30; syncs = 10;
+    eliminated = 5; epoch_ops = 80; vc_ops = 20; state_words = 512;
+    warnings = 1 }
+
+let other_counts =
+  { Obs_snapshot.events = 7; reads = 3; writes = 2; syncs = 2;
+    eliminated = 0; epoch_ops = 6; vc_ops = 1; state_words = 64;
+    warnings = 0 }
+
+let test_counts_arith () =
+  let open Obs_snapshot in
+  Alcotest.(check bool) "sub (add a b) a = b" true
+    (sub (add some_counts other_counts) some_counts = other_counts);
+  Alcotest.(check bool) "add zero = id" true
+    (add some_counts zero = some_counts);
+  Alcotest.(check bool) "sub self = zero" true
+    (sub some_counts some_counts = zero)
+
+let test_derived_figures () =
+  let open Obs_snapshot in
+  let snap phase counts workers =
+    { empty with at = 2.0; phase; counts; workers }
+  in
+  let s = snap "analyze" some_counts [||] in
+  (* events_seen counts eliminated accesses as progress *)
+  Alcotest.(check int) "events_seen" 105 (events_seen s);
+  Alcotest.(check (float 1e-9)) "progress" 0.5 (progress ~total:210 s);
+  (* overshoot clamps (static-plan broadcast replays) *)
+  Alcotest.(check (float 1e-9)) "progress clamps" 1.0 (progress ~total:50 s);
+  Alcotest.(check (float 1e-9)) "unknown total reads as no progress" 0.
+    (progress ~total:0 s);
+  Alcotest.(check (float 1e-9)) "fast path" 0.8 (fast_path_frac s);
+  Alcotest.(check (float 1e-9)) "fast path of idle" 0.
+    (fast_path_frac empty);
+  (* imbalance: max over mean of per-worker events *)
+  let balanced =
+    snap "analyze" some_counts
+      [| { w_id = 0; w_events = 50 }; { w_id = 1; w_events = 50 } |]
+  in
+  let skewed =
+    snap "analyze" some_counts
+      [| { w_id = 0; w_events = 90 }; { w_id = 1; w_events = 10 } |]
+  in
+  Alcotest.(check (float 1e-9)) "balanced" 1.0 (imbalance balanced);
+  Alcotest.(check (float 1e-9)) "skewed" 1.8 (imbalance skewed);
+  Alcotest.(check (float 1e-9)) "no workers" 1.0 (imbalance s);
+  (* rate between snapshots *)
+  let earlier = { (snap "analyze" other_counts [||]) with at = 1.0 } in
+  Alcotest.(check (float 1e-6)) "rate" 98. (rate ~prev:earlier s);
+  Alcotest.(check (float 1e-9)) "rate of zero interval" 0.
+    (rate ~prev:s s)
+
+let test_merge_snapshots () =
+  let open Obs_snapshot in
+  let a =
+    { empty with
+      counts = some_counts;
+      rules = [ ("read same epoch", 4); ("write exclusive", 2) ];
+      workers = [| { w_id = 1; w_events = 100 } |];
+      heap_words = 1000 }
+  in
+  let b =
+    { empty with
+      counts = other_counts;
+      rules = [ ("write exclusive", 3) ];
+      workers = [| { w_id = 0; w_events = 7 } |];
+      heap_words = 2000 }
+  in
+  let m = merge ~at:3.0 ~phase:"merge" [ a; b ] in
+  Alcotest.(check bool) "counts add" true
+    (m.counts = add some_counts other_counts);
+  Alcotest.(check bool) "rules merge by name, descending" true
+    (m.rules = [ ("write exclusive", 5); ("read same epoch", 4) ]);
+  Alcotest.(check int) "workers sorted by id" 0 m.workers.(0).w_id;
+  Alcotest.(check int) "heap takes max" 2000 m.heap_words;
+  Alcotest.(check string) "phase from caller" "merge" m.phase;
+  let e = merge ~at:0. ~phase:"start" [] in
+  Alcotest.(check bool) "merge of nothing is empty counts" true
+    (e.counts = zero)
+
+(* ------------------------------------------------------------------ *)
+(* 4. satellites: histogram edges, merge of empty/disabled views      *)
+
+let test_histogram_edges () =
+  let m = Obs_metrics.create () in
+  let h = Obs_metrics.histogram m "edge" in
+  (* zero, negative, NaN and infinity all land in (and clamp to) the
+     bottom bucket instead of crashing or skewing the exponent map *)
+  Obs_metrics.observe h 0.;
+  Obs_metrics.observe h (-4.2);
+  Obs_metrics.observe h Float.nan;
+  Obs_metrics.observe h Float.infinity;
+  (* max_int (~2^62) is far above the 2^32 top bucket: clamps high *)
+  Obs_metrics.observe h (float_of_int max_int);
+  (* a subnormal is below the 2^-32 bottom bucket: clamps low *)
+  Obs_metrics.observe h 1e-300;
+  Obs_metrics.observe h 1.5;
+  let s = Obs_metrics.snapshot m in
+  let hs = List.assoc "edge" s.Obs_metrics.histograms in
+  Alcotest.(check int) "count" 7 hs.Obs_metrics.count;
+  Alcotest.(check (float 0.)) "max sample" (float_of_int max_int)
+    hs.Obs_metrics.max_sample;
+  let bucket e =
+    match List.assoc_opt e hs.Obs_metrics.buckets with
+    | Some n -> n
+    | None -> 0
+  in
+  (* bottom bucket = exponent -32: zero + negative + nan + inf +
+     subnormal *)
+  Alcotest.(check int) "bottom bucket" 5 (bucket (-32));
+  (* top bucket = exponent 32: max_int clamped *)
+  Alcotest.(check int) "top bucket" 1 (bucket 32);
+  (* 1.5 has frexp exponent 1 *)
+  Alcotest.(check int) "ordinary sample" 1 (bucket 1);
+  Alcotest.(check int) "nothing else" 7
+    (List.fold_left (fun a (_, n) -> a + n) 0 hs.Obs_metrics.buckets)
+
+let test_merge_empty_views () =
+  (* merging an untouched shard view is a no-op *)
+  let parent = Obs.create () in
+  Obs.bump parent "x" 3;
+  let view = Obs.shard_view parent in
+  Obs.merge ~into:parent view;
+  (match Obs.metrics parent with
+  | None -> Alcotest.fail "enabled obs has metrics"
+  | Some m ->
+    let s = Obs_metrics.snapshot m in
+    Alcotest.(check bool) "counters unchanged" true
+      (s.Obs_metrics.counters = [ ("x", 3) ]));
+  (* a disabled handle's shard view is disabled; merging disabled
+     into enabled (and vice versa) is a no-op, not a crash *)
+  let disabled_view = Obs.shard_view Obs.disabled in
+  Alcotest.(check bool) "disabled view stays disabled" false
+    (Obs.is_enabled disabled_view);
+  Obs.merge ~into:parent disabled_view;
+  Obs.merge ~into:Obs.disabled (Obs.shard_view parent);
+  (match Obs.metrics parent with
+  | None -> Alcotest.fail "enabled obs has metrics"
+  | Some m ->
+    let s = Obs_metrics.snapshot m in
+    Alcotest.(check bool) "still unchanged" true
+      (s.Obs_metrics.counters = [ ("x", 3) ]))
+
+let test_cores_authority () =
+  let c = Obs_cores.recommended () in
+  Alcotest.(check bool) "at least one core" true (c >= 1);
+  Alcotest.(check int) "stable across calls" c (Obs_cores.recommended ());
+  Alcotest.(check int) "pool sizing uses it" c
+    (Domain_pool.recommended_jobs ())
+
+(* ------------------------------------------------------------------ *)
+(* 5. ftrace watch state machine                                      *)
+
+let test_watch_replay () =
+  let tr = trace_of "raytracer" in
+  let r, lines = run_live fasttrack tr in
+  let w = Obs_watch.create () in
+  List.iter (Obs_watch.feed_line w) lines;
+  Alcotest.(check bool) "final" true (Obs_watch.final w);
+  Alcotest.(check int) "warnings"
+    (List.length r.Driver.warnings)
+    (Obs_watch.warnings w);
+  Alcotest.(check bool) "seq advanced" true (Obs_watch.seq w > 0);
+  (* rendering is total: panel and line both produce output *)
+  let panel = Obs_watch.render_panel ~width:72 w in
+  Alcotest.(check bool) "panel has lines" true (List.length panel >= 3);
+  Alcotest.(check bool) "panel reports done" true
+    (List.exists
+       (fun l ->
+         Astring.String.is_infix ~affix:"done" (String.lowercase_ascii l))
+       panel);
+  Alcotest.(check bool) "line renders" true
+    (String.length (Obs_watch.render_line w) > 0);
+  (* torn/blank/garbage lines are skipped, not fatal *)
+  Obs_watch.feed_line w "";
+  Obs_watch.feed_line w "{\"seq\":";
+  Obs_watch.feed_line w "not json at all";
+  Alcotest.(check bool) "still final after garbage" true (Obs_watch.final w)
+
+let suite =
+  ( "live",
+    [ Alcotest.test_case "live on/off: sequential verdicts identical"
+        `Quick test_invariance_seq;
+      Alcotest.test_case "live on/off: parallel verdicts identical"
+        `Quick test_invariance_parallel;
+      Alcotest.test_case "stream: sequential schema + totals" `Quick
+        test_stream_seq;
+      Alcotest.test_case "stream: static plan schema + totals" `Quick
+        test_stream_static;
+      Alcotest.test_case "stream: stealing plan schema + totals" `Quick
+        test_stream_stealing;
+      Alcotest.test_case "snapshot: exact counter arithmetic" `Quick
+        test_counts_arith;
+      Alcotest.test_case "snapshot: derived figures at the edges" `Quick
+        test_derived_figures;
+      Alcotest.test_case "snapshot: merge semantics" `Quick
+        test_merge_snapshots;
+      Alcotest.test_case "histograms: zero/negative/max_int edges" `Quick
+        test_histogram_edges;
+      Alcotest.test_case "obs: merge of empty/disabled shard views" `Quick
+        test_merge_empty_views;
+      Alcotest.test_case "cores: one sizing authority" `Quick
+        test_cores_authority;
+      Alcotest.test_case "watch: replays a stream to the verdict" `Quick
+        test_watch_replay ] )

@@ -21,6 +21,7 @@ let () =
       Test_parallel.suite;
       Test_stats.suite;
       Test_obs.suite;
+      Test_live.suite;
       Test_report.suite;
       Test_static.suite;
       Test_workloads.suite ]

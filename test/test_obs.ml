@@ -481,15 +481,14 @@ let test_invariance () =
         [ 2; 5 ])
     [ "raytracer"; "hedc"; "tsp" ]
 
-(* Driver.result unit split: cpu and wall are both populated, and the
-   deprecated elapsed alias preserves the historical meaning (CPU for
-   sequential, wall for parallel). *)
+(* Driver.result unit split: cpu and wall are both populated with
+   their own units (no alias — the deprecated [elapsed] field is
+   gone; readers name the clock they mean). *)
 let test_elapsed_units () =
   let w = Option.get (Workloads.find "raytracer") in
   let tr = Workload.trace ~seed:11 ~scale:1 w in
   let seq = Driver.run (module Fasttrack) tr in
-  Alcotest.(check (float 1e-9)) "seq elapsed = cpu" seq.Driver.cpu
-    seq.Driver.elapsed;
+  if seq.Driver.cpu < 0. then Alcotest.fail "negative cpu";
   if seq.Driver.wall < 0. then Alcotest.fail "negative wall";
   Alcotest.(check int) "seq has no shard table" 0
     (Array.length seq.Driver.shards);
@@ -501,8 +500,7 @@ let test_elapsed_units () =
   let par =
     Driver.run_parallel ~jobs:3 ~plan:Shard.Static (module Fasttrack) tr
   in
-  Alcotest.(check (float 1e-9)) "par elapsed = wall" par.Driver.wall
-    par.Driver.elapsed;
+  if par.Driver.wall < 0. then Alcotest.fail "negative parallel wall";
   Alcotest.(check int) "par shard table" 3 (Array.length par.Driver.shards);
   let reads, writes, _ = Trace.counts tr in
   let owned =

@@ -10,8 +10,8 @@
       replayable slice reproduces the warning;
    3. the ftrace.report/1 and ftrace.trace/1 JSON documents parse and
       carry the advertised fields (reusing Test_obs's reader);
-   4. Driver.result's deprecated [elapsed] alias still equals the
-      documented field per driver (cpu sequential, wall parallel). *)
+   4. Driver.result's timing fields carry their documented units (cpu
+      and wall are separate clocks; the old [elapsed] alias is gone). *)
 
 let trace_of name =
   let w = Option.get (Workloads.find name) in
@@ -369,17 +369,19 @@ let test_write_files () =
         Test_obs.(as_str (member "schema" j)))
 
 (* ------------------------------------------------------------------ *)
-(* The deprecated elapsed alias (satellite: internal readers are gone,
-   the alias itself must keep its documented meaning).                *)
+(* Driver timing fields: with the deprecated [elapsed] alias removed,
+   cpu and wall are the only clocks, each with its documented unit.   *)
 
 let test_elapsed_alias () =
   let tr = trace_of "raytracer" in
   let seq = Driver.run (module Fasttrack) tr in
-  Alcotest.(check (float 1e-9)) "sequential: elapsed ≡ cpu"
-    seq.Driver.cpu seq.Driver.elapsed;
+  if seq.Driver.cpu < 0. then Alcotest.fail "sequential: negative cpu";
+  if seq.Driver.wall < 0. then Alcotest.fail "sequential: negative wall";
   let par = Driver.run_parallel ~jobs:2 (module Fasttrack) tr in
-  Alcotest.(check (float 1e-9)) "parallel: elapsed ≡ wall"
-    par.Driver.wall par.Driver.elapsed
+  if par.Driver.wall < 0. then Alcotest.fail "parallel: negative wall";
+  (* a 2-domain region's process-CPU clock can only meet or exceed the
+     sequential detector's work, never go negative *)
+  if par.Driver.cpu < 0. then Alcotest.fail "parallel: negative cpu"
 
 let suite =
   ( "report",
@@ -406,5 +408,5 @@ let suite =
       Alcotest.test_case "trace-event: ftrace.trace/1 JSON" `Quick
         test_traceevent_json;
       Alcotest.test_case "report: file round-trip" `Quick test_write_files;
-      Alcotest.test_case "driver: elapsed alias units" `Quick
+      Alcotest.test_case "driver: timing field units" `Quick
         test_elapsed_alias ] )
