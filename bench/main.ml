@@ -33,6 +33,7 @@ let experiments :
     ("parallel", Bench_parallel.run);
     ("elimination", Bench_elimination.run);
     ("live", Bench_live.run);
+    ("profile", Bench_profile.run);
     ("micro", fun ~scale:_ ~repeat:_ () -> Bench_micro.run ()) ]
 
 (* Experiments whose headline numbers are multicore speedups: running

@@ -198,7 +198,7 @@ let generate_cmd =
 (* The --verbose-stats panel: counters, rule histogram, per-shard
    load table, GC cross-check, and warnings re-rendered with their
    rule-histogram context and shard provenance. *)
-let print_verbose_panel ~jobs ~obs (r : Driver.result) =
+let print_verbose_panel ~jobs ~obs ~prof (r : Driver.result) =
   print_endline "-- counters --";
   let t =
     Table.create ~columns:[ ("Metric", Table.Left); ("Value", Table.Right) ]
@@ -278,6 +278,10 @@ let print_verbose_panel ~jobs ~obs (r : Driver.result) =
         (Table.fmt_int r.stats.Stats.peak_words)
     | [] -> ())
   | None -> ());
+  if Obs_prof.is_enabled prof then begin
+    print_endline "-- profile --";
+    List.iter print_endline (Obs_prof.render ~tool:r.tool prof)
+  end;
   match r.warnings with
   | [] -> ()
   | warnings ->
@@ -351,21 +355,22 @@ let analyze_prefiltered ~granularity ~fail_on_race pf d tr path =
 (* Several flags can write to stdout via "-".  Two NDJSON/JSON streams
    interleaved on one descriptor are garbage for every consumer, so
    the collision is an error, not a surprise. *)
-let stdout_sink_collision ~metrics ~report ~trace_out ~live =
+let stdout_sink_collision ~metrics ~report ~trace_out ~live ~profile =
   let sinks =
     List.filter_map
       (fun (flag, v) -> if v = Some "-" then Some flag else None)
       [ ("--metrics", metrics); ("--report", report);
-        ("--trace-out", trace_out); ("--live", live) ]
+        ("--trace-out", trace_out); ("--live", live);
+        ("--profile", profile) ]
   in
   if List.length sinks > 1 then Some (String.concat " and " sinks)
   else None
 
 let analyze path tool granularity jobs prefilter static_elim show_stats
     verbose_stats metrics explain_race report trace_out live live_period
-    fail_on_race =
+    profile fail_on_race =
   match
-    stdout_sink_collision ~metrics ~report ~trace_out ~live
+    stdout_sink_collision ~metrics ~report ~trace_out ~live ~profile
   with
   | Some clash ->
     Printf.eprintf
@@ -387,13 +392,13 @@ let analyze path tool granularity jobs prefilter static_elim show_stats
       if
         jobs <> 1 || verbose_stats || metrics <> None || explain_race
         || report <> None || trace_out <> None || live <> None
-        || static_elim
+        || static_elim || profile <> None
       then begin
         prerr_endline
           "ftrace: --prefilter runs the sequential composition pipeline \
            and cannot be combined with --jobs, --static-elim, \
            --verbose-stats, --metrics, --explain, --report, \
-           --trace-out or --live";
+           --trace-out, --live or --profile";
         1
       end
       else
@@ -430,6 +435,13 @@ let analyze path tool granularity jobs prefilter static_elim show_stats
         if explain_race || report <> None then Obs_recorder.create ()
         else Obs_recorder.disabled
       in
+      (* The shadow-state profiler rides when --profile asks for the
+         ftrace.prof/1 export or --verbose-stats wants the panel; off,
+         the detectors pay one cached-bool branch per access. *)
+      let prof =
+        if profile <> None || verbose_stats then Obs_prof.create ()
+        else Obs_prof.disabled
+      in
       (* The live telemetry bus streams in-flight snapshots while the
          run is still going (--metrics is post-hoc); the CLI owns the
          sink's lifecycle, the driver only feeds the bus. *)
@@ -451,9 +463,10 @@ let analyze path tool granularity jobs prefilter static_elim show_stats
         1
       | Ok live ->
       let config =
-        Config.with_live live
-          (Config.with_recorder recorder
-             (Config.with_obs obs (config_of granularity)))
+        Config.with_prof prof
+          (Config.with_live live
+             (Config.with_recorder recorder
+                (Config.with_obs obs (config_of granularity))))
       in
       let config =
         match static_pred with
@@ -521,12 +534,22 @@ let analyze path tool granularity jobs prefilter static_elim show_stats
                        si.Driver.shard_id si.Driver.shard_accesses)
                    result.Driver.shards)));
       if show_stats then Format.printf "%a@." Stats.pp result.stats;
-      if verbose_stats then print_verbose_panel ~jobs ~obs result;
+      if verbose_stats then print_verbose_panel ~jobs ~obs ~prof result;
       Option.iter
         (fun file ->
           Driver.write_metrics ~source:path ~obs ~path:file result;
           if file <> "-" then Printf.printf "wrote metrics to %s\n" file)
         metrics;
+      (* The ftrace.prof/1 export: the run's merged profile (cells,
+         census, top-K, timing) plus the result's stats counters for
+         cross-checking. *)
+      Option.iter
+        (fun file ->
+          Obs_prof.write_file ~path:file ~source:path
+            ~tool:result.Driver.tool ~wall:result.Driver.wall
+            ~stats:(Stats.fields_alist result.Driver.stats) prof;
+          if file <> "-" then Printf.printf "wrote profile to %s\n" file)
+        profile;
       (* Enriched report: reconstruct the happens-before witnesses'
          first-access indices, sync paths and replayable slices (cold
          post-pass, only when asked). *)
@@ -541,7 +564,7 @@ let analyze path tool granularity jobs prefilter static_elim show_stats
       end;
       Option.iter
         (fun file ->
-          Obs_traceevent.write_file ~path:file obs;
+          Obs_traceevent.write_file ~path:file ~prof obs;
           if file <> "-" then Printf.printf "wrote trace events to %s\n" file)
         trace_out;
       if fail_on_race then if result.warnings = [] then 0 else 1
@@ -647,6 +670,17 @@ let analyze_cmd =
              ~doc:"Tick period of the $(b,--live) stream (default \
                    0.05s): at most one record is emitted per period.")
   in
+  let profile =
+    Arg.(value & opt (some string) None
+         & info [ "profile" ] ~docv:"FILE"
+             ~doc:"Enable the shadow-state profiler and write its JSON \
+                   document (schema $(b,ftrace.prof/1): per-variable \
+                   cost attribution with Figure 5 rule and cost-class \
+                   counts, shadow census with inflation lifecycle, \
+                   heavy-hitter top-K table, sampled timing buckets) to \
+                   $(docv); $(b,-) writes to stdout.  See also \
+                   $(b,ftrace profile) for the human panel.")
+  in
   let fail_on_race =
     Arg.(value & flag
          & info [ "fail-on-race" ]
@@ -662,7 +696,7 @@ let analyze_cmd =
       const analyze $ trace_arg $ tool_arg $ granularity_arg $ jobs_arg
       $ prefilter $ static_elim $ stats $ verbose_stats $ metrics
       $ explain_race $ report $ trace_out $ live $ live_period
-      $ fail_on_race)
+      $ profile $ fail_on_race)
 
 (* ------------------------------------------------------------------ *)
 (* compare                                                            *)
@@ -839,6 +873,80 @@ let stats_cmd =
        ~doc:"Print a trace's operation mix and FastTrack's rule \
              frequencies (the Figure 2 measurements)")
     Term.(const mix $ trace_arg)
+
+(* ------------------------------------------------------------------ *)
+(* profile                                                            *)
+
+(* Run one detector with the shadow-state profiler on and print the
+   human panel: totals and the O(1)-path share, per-rule attribution
+   with Figure 5 cost classes, the shadow census (epoch-only vs
+   inflated, approximate bytes), sampled timing, and the top variables
+   by attributed ops.  [--json] additionally writes the machine
+   document (same schema as analyze --profile). *)
+let profile_run path tool granularity jobs stride top json =
+  match load_trace path with
+  | Error msg ->
+    prerr_endline msg;
+    1
+  | Ok tr -> (
+    match List.assoc_opt (String.lowercase_ascii tool) detectors with
+    | None ->
+      Printf.eprintf "unknown tool %S\n" tool;
+      1
+    | Some d ->
+      let prof = Obs_prof.create ~sample_stride:stride () in
+      let config = Config.with_prof prof (config_of granularity) in
+      let jobs = if jobs = 0 then Driver.default_jobs () else max 1 jobs in
+      let result =
+        if jobs > 1 then Driver.run_parallel ~config ~jobs d tr
+        else Driver.run ~config d tr
+      in
+      List.iter print_endline
+        (Obs_prof.render ~top ~source:path ~tool:result.Driver.tool prof);
+      if result.Driver.warnings <> [] then begin
+        Printf.printf "%d warning(s):\n"
+          (List.length result.Driver.warnings);
+        List.iter
+          (fun w -> Printf.printf "  %s\n" (Warning.to_string w))
+          result.Driver.warnings
+      end;
+      Option.iter
+        (fun file ->
+          Obs_prof.write_file ~path:file ~source:path
+            ~tool:result.Driver.tool ~wall:result.Driver.wall
+            ~stats:(Stats.fields_alist result.Driver.stats) prof;
+          if file <> "-" then Printf.printf "wrote profile to %s\n" file)
+        json;
+      if result.Driver.warnings = [] then 0 else 2)
+
+let profile_cmd =
+  let stride =
+    Arg.(value & opt int 512
+         & info [ "stride" ] ~docv:"N"
+             ~doc:"Timing sample period: one access in $(docv) is \
+                   bracketed with the monotonic clock (default 512).")
+  in
+  let top =
+    Arg.(value & opt int 10
+         & info [ "top" ] ~docv:"N"
+             ~doc:"Rows of the hot-variable table (default 10).")
+  in
+  let json =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE"
+             ~doc:"Also write the $(b,ftrace.prof/1) JSON document to \
+                   $(docv); $(b,-) writes to stdout.")
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Profile a detector run: per-variable cost attribution \
+             (Figure 5 rules and cost classes), shadow-state census \
+             with the read-VC inflation lifecycle, heavy-hitter \
+             ranking and sampled access timing.  Exit code 2 if races \
+             were found, mirroring $(b,analyze)")
+    Term.(
+      const profile_run $ trace_arg $ tool_arg $ granularity_arg
+      $ jobs_arg $ stride $ top $ json)
 
 (* ------------------------------------------------------------------ *)
 (* watch                                                              *)
@@ -1045,6 +1153,6 @@ let main_cmd =
        ~doc:"Dynamic race detection on execution traces (FastTrack, \
              PLDI 2009 reproduction)")
     [ generate_cmd; analyze_cmd; compare_cmd; check_cmd; explain_cmd;
-      lint_cmd; stats_cmd; watch_cmd; workloads_cmd ]
+      lint_cmd; stats_cmd; profile_cmd; watch_cmd; workloads_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -11,7 +11,7 @@ type t =
 let create (config : Config.t) stats =
   match config.Config.sync_source with
   | Some tl -> Shared (Sync_timeline.cursor tl)
-  | None -> Live (Vc_state.create stats)
+  | None -> Live (Vc_state.create ~prof:config.Config.prof stats)
 
 let is_shared = function Live _ -> false | Shared _ -> true
 

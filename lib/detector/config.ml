@@ -5,6 +5,7 @@ type t = {
   obs : Obs.t;
   recorder : Obs_recorder.t;
   live : Obs_live.t;
+  prof : Obs_prof.t;
   sync_source : Sync_timeline.t option;
   static_elim : (Var.t -> bool) option;
 }
@@ -16,12 +17,14 @@ let default =
     obs = Obs.disabled;
     recorder = Obs_recorder.disabled;
     live = Obs_live.disabled;
+    prof = Obs_prof.disabled;
     sync_source = None;
     static_elim = None }
 
 let with_obs obs t = { t with obs }
 let with_recorder recorder t = { t with recorder }
 let with_live live t = { t with live }
+let with_prof prof t = { t with prof }
 let with_sync_source tl t = { t with sync_source = Some tl }
 let with_static_elim skip t = { t with static_elim = Some skip }
 

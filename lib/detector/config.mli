@@ -39,6 +39,17 @@
     are byte-identical with it on or off (asserted in
     [test/test_live.ml]).
 
+    [prof] is the shadow-state profiler ({!Obs_prof}): default
+    {!Obs_prof.disabled} (detectors cache one [prof_on : bool] and pay
+    a single branch per access), enabled by [ftrace analyze --profile]
+    and [ftrace profile].  Enabled, the detectors attribute each
+    access's Figure 5 rule to the variable's cell, tag read-history
+    inflation/deflation, sample access timings, and register a
+    shadow-state census walker the driver runs at end of run.  Like
+    the other observability handles it never changes analysis results
+    — warnings and witnesses are byte-identical with it on or off
+    (asserted in [test/test_prof.ml]).
+
     [sync_source] selects the detector's {!Clock_source} mode: [None]
     (the default, and the only sensible value for sequential runs)
     gives each detector instance a private live {!Vc_state};
@@ -66,17 +77,19 @@ type t = {
   obs : Obs.t;
   recorder : Obs_recorder.t;
   live : Obs_live.t;
+  prof : Obs_prof.t;
   sync_source : Sync_timeline.t option;
   static_elim : (Var.t -> bool) option;
 }
 
 val default : t
 (** Fine granularity, all optimizations on, observability, the flight
-    recorder and the live bus off, live sync state. *)
+    recorder, the live bus and the profiler off, live sync state. *)
 
 val with_obs : Obs.t -> t -> t
 val with_recorder : Obs_recorder.t -> t -> t
 val with_live : Obs_live.t -> t -> t
+val with_prof : Obs_prof.t -> t -> t
 val with_sync_source : Sync_timeline.t -> t -> t
 val with_static_elim : (Var.t -> bool) -> t -> t
 

@@ -62,10 +62,13 @@ let live_counts (st : Stats.t) ~extra_elim ~warnings =
 
 (* Final live record, from the same merged counters the --metrics
    export writes — the stream's cumulative totals must equal the
-   ftrace.obs/1 document to the last integer. *)
-let finish_live live r ~wall =
+   ftrace.obs/1 document to the last integer.  [prof] (the run's
+   merged profiler, if any) contributes the final hot-variable
+   standings. *)
+let finish_live ?(prof = Obs_prof.disabled) live r ~wall =
   if Obs_live.is_enabled live then
     Obs_live.finish live ~wall
+      ~top_vars:(Obs_prof.hot_alist ~k:8 prof)
       ~fields:(Stats.fields_alist r.stats)
       ~rules:(Stats.rules_alist r.stats)
       ~warnings:(List.length r.warnings)
@@ -84,8 +87,8 @@ let recorder_gauges obs recorder =
       (float_of_int (Obs_recorder.approx_words recorder))
   end
 
-let run_packed ?(obs = Obs.disabled) ?(live = Obs_live.disabled) ?skip
-    packed tr =
+let run_packed ?(obs = Obs.disabled) ?(live = Obs_live.disabled)
+    ?(prof = Obs_prof.disabled) ?skip packed tr =
   (* Select the event-loop body once, outside the loop: the disabled
      path is byte-for-byte the pre-observability loop. *)
   let on_event =
@@ -126,6 +129,7 @@ let run_packed ?(obs = Obs.disabled) ?(live = Obs_live.disabled) ?skip
           live_counts st ~extra_elim:!eliminated
             ~warnings:(List.length (Detector.packed_warnings packed)))
         ~rules:(fun () -> Stats.rules_alist st)
+        ~vars:(fun () -> Obs_prof.hot_alist ~k:8 prof)
     with
     | None -> fun () -> Trace.iteri on_event tr
     | Some (chunk, publish) ->
@@ -151,6 +155,9 @@ let run_packed ?(obs = Obs.disabled) ?(live = Obs_live.disabled) ?skip
   Obs.gc_sample_full obs;
   let stats = Detector.packed_stats packed in
   stats.Stats.eliminated <- stats.Stats.eliminated + !eliminated;
+  (* End-of-run shadow census (cold: one walk of the final shadow
+     state, only when profiling is on). *)
+  Obs_prof.take_census prof;
   finish_metrics obs stats ~wall;
   let r =
     { tool = Detector.packed_name packed;
@@ -165,13 +172,13 @@ let run_packed ?(obs = Obs.disabled) ?(live = Obs_live.disabled) ?skip
       plan_kind = Shard.Static;
       slots = 1 }
   in
-  finish_live live r ~wall;
+  finish_live ~prof live r ~wall;
   r
 
 let run ?(config = Config.default) d tr =
   let r =
     run_packed ~obs:config.Config.obs ~live:config.Config.live
-      ?skip:config.Config.static_elim
+      ~prof:config.Config.prof ?skip:config.Config.static_elim
       (Detector.instantiate d config) tr
   in
   recorder_gauges config.Config.obs config.Config.recorder;
@@ -190,7 +197,14 @@ let analyze_shard ?(obs = Obs.disabled) ?(live = Obs_live.disabled) d
      broadcast sync stream would otherwise race on the shared held-lock
      state.  Views are merged after the region. *)
   let rec_view = Obs_recorder.shard_view config.Config.recorder in
-  let shard_config = Config.with_recorder rec_view config in
+  (* Same discipline for the profiler: a private view (fresh cells,
+     fresh sketch) per shard, merged after the region.  Variable
+     sharding makes the per-key cells disjoint, so the merged profile
+     — including the top-K — equals the sequential run's exactly. *)
+  let prof_view = Obs_prof.shard_view config.Config.prof in
+  let shard_config =
+    Config.with_prof prof_view (Config.with_recorder rec_view config)
+  in
   let (warnings, witnesses, stats), shard_wall =
     Par_run.wall_time (fun () ->
         let packed = Detector.instantiate d shard_config in
@@ -223,6 +237,7 @@ let analyze_shard ?(obs = Obs.disabled) ?(live = Obs_live.disabled) d
                   ~warnings:
                     (List.length (Detector.packed_warnings packed)))
               ~rules:(fun () -> Stats.rules_alist st)
+              ~vars:(fun () -> Obs_prof.hot_alist ~k:8 prof_view)
           with
           | None -> on_event
           | Some tick ->
@@ -234,7 +249,10 @@ let analyze_shard ?(obs = Obs.disabled) ?(live = Obs_live.disabled) d
         let stats = Detector.packed_stats packed in
         stats.Stats.eliminated <- stats.Stats.eliminated + !eliminated;
         let warnings = Detector.packed_warnings packed in
+        (* Census on the owning domain, over this shard's cells only. *)
+        Obs_prof.take_census prof_view;
         Obs_live.pub_fold pub
+          ~vars:(Obs_prof.hot_alist ~k:8 prof_view)
           ~counts:
             (live_counts stats ~extra_elim:0
                ~warnings:(List.length warnings))
@@ -251,12 +269,12 @@ let analyze_shard ?(obs = Obs.disabled) ?(live = Obs_live.disabled) d
         ("broadcast_replays", Obs_span.Int stats.Stats.syncs);
         ("warnings", Obs_span.Int (List.length warnings)) ]
     ();
-  (warnings, witnesses, stats, shard_wall, rec_view)
+  (warnings, witnesses, stats, shard_wall, rec_view, prof_view)
 
 let merge_shards (module D : Detector.S) shard_results ~jobs ~cpu ~wall =
   let shards =
     Array.mapi
-      (fun i (w, _, (s : Stats.t), shard_wall, _) ->
+      (fun i (w, _, (s : Stats.t), shard_wall, _, _) ->
         { shard_id = i;
           shard_accesses = s.Stats.reads + s.Stats.writes;
           shard_syncs = s.Stats.syncs;
@@ -276,18 +294,18 @@ let merge_shards (module D : Detector.S) shard_results ~jobs ~cpu ~wall =
      argument (they are captured beside the warnings, one per key at
      most). *)
   let warnings =
-    List.concat_map (fun (w, _, _, _, _) -> w) results
+    List.concat_map (fun (w, _, _, _, _, _) -> w) results
     |> List.stable_sort Warning.compare
   in
   let witnesses =
-    List.concat_map (fun (_, ws, _, _, _) -> ws) results
+    List.concat_map (fun (_, ws, _, _, _, _) -> ws) results
     |> List.stable_sort (fun (a : Witness.t) b ->
            Int.compare a.Witness.index b.Witness.index)
   in
   { tool = D.name;
     warnings;
     witnesses;
-    stats = Stats.sum (List.map (fun (_, _, s, _, _) -> s) results);
+    stats = Stats.sum (List.map (fun (_, _, s, _, _, _) -> s) results);
     cpu;
     wall;
     prefix_wall = 0.;
@@ -330,15 +348,16 @@ let run_static ?(config = Config.default) ~jobs d tr =
      handle (disjoint per-key rings under variable sharding: a move,
      not an interleave).  No-op when the recorder is disabled. *)
   Array.iter
-    (fun (_, _, _, _, rec_view) ->
-      Obs_recorder.merge ~into:config.Config.recorder rec_view)
+    (fun (_, _, _, _, rec_view, prof_view) ->
+      Obs_recorder.merge ~into:config.Config.recorder rec_view;
+      Obs_prof.merge ~into:config.Config.prof prof_view)
     shard_results;
   Obs.gc_sample_full obs;
   finish_metrics obs result.stats ~wall;
   recorder_gauges obs config.Config.recorder;
   if Obs.is_enabled obs then
     Obs.set_gauge obs "shard.imbalance" result.imbalance;
-  finish_live live result ~wall;
+  finish_live ~prof:config.Config.prof live result ~wall;
   result
 
 (* ------------------------------------------------------------------ *)
@@ -375,8 +394,13 @@ let timeline_gauges obs (ts : Sync_timeline.stats) =
 let analyze_item ?(obs = Obs.disabled) ?(pub = Obs_live.pub_disabled)
     (module D : Detector.S) item_config (s : Shard.t) =
   let start = Obs.now obs in
-  let (warnings, witnesses, stats), item_wall =
+  let (warnings, witnesses, stats, prof_view), item_wall =
     Par_run.wall_time (fun () ->
+        (* A private profiler view per item (items own disjoint
+           objects, hence disjoint cells), created here on the worker
+           domain; merged on the main domain after the region. *)
+        let prof_view = Obs_prof.shard_view item_config.Config.prof in
+        let item_config = Config.with_prof prof_view item_config in
         let d = D.create item_config in
         let on_event index e = D.on_event d ~index e in
         (* The worker's live publisher outlives items: completed items
@@ -391,6 +415,7 @@ let analyze_item ?(obs = Obs.disabled) ?(pub = Obs_live.pub_disabled)
                 live_counts st ~extra_elim:0
                   ~warnings:(List.length (D.warnings d)))
               ~rules:(fun () -> Stats.rules_alist st)
+              ~vars:(fun () -> Obs_prof.hot_alist ~k:8 prof_view)
           with
           | None -> on_event
           | Some tick ->
@@ -401,12 +426,14 @@ let analyze_item ?(obs = Obs.disabled) ?(pub = Obs_live.pub_disabled)
         Shard.iteri on_event s;
         let stats = D.stats d in
         let warnings = D.warnings d in
+        Obs_prof.take_census prof_view;
         Obs_live.pub_fold pub
+          ~vars:(Obs_prof.hot_alist ~k:8 prof_view)
           ~counts:
             (live_counts stats ~extra_elim:0
                ~warnings:(List.length warnings))
           ~rules:(Stats.rules_alist stats);
-        (warnings, D.witnesses d, stats))
+        (warnings, D.witnesses d, stats, prof_view))
   in
   Obs.record_span obs
     ~name:(Printf.sprintf "item-%d" s.Shard.shard_id)
@@ -415,7 +442,7 @@ let analyze_item ?(obs = Obs.disabled) ?(pub = Obs_live.pub_disabled)
       [ ("accesses", Obs_span.Int s.Shard.accesses);
         ("warnings", Obs_span.Int (List.length warnings)) ]
     ();
-  (warnings, witnesses, stats, item_wall)
+  (warnings, witnesses, stats, item_wall, prof_view)
 
 let run_stealing ?(config = Config.default) ~jobs d tr =
   let (module D : Detector.S) = d in
@@ -473,6 +500,12 @@ let run_stealing ?(config = Config.default) ~jobs d tr =
                     item_config items.(task)))
         in
         Obs_live.set_phase live "merge";
+        (* Fold each item's private profiler view back into the parent
+           (disjoint cells: a move).  No-op when profiling is off. *)
+        Array.iter
+          (fun (_, _, _, _, prof_view) ->
+            Obs_prof.merge ~into:config.Config.prof prof_view)
+          item_results;
         Obs.span obs "merge" (fun () ->
             (* Per-worker accounting: the dynamic-queue analogue of the
                static per-shard table.  [shard_syncs] is 0 by
@@ -483,7 +516,7 @@ let run_stealing ?(config = Config.default) ~jobs d tr =
                   let acc = ref 0 and walls = ref 0. and warns = ref 0 in
                   List.iter
                     (fun id ->
-                      let w, _, (s : Stats.t), item_wall =
+                      let w, _, (s : Stats.t), item_wall, _ =
                         item_results.(id)
                       in
                       acc := !acc + s.Stats.reads + s.Stats.writes;
@@ -509,11 +542,11 @@ let run_stealing ?(config = Config.default) ~jobs d tr =
                chronological list exactly (same argument as the static
                plan, unchanged by the pull order). *)
             let warnings =
-              List.concat_map (fun (w, _, _, _) -> w) results
+              List.concat_map (fun (w, _, _, _, _) -> w) results
               |> List.stable_sort Warning.compare
             in
             let witnesses =
-              List.concat_map (fun (_, ws, _, _) -> ws) results
+              List.concat_map (fun (_, ws, _, _, _) -> ws) results
               |> List.stable_sort (fun (a : Witness.t) b ->
                      Int.compare a.Witness.index b.Witness.index)
             in
@@ -523,7 +556,7 @@ let run_stealing ?(config = Config.default) ~jobs d tr =
                  prefix component, mirroring where they were dropped *)
               tl_stats.Stats.eliminated <- prepass.Shard.pp_eliminated;
               Stats.sum
-                (tl_stats :: List.map (fun (_, _, s, _) -> s) results)
+                (tl_stats :: List.map (fun (_, _, s, _, _) -> s) results)
             in
             fun cpu wall ->
               { tool = D.name;
@@ -549,7 +582,7 @@ let run_stealing ?(config = Config.default) ~jobs d tr =
        absolute prefix wall and its fraction of the run. *)
     Obs.set_gauge obs "prefix.frac" (prefix_frac result)
   end;
-  finish_live live result ~wall;
+  finish_live ~prof:config.Config.prof live result ~wall;
   result
 
 let run_parallel ?(config = Config.default) ?jobs ?plan d tr =

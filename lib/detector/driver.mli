@@ -73,17 +73,21 @@ val run : ?config:Config.t -> (module Detector.S) -> Trace.t -> result
 val run_packed :
   ?obs:Obs.t ->
   ?live:Obs_live.t ->
+  ?prof:Obs_prof.t ->
   ?skip:(Var.t -> bool) ->
   Detector.packed ->
   Trace.t ->
   result
 (** Feed a trace to an already-instantiated detector (the detector may
-    carry state from earlier traces).  [obs] and [live] default to
-    their disabled handles; {!run} passes its config's handles and
-    [static_elim] predicate ([skip]).  With an enabled [live] the
-    event loop carries a standalone telemetry ticker (the sequential
-    run is its own collector) and the run ends with the stream's final
-    cumulative record. *)
+    carry state from earlier traces).  [obs], [live] and [prof]
+    default to their disabled handles; {!run} passes its config's
+    handles and [static_elim] predicate ([skip]).  With an enabled
+    [live] the event loop carries a standalone telemetry ticker (the
+    sequential run is its own collector) and the run ends with the
+    stream's final cumulative record.  [prof] must be the {e same}
+    handle the packed detector was instantiated with: the driver runs
+    the end-of-run shadow census through it ({!Obs_prof.take_census})
+    and feeds the live stream's [top_vars] standings from it. *)
 
 val run_parallel :
   ?config:Config.t -> ?jobs:int -> ?plan:Shard.kind ->

@@ -2,6 +2,7 @@ module VC = Vector_clock
 
 type t = {
   stats : Stats.t;
+  prof : Obs_prof.t;  (* sync-op attribution hook; disabled = None *)
   mutable clocks : VC.t array;   (* C, indexed by tid *)
   mutable epochs : Epoch.t array; (* cached E(t) = C_t(t)@t *)
   mutable nthreads : int;
@@ -9,8 +10,9 @@ type t = {
   volatiles : (Volatile.t, VC.t) Hashtbl.t;
 }
 
-let create stats =
+let create ?(prof = Obs_prof.disabled) stats =
   { stats;
+    prof;
     clocks = [||];
     epochs = [||];
     nthreads = 0;
@@ -59,7 +61,11 @@ let sync_vc s table key =
     Stats.add_words s.stats (VC.heap_words v);
     v
 
-let vc_op s = s.stats.vc_ops <- s.stats.vc_ops + 1
+let vc_op s =
+  s.stats.vc_ops <- s.stats.vc_ops + 1;
+  (* sync events are a few percent of a trace, so the profiler hook
+     here is a plain (cold-ish) call, not a cached-bool branch *)
+  Obs_prof.sync_vc_op s.prof
 
 let handle_sync s e =
   match e with

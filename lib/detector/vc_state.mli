@@ -11,7 +11,13 @@
 
 type t
 
-val create : Stats.t -> t
+val create : ?prof:Obs_prof.t -> Stats.t -> t
+(** [prof] (default disabled) receives one [Obs_prof.sync_vc_op] per
+    synchronization-driven vector-clock operation, so the profiler
+    can attribute VC cost to the sync machinery separately from the
+    per-variable access rules.  Under the stealing plan sync is
+    replayed by [Sync_timeline] before the region, so a shared-mode
+    detector's profile counts 0 here. *)
 
 val clock : t -> Tid.t -> Vector_clock.t
 (** [C_t], created on first use with [C_t(t) = 1]

@@ -35,6 +35,7 @@ type worker_pub = {
   (* worker-local accumulation; only the owning domain touches it *)
   mutable wp_done : Obs_snapshot.counts;  (* completed detector instances *)
   mutable wp_rules : (string * int) list; (* merged rules of the same *)
+  mutable wp_vars : (string * int) list;  (* merged hot-var standings *)
   mutable wp_countdown : int;
 }
 
@@ -166,6 +167,12 @@ let record_json e (snap : Obs_snapshot.t) =
       ("rules",
        Obs_json.obj
          (List.map (fun (k, v) -> (k, Obs_json.int v)) snap.rules));
+      (* hot-variable standings (profiling runs only), top 8 of the
+         merged per-worker lists — same shape as rules *)
+      ("top_vars",
+       Obs_json.obj
+         (List.filteri (fun i _ -> i < 8) snap.vars
+         |> List.map (fun (k, v) -> (k, Obs_json.int v))));
       ("workers", workers_json snap.workers) ]
 
 (* ------------------------------------------------------------------ *)
@@ -221,6 +228,7 @@ let publisher (t : t) ~worker : pub =
         wp_tick_events = e.tick_events;
         wp_done = Obs_snapshot.zero;
         wp_rules = [];
+        wp_vars = [];
         wp_countdown = e.tick_events }
     in
     Mutex.lock e.mu;
@@ -238,32 +246,40 @@ let publish p =
          { Obs_snapshot.empty with
            counts = c;
            rules = wp.wp_rules;
+           vars = wp.wp_vars;
            workers =
              [| { Obs_snapshot.w_id = wp.wp_id;
                   w_events = c.Obs_snapshot.events + c.Obs_snapshot.eliminated } |] })
 
 (* The publish slow path shared by both ticker shapes: merge the
    worker's folded-in counts with its in-flight instance, stamp the
-   rule standings, swap the partial into the collector-visible slot. *)
-let tick_publish e wp rules ~current ~standalone =
+   rule (and hot-variable) standings, swap the partial into the
+   collector-visible slot. *)
+let tick_publish e wp rules vars ~current ~standalone =
   let c = Obs_snapshot.add wp.wp_done (current ()) in
   let rs =
     match rules with
     | None -> wp.wp_rules
     | Some f -> Obs_snapshot.merge_rules [ wp.wp_rules; f () ]
   in
+  let vs =
+    match vars with
+    | None -> wp.wp_vars
+    | Some f -> Obs_snapshot.merge_rules [ wp.wp_vars; f () ]
+  in
   Atomic.set wp.wp_slot
     (Some
        { Obs_snapshot.empty with
          counts = c;
          rules = rs;
+         vars = vs;
          workers =
            [| { Obs_snapshot.w_id = wp.wp_id;
                 w_events =
                   c.Obs_snapshot.events + c.Obs_snapshot.eliminated } |] });
   if standalone then step e
 
-let pub_ticker ?(standalone = false) ?rules (p : pub)
+let pub_ticker ?(standalone = false) ?rules ?vars (p : pub)
     ~(current : unit -> Obs_snapshot.counts) : (unit -> unit) option =
   match p with
   | None -> None
@@ -273,10 +289,10 @@ let pub_ticker ?(standalone = false) ?rules (p : pub)
         wp.wp_countdown <- wp.wp_countdown - 1;
         if wp.wp_countdown <= 0 then begin
           wp.wp_countdown <- wp.wp_tick_events;
-          tick_publish e wp rules ~current ~standalone
+          tick_publish e wp rules vars ~current ~standalone
         end)
 
-let pub_chunk ?(standalone = false) ?rules (p : pub)
+let pub_chunk ?(standalone = false) ?rules ?vars (p : pub)
     ~(current : unit -> Obs_snapshot.counts) : (int * (unit -> unit)) option
     =
   match p with
@@ -290,15 +306,16 @@ let pub_chunk ?(standalone = false) ?rules (p : pub)
        index subsequences and keep {!pub_ticker}. *)
     Some
       ( max 1 wp.wp_tick_events,
-        fun () -> tick_publish e wp rules ~current ~standalone )
+        fun () -> tick_publish e wp rules vars ~current ~standalone )
 
-let pub_fold (p : pub) ~(counts : Obs_snapshot.counts)
+let pub_fold ?(vars = []) (p : pub) ~(counts : Obs_snapshot.counts)
     ~(rules : (string * int) list) =
   match p with
   | None -> ()
   | Some (_, wp) ->
     wp.wp_done <- Obs_snapshot.add wp.wp_done counts;
     wp.wp_rules <- Obs_snapshot.merge_rules [ wp.wp_rules; rules ];
+    wp.wp_vars <- Obs_snapshot.merge_rules [ wp.wp_vars; vars ];
     publish p
 
 (* ------------------------------------------------------------------ *)
@@ -349,7 +366,7 @@ let with_collector (t : t) f =
 (* ------------------------------------------------------------------ *)
 (* Final record                                                       *)
 
-let finish (t : t) ~wall ~(fields : (string * int) list)
+let finish ?(top_vars = []) (t : t) ~wall ~(fields : (string * int) list)
     ~(rules : (string * int) list) ~warnings =
   match t with
   | None -> ()
@@ -396,6 +413,10 @@ let finish (t : t) ~wall ~(fields : (string * int) list)
                  ("rules",
                   Obs_json.obj
                     (List.map (fun (k, v) -> (k, Obs_json.int v)) rules));
+                 ("top_vars",
+                  Obs_json.obj
+                    (List.filteri (fun i _ -> i < 8) top_vars
+                    |> List.map (fun (k, v) -> (k, Obs_json.int v))));
                  ("warnings", Obs_json.int warnings);
                  ("wall_s", Obs_json.float wall) ]);
           e.finished <- true

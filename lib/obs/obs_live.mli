@@ -66,6 +66,7 @@ val publisher : t -> worker:int -> pub
 val pub_ticker :
   ?standalone:bool ->
   ?rules:(unit -> (string * int) list) ->
+  ?vars:(unit -> (string * int) list) ->
   pub ->
   current:(unit -> Obs_snapshot.counts) ->
   (unit -> unit) option
@@ -75,12 +76,15 @@ val pub_ticker :
     safe); it is re-created per detector instance because the counters
     move.  [rules] likewise reads the instance's own rule tally,
     invoked only at publish granularity (every [tick_events]), not per
-    event.  [standalone] makes the ticker also drive collection (for
-    sequential runs with no collector domain). *)
+    event; [vars] is its twin for the profiler's hot-variable
+    standings ([Obs_prof.hot_alist]), surfaced as the records'
+    [top_vars] field.  [standalone] makes the ticker also drive
+    collection (for sequential runs with no collector domain). *)
 
 val pub_chunk :
   ?standalone:bool ->
   ?rules:(unit -> (string * int) list) ->
+  ?vars:(unit -> (string * int) list) ->
   pub ->
   current:(unit -> Obs_snapshot.counts) ->
   (int * (unit -> unit)) option
@@ -95,10 +99,15 @@ val pub_chunk :
     keep {!pub_ticker}. *)
 
 val pub_fold :
-  pub -> counts:Obs_snapshot.counts -> rules:(string * int) list -> unit
+  ?vars:(string * int) list ->
+  pub ->
+  counts:Obs_snapshot.counts ->
+  rules:(string * int) list ->
+  unit
 (** Fold a {e completed} detector instance into the worker's
-    accumulated counts (and rule hits), and republish.  Rules are only
-    read here — at completion, on the owning domain — never mid-item. *)
+    accumulated counts (and rule and hot-variable standings), and
+    republish.  Rules are only read here — at completion, on the
+    owning domain — never mid-item. *)
 
 val set_phase : t -> string -> unit
 (** Change the driver phase; emits a record immediately on change. *)
@@ -113,6 +122,7 @@ val with_collector : t -> (unit -> 'a) -> 'a
     runs [f]. *)
 
 val finish :
+  ?top_vars:(string * int) list ->
   t ->
   wall:float ->
   fields:(string * int) list ->

@@ -1,0 +1,247 @@
+(** Shadow-state profiler: per-variable cost attribution, shadow
+    census, and the [ftrace.prof/1] export.
+
+    FastTrack's empirical claim is distributional — almost every
+    access takes an O(1) epoch path, and read vector clocks rarely
+    stay inflated — but the run-level counters ([Stats.epoch_ops] /
+    [vc_ops]) only prove it in aggregate.  This module attributes the
+    cost to {e variables}: the detector attaches a {!cell} to each
+    shadow state and bumps per-rule counters through it, tags
+    inflation/deflation transitions of the read history, and lets the
+    driver take a final (or periodic) {e census} of the shadow state
+    classifying each variable as epoch-only vs inflated and summing
+    its approximate memory footprint.  A mergeable Space-Saving
+    sketch ({!Obs_topk}) ranks the hot variables in bounded memory so
+    the ranking survives the planned streaming front-end, where
+    per-variable exact cells will not fit.
+
+    {b Cost model} (measured by [bench profile], gated at <= 10% on
+    moldyn): disabled, the handle is an immediate [None] — detectors
+    cache one [prof_on : bool] and pay a single predictable branch
+    per access.  Enabled, an access costs one array increment, one
+    class-total increment and two stores ({!hit}), plus a countdown
+    decrement for the timing sampler ({!sample_due}); the clock is
+    only read once per [sample_stride] accesses.  Census, top-K folds
+    and exports run off the hot path entirely.
+
+    Like the other [lib/obs] facilities, this module sits below the
+    detector library: it deals in integer keys and display names, not
+    [Var.t] or [Stats.t].
+
+    {b Sharding}: same discipline as [Obs_recorder] — each shard or
+    work item profiles into a private {!shard_view} (fresh cells,
+    fresh sketch), and the driver {!merge}s the views on the main
+    domain after the parallel region.  Variable sharding makes the
+    per-key cells disjoint, so the merge is a move and the merged
+    profile (including the top-K, see {!Obs_topk}) equals the
+    sequential run's exactly. *)
+
+type t
+type cell
+
+(** Figure 5's cost classes: [Same_epoch] is the same-epoch fast
+    path; [Epoch] covers the remaining O(1) rules (epoch compares and
+    the READ SHARED slot update); [Vc] is the two O(n) vector-clock
+    walks (READ SHARE, WRITE SHARED). *)
+type rule_class = Same_epoch | Epoch | Vc
+
+val class_to_string : rule_class -> string
+
+val disabled : t
+val is_enabled : t -> bool
+
+val create :
+  ?topk_capacity:int ->
+  ?sample_stride:int ->
+  ?series_capacity:int ->
+  unit ->
+  t
+(** An enabled profiler.  [topk_capacity] (default 256) bounds the
+    heavy-hitter sketch; [sample_stride] (default 512) is the access
+    period of the timing sampler; [series_capacity] (default 512)
+    bounds the Perfetto counter-track series (it thins by 2x and
+    doubles its stride when full). *)
+
+(** {2 Detector-side hooks} *)
+
+val register_rules : t -> (string * rule_class) array -> unit
+(** Declare the detector's rule set once, at instance creation.
+    {!hit} indices refer to positions in this array. *)
+
+val no_cell : cell
+(** Placeholder for shadow states created while profiling is
+    disabled; never counted. *)
+
+val cell : t -> key:int -> name:string -> cell
+(** The attribution cell for a shadow key, created on first use (cold
+    path: once per variable).  [name] is the display name warnings
+    use (e.g. ["x3.1"]). *)
+
+val hit : t -> cell -> int -> unit
+(** Attribute one access resolved by rule [i] to [cell].  The hot
+    hook: callers must guard with a cached [is_enabled] bool so the
+    disabled cost stays one branch.  Resolves the rule's cost class
+    through the registered rule array; rule sites that know their
+    class statically should call the specialized variant instead. *)
+
+val hit_same : t -> cell -> int -> unit
+val hit_epoch : t -> cell -> int -> unit
+
+val hit_vc : t -> cell -> int -> unit
+(** {!hit} specialized to a statically-known cost class, skipping the
+    class lookup.  [i] must be a registered rule index below
+    the registered rule count (and the 16-slot cell floor) — the
+    arrays are accessed unchecked. *)
+
+val cell_rules : cell -> int array
+(** The cell's raw per-rule counter array, for detectors that inline
+    the increment itself (cache the array next to the shadow state,
+    bump [a.(i)] directly).  A detector on this protocol must also
+    call {!note_totals} whenever the profiler is about to read global
+    state — before each {!sample} and at the start of its census
+    walker — and {!attribute} on the access being timed; the [hit]
+    family must not be mixed in (the totals would double-count).
+    This is the protocol the overhead gate in [bench profile] prices:
+    the per-access cost is one array increment plus one cached-bool
+    test. *)
+
+val attribute : t -> cell -> vc:bool -> unit
+(** Record the cell and cost class ([vc] = an O(n) rule fired) of the
+    access being timed, for {!sample} to attribute.  Called from the
+    rule site, only on the one access per stride the detector is
+    sampling. *)
+
+val note_totals : t -> same:int -> epoch:int -> vc:int -> unit
+(** Reconcile the class totals from the detector's own counters
+    (absolute values, not deltas).  Cold: sample and census
+    boundaries only. *)
+
+val inflate : t -> cell -> unit
+(** The variable's read history just inflated to a vector clock
+    (READ SHARE). *)
+
+val deflate : t -> cell -> unit
+(** The read history just demoted back to an epoch (WRITE SHARED
+    under read demotion). *)
+
+val sync_vc_op : t -> unit
+(** A synchronization-driven vector-clock operation ([Vc_state]);
+    attributed to the sync machinery rather than any variable.  Under
+    the stealing plan sync is replayed by the shared timeline before
+    the region, so this counts 0 there — the export documents the
+    asymmetry. *)
+
+(** {2 Sampled timing} *)
+
+val sample_due : t -> bool
+(** Decrement the sample countdown; [true] once every
+    [sample_stride] calls (always [false] disabled).  The caller
+    brackets the access with [Obs_clock.now] and reports {!sample}. *)
+
+val sample_stride : t -> int
+(** The configured sample period (0 disabled).  Detectors that keep
+    the countdown in their own record — one register decrement per
+    access instead of a cross-module {!sample_due} call — read it
+    once at creation and call {!begin_sample} when their countdown
+    expires. *)
+
+val begin_sample : t -> unit
+(** A timing sample is starting: the next {!hit} records its cell and
+    cost class for {!sample} to attribute. *)
+
+val sample : t -> ns:float -> unit
+(** Record a sampled access duration, attributed to the cell and cost
+    class of the last {!hit}, into log2-ns buckets; also advances the
+    counter-track series. *)
+
+(** {2 Census} *)
+
+val set_census : t -> (unit -> unit) -> unit
+(** Register the detector's shadow-state walker.  The walker calls
+    {!census_var} once per initialized shadow state. *)
+
+val census_var :
+  t -> cell -> inflated:bool -> words:int -> rvc_words:int -> unit
+(** Classify one variable: [inflated] iff its read history is
+    currently a vector clock; [words] is its whole shadow-state
+    footprint including [rvc_words] (the read VC's share, 0 when
+    epoch-only). *)
+
+val take_census : t -> unit
+(** Run the registered walker (resetting previous census counts) and
+    fold the cells into the top-K sketch.  Drivers call this at end
+    of run / shard / item, on the domain that owns the cells. *)
+
+(** {2 Sharding} *)
+
+val shard_view : t -> t
+(** A private view sharing the parent's configuration and clock epoch
+    (so series timestamps align) but owning fresh cells and a fresh
+    sketch.  Disabled parent => disabled view. *)
+
+val merge : into:t -> t -> unit
+(** Fold a view back into the parent (cells move — disjoint keys
+    under variable sharding; totals, buckets, census and sketch
+    add).  Main-domain, post-region only. *)
+
+(** {2 Consumers} *)
+
+val accesses : t -> int
+(** Attributed accesses so far ([Same_epoch + Epoch + Vc] totals). *)
+
+val vc_walks : t -> int
+(** Accesses resolved by an O(n) rule ([Vc] class: READ SHARE /
+    WRITE SHARED) — the complement of {!fast_frac}'s numerator. *)
+
+val inflated_now : t -> int
+(** Variables whose read history was a vector clock at the last
+    {!take_census} (0 before any census). *)
+
+val fast_frac : t -> float
+(** Fraction of attributed accesses resolved by an O(1) rule
+    ([Same_epoch] or [Epoch]); [0.] before any access (never NaN). *)
+
+val same_epoch_frac : t -> float
+(** Fraction resolved by the same-epoch fast path alone. *)
+
+val hot_alist : ?k:int -> t -> (string * int) list
+(** Top [k] (default 5) variables by attributed ops, for the
+    [ftrace.live/1] [top_vars] field.  Scans the cell table — publish
+    granularity only, not per event. *)
+
+val series : t -> (float * int * int) list
+(** The merged counter-track series: [(seconds, cumulative O(1) ops,
+    cumulative VC-walk ops)], chronological, summed across shard
+    views.  Feeds the Perfetto counter tracks in {!Obs_traceevent}. *)
+
+val schema_version : string
+(** ["ftrace.prof/1"]. *)
+
+val document :
+  ?source:string ->
+  ?tool:string ->
+  ?wall:float ->
+  ?stats:(string * int) list ->
+  ?top:int ->
+  t ->
+  Obs_json.t
+(** The [ftrace.prof/1] document: totals, per-rule attribution with
+    cost classes, census, the joined top-[top] (default 20) variable
+    table, sketch metadata, timing buckets and the run's [stats]
+    counters when provided.  A disabled handle yields a valid
+    document with zeroed totals. *)
+
+val write_file :
+  path:string ->
+  ?source:string ->
+  ?tool:string ->
+  ?wall:float ->
+  ?stats:(string * int) list ->
+  ?top:int ->
+  t ->
+  unit
+(** Write {!document} to [path]; ["-"] writes to stdout. *)
+
+val render : ?top:int -> ?source:string -> ?tool:string -> t -> string list
+(** The human panel (for [ftrace profile] and [--verbose-stats]): one
+    string per line, no trailing newline. *)

@@ -66,13 +66,14 @@ type t = {
   phase : string;
   counts : counts;
   rules : (string * int) list;  (* cumulative rule hits; [] mid-run *)
+  vars : (string * int) list;   (* hot-variable standings; [] unless profiling *)
   workers : worker array;
   heap_words : int;  (* GC quick-stat at snapshot time; 0 if unsampled *)
 }
 
 let empty =
-  { at = 0.; phase = ""; counts = zero; rules = []; workers = [||];
-    heap_words = 0 }
+  { at = 0.; phase = ""; counts = zero; rules = []; vars = [];
+    workers = [||]; heap_words = 0 }
 
 (* Merge rule alists by name (each worker's cumulative hits add). *)
 let merge_rules alists =
@@ -94,6 +95,7 @@ let merge ~at ~phase parts =
     phase;
     counts = List.fold_left (fun acc p -> add acc p.counts) zero parts;
     rules = merge_rules (List.map (fun p -> p.rules) parts);
+    vars = merge_rules (List.map (fun p -> p.vars) parts);
     workers =
       Array.concat (List.map (fun p -> p.workers) parts)
       |> (fun ws ->

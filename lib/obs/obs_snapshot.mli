@@ -39,6 +39,9 @@ type t = {
   rules : (string * int) list;
       (** cumulative per-rule hits, descending; [[]] when the
           publisher skipped them (mid-item partials) *)
+  vars : (string * int) list;
+      (** hot-variable standings from the shadow-state profiler
+          ([Obs_prof.hot_alist]), descending; [[]] unless profiling *)
   workers : worker array;  (** ascending by [w_id] *)
   heap_words : int;  (** GC heap words at snapshot time; 0 unsampled *)
 }

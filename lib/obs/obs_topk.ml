@@ -1,0 +1,99 @@
+(* Space-Saving top-K (see obs_topk.mli for the guarantees).
+
+   The entry table is a hashtable keyed by the tracked key; eviction
+   finds the minimum by scanning the table.  Capacity is small (the
+   profiler sizes it in the hundreds) and hits arrive as per-variable
+   folds — not per event — so the scan is off any hot path. *)
+
+type entry = { key : int; mutable count : int; mutable err : int }
+
+type t = {
+  cap : int;
+  tbl : (int, entry) Hashtbl.t;
+  mutable evictions : int;
+  mutable dropped : int;  (* max count lost to a merge truncation *)
+}
+
+let create ?(capacity = 256) () =
+  { cap = max 1 capacity;
+    tbl = Hashtbl.create 64;
+    evictions = 0;
+    dropped = 0 }
+
+let capacity t = t.cap
+let size t = Hashtbl.length t.tbl
+let evictions t = t.evictions
+let dropped t = t.dropped
+let is_exact t = t.evictions = 0 && t.dropped = 0
+
+let min_entry t =
+  Hashtbl.fold
+    (fun _ e acc ->
+      match acc with
+      | Some m when m.count <= e.count -> acc
+      | _ -> Some e)
+    t.tbl None
+
+let hit ?(by = 1) t key =
+  if by > 0 then
+    match Hashtbl.find_opt t.tbl key with
+    | Some e -> e.count <- e.count + by
+    | None ->
+      if Hashtbl.length t.tbl < t.cap then
+        Hashtbl.replace t.tbl key { key; count = by; err = 0 }
+      else begin
+        (* evict the minimum; the newcomer inherits its count as the
+           error bound (it may have occurred up to that many times
+           while untracked) *)
+        match min_entry t with
+        | None -> assert false
+        | Some m ->
+          Hashtbl.remove t.tbl m.key;
+          t.evictions <- t.evictions + 1;
+          Hashtbl.replace t.tbl key
+            { key; count = m.count + by; err = m.count }
+      end
+
+let count t key =
+  Option.map (fun e -> e.count) (Hashtbl.find_opt t.tbl key)
+
+let compare_entries a b =
+  match Int.compare b.count a.count with
+  | 0 -> Int.compare a.key b.key
+  | c -> c
+
+let to_list t =
+  Hashtbl.fold (fun _ e acc -> e :: acc) t.tbl []
+  |> List.sort compare_entries
+  |> List.map (fun e -> (e.key, e.count, e.err))
+
+let merge ~into src =
+  Hashtbl.iter
+    (fun key (e : entry) ->
+      match Hashtbl.find_opt into.tbl key with
+      | Some d ->
+        d.count <- d.count + e.count;
+        d.err <- d.err + e.err
+      | None ->
+        Hashtbl.replace into.tbl key
+          { key; count = e.count; err = e.err })
+    src.tbl;
+  into.evictions <- into.evictions + src.evictions;
+  into.dropped <- max into.dropped src.dropped;
+  let excess = Hashtbl.length into.tbl - into.cap in
+  if excess > 0 then begin
+    let entries =
+      Hashtbl.fold (fun _ e acc -> e :: acc) into.tbl []
+      |> List.sort compare_entries
+    in
+    let rec drop i = function
+      | [] -> ()
+      | e :: rest ->
+        if i >= into.cap then begin
+          Hashtbl.remove into.tbl e.key;
+          into.dropped <- max into.dropped e.count
+        end;
+        drop (i + 1) rest
+    in
+    drop 0 entries
+  end

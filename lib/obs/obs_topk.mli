@@ -1,0 +1,62 @@
+(** Mergeable Space-Saving top-K heavy-hitter sketch (Metwally et al.,
+    ICDT 2005) over integer keys, used by the shadow-state profiler
+    ({!Obs_prof}) to rank hot variables in bounded memory.
+
+    The sketch keeps at most [capacity] [(key, count, err)] entries.
+    A hit on a tracked key increments its count exactly.  A hit on an
+    untracked key when the sketch is full evicts the current minimum
+    entry and inherits its count as the new entry's error bound
+    ([err]): the invariant is [true_count <= count <= true_count + err]
+    for every tracked key, and any key whose true count exceeds the
+    minimum tracked count is guaranteed to be present — the classic
+    Space-Saving guarantee.
+
+    {b Merging.}  [merge ~into src] unions the entries (counts and
+    error bounds add for common keys) and, if the union exceeds
+    [capacity], truncates back to the top [capacity] by count,
+    recording the largest discarded count in [dropped] so consumers
+    can report an honest rank-error bound.  Merging is associative on
+    the union semantics.
+
+    {b Exactness.}  When every input sketch saw at most [capacity]
+    distinct keys (no eviction: {!evictions}[ = 0]) and the merged
+    union still fits, the merge is {e exact}: counts are true counts
+    and [err = 0] everywhere.  This is the normal regime for the
+    parallel drivers — shards own disjoint variables, each shard's
+    live-variable count is bounded, and the profiler sizes the sketch
+    above it — and is what makes the merged parallel top-K equal the
+    sequential oracle (asserted in [test/test_prof.ml]). *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Default capacity 256. *)
+
+val capacity : t -> int
+val size : t -> int
+
+val hit : ?by:int -> t -> int -> unit
+(** Count [by] (default 1) occurrences of a key.  O(1) amortized on
+    tracked keys; eviction scans the (bounded) entry table. *)
+
+val count : t -> int -> int option
+(** The tracked (over-)count for a key, if present. *)
+
+val to_list : t -> (int * int * int) list
+(** [(key, count, err)] sorted by count descending, key ascending on
+    ties — a deterministic ranking. *)
+
+val merge : into:t -> t -> unit
+(** Union-sum [src] into [into], then truncate to capacity (see
+    above).  [src] is not modified. *)
+
+val evictions : t -> int
+(** Evictions performed by {!hit} (summed across merges). *)
+
+val dropped : t -> int
+(** Largest count discarded by a lossy merge truncation; [0] means no
+    merge ever lost an entry. *)
+
+val is_exact : t -> bool
+(** [evictions t = 0 && dropped t = 0]: every tracked count is the
+    true count. *)

@@ -55,6 +55,27 @@ let metadata ~tid ~name =
       ("tid", Obs_json.int tid);
       ("args", Obs_json.obj [ ("name", Obs_json.str name) ]) ]
 
+(* Perfetto counter tracks from the profiler's sampled series: one
+   ph:"C" event per point per track, cumulative ops, so the track's
+   slope is the instantaneous fast-path vs VC-walk rate.  Timestamps
+   share the monotonic clock with the span sink (both epochs are taken
+   at CLI setup, microseconds apart). *)
+let counter_event ~name ~at ~value =
+  Obs_json.obj
+    [ ("name", Obs_json.str name);
+      ("ph", Obs_json.str "C");
+      ("pid", Obs_json.int 1);
+      ("tid", Obs_json.int 0);
+      ("ts", Obs_json.float (usec at));
+      ("args", Obs_json.obj [ ("ops", Obs_json.int value) ]) ]
+
+let counter_events prof =
+  List.concat_map
+    (fun (at, o1, vc) ->
+      [ counter_event ~name:"prof.o1_ops" ~at ~value:o1;
+        counter_event ~name:"prof.vc_ops" ~at ~value:vc ])
+    (Obs_prof.series prof)
+
 let process_metadata =
   Obs_json.obj
     [ ("name", Obs_json.str "process_name");
@@ -62,7 +83,7 @@ let process_metadata =
       ("pid", Obs_json.int 1);
       ("args", Obs_json.obj [ ("name", Obs_json.str "ftrace analysis") ]) ]
 
-let document t =
+let document ?(prof = Obs_prof.disabled) t =
   let spans = match Obs.spans t with Some s -> Obs_span.spans s | None -> [] in
   let tids =
     List.sort_uniq Int.compare (0 :: List.map tid_of_span spans)
@@ -82,6 +103,7 @@ let document t =
       (fun s -> if is_race_instant s then instant_event s else complete_event s)
       spans
   in
+  let counters = counter_events prof in
   Obs_json.obj
     [ ("displayTimeUnit", Obs_json.str "ms");
       ("otherData",
@@ -89,13 +111,13 @@ let document t =
          [ ("schema", Obs_json.str schema_version);
            ("ocaml", Obs_json.str Sys.ocaml_version);
            ("cores", Obs_json.int (Obs_cores.recommended ())) ]);
-      ("traceEvents", Obs_json.arr (names @ events)) ]
+      ("traceEvents", Obs_json.arr (names @ events @ counters)) ]
 
-let to_string t = Obs_json.to_string (document t)
+let to_string ?prof t = Obs_json.to_string (document ?prof t)
 
-let write_file ~path t =
+let write_file ~path ?prof t =
   if path = "-" then begin
-    Obs_json.to_channel stdout (document t);
+    Obs_json.to_channel stdout (document ?prof t);
     print_newline ()
   end
   else begin
@@ -103,6 +125,6 @@ let write_file ~path t =
     Fun.protect
       ~finally:(fun () -> close_out_noerr oc)
       (fun () ->
-        Obs_json.to_channel oc (document t);
+        Obs_json.to_channel oc (document ?prof t);
         output_char oc '\n')
   end

@@ -19,17 +19,22 @@
       event ([ph = "i", s = "g"]) — a vertical marker at the moment
       the warning was recorded, carrying the variable, trace index
       and race kind in [args];
-    - span attributes become the event's [args].
+    - span attributes become the event's [args];
+    - when a shadow-state profiler handle is supplied ([?prof]), its
+      sampled series becomes two counter tracks ([ph = "C"]):
+      [prof.o1_ops] and [prof.vc_ops], cumulative attributed ops whose
+      slopes visualize the fast-path share over time next to the
+      phase spans.
 
     The document carries [otherData.schema = "ftrace.trace/1"]. *)
 
 val schema_version : string
 
-val document : Obs.t -> Obs_json.t
+val document : ?prof:Obs_prof.t -> Obs.t -> Obs_json.t
 (** The full trace document.  A disabled handle yields a valid
     document with an empty [traceEvents] array. *)
 
-val to_string : Obs.t -> string
+val to_string : ?prof:Obs_prof.t -> Obs.t -> string
 
-val write_file : path:string -> Obs.t -> unit
+val write_file : path:string -> ?prof:Obs_prof.t -> Obs.t -> unit
 (** Writes {!document} to [path]; [path = "-"] writes to stdout. *)

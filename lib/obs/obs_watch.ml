@@ -25,6 +25,7 @@ type t = {
   mutable heap_words : int;
   mutable workers : (int * int) list;  (* id, events *)
   mutable rules : (string * int) list;
+  mutable vars : (string * int) list;  (* hot variables (profiling runs) *)
   (* sparkline history of evps, oldest first, bounded *)
   mutable rates : float list;
   (* final record *)
@@ -48,6 +49,7 @@ let create () =
     heap_words = 0;
     workers = [];
     rules = [];
+    vars = [];
     rates = [];
     final = false;
     warnings = 0;
@@ -66,14 +68,17 @@ let counts_of_json j =
     state_words = J.int j "state_words";
     warnings = J.int j "warnings" }
 
-let rules_of_json j =
-  match Option.bind (J.member "rules" j) J.to_obj with
+let alist_of_json field j =
+  match Option.bind (J.member field j) J.to_obj with
   | None -> []
   | Some fields ->
     List.filter_map
       (fun (k, v) -> Option.map (fun n -> (k, n)) (J.to_int v))
       fields
     |> List.sort (fun (_, a) (_, b) -> Int.compare b a)
+
+let rules_of_json j = alist_of_json "rules" j
+let vars_of_json j = alist_of_json "top_vars" j
 
 (* Fold one parsed NDJSON line in.  Unknown lines are ignored (forward
    compatibility within the /1 major). *)
@@ -99,7 +104,8 @@ let feed t (j : J.t) =
           { (counts_of_json cum) with
             Obs_snapshot.warnings = t.warnings }
       | None -> ());
-      match rules_of_json j with [] -> () | rs -> t.rules <- rs
+      (match rules_of_json j with [] -> () | rs -> t.rules <- rs);
+      match vars_of_json j with [] -> () | vs -> t.vars <- vs
     end
     else begin
       (match J.member "d" j with
@@ -110,6 +116,7 @@ let feed t (j : J.t) =
       t.imbalance <- J.num ~default:1. j "imbalance";
       t.heap_words <- J.int ~default:t.heap_words j "heap_words";
       (match rules_of_json j with [] -> () | rs -> t.rules <- rs);
+      (match vars_of_json j with [] -> () | vs -> t.vars <- vs);
       (match Option.bind (J.member "workers" j) J.to_arr with
       | None | Some [] -> ()
       | Some ws ->
@@ -239,6 +246,17 @@ let render_panel ?(width = 72) t =
     in
     Printf.sprintf "warnings  %d   %s" t.cum.Obs_snapshot.warnings rules
   in
+  (* hot variables, mirroring the top-rules treatment; absent unless
+     the run is profiling (--profile / ftrace profile) *)
+  let vars_lines =
+    match t.vars with
+    | [] -> []
+    | vs ->
+      [ Printf.sprintf "hot vars  %s"
+          (List.filteri (fun i _ -> i < 4) vs
+          |> List.map (fun (name, n) -> Printf.sprintf "%s:%s" name (si n))
+          |> String.concat "  ") ]
+  in
   let worker_lines =
     match t.workers with
     | [] | [ _ ] -> []
@@ -261,5 +279,5 @@ let render_panel ?(width = 72) t =
     else []
   in
   (title :: progress_line :: rate_line :: paths_line :: counters_line
-   :: warn_line :: worker_lines)
-  @ tail
+   :: warn_line :: vars_lines)
+  @ worker_lines @ tail

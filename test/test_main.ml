@@ -22,6 +22,7 @@ let () =
       Test_stats.suite;
       Test_obs.suite;
       Test_live.suite;
+      Test_prof.suite;
       Test_report.suite;
       Test_static.suite;
       Test_workloads.suite ]
