@@ -5,7 +5,9 @@ let detectors : (string * (module Detector.S)) list =
     ("Goldilocks", (module Goldilocks));
     ("BasicVC", (module Basic_vc));
     ("DJIT+", (module Djit_plus));
-    ("FastTrack", (module Fasttrack)) ]
+    ("FastTrack", (module Fasttrack));
+    ("Sampling", (module Sampling_ft));
+    ("SamplingPeriod", (module Sampling_period)) ]
 
 let detector name =
   match List.assoc_opt name detectors with

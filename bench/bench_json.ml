@@ -16,6 +16,8 @@ type record = {
   prefix_wall : float;
   prefix_frac : float;
   amdahl_ceiling : float;
+  rate : float;
+  recall : float;
 }
 
 let throughput ~events ~elapsed =
@@ -55,15 +57,26 @@ let record_to_json r =
         r.prefix_wall r.prefix_frac r.amdahl_ceiling
     else ""
   in
+  (* Same omission discipline for the sampling-tier fields: -1 is the
+     "not a sampling row" sentinel, so every pre-existing experiment's
+     record shape is unchanged.  recall alone can be absent (a rate
+     sweep on a race-free workload has no oracle to recall). *)
+  let sampling_fields =
+    (if r.rate >= 0. then Printf.sprintf ",\"rate\":%.3f" r.rate else "")
+    ^
+    if r.recall >= 0. then Printf.sprintf ",\"recall\":%.4f" r.recall
+    else ""
+  in
   Printf.sprintf
     "{\"experiment\":\"%s\",\"workload\":\"%s\",\"tool\":\"%s\",\
      \"jobs\":%d,\"plan\":\"%s\",\"events\":%d,\"elapsed_s\":%.6f,\
      \"throughput\":%.1f,\
      \"slowdown\":%.3f,\"speedup\":%.3f,\"warnings\":%d,\
-     \"imbalance\":%.3f,\"static_elim\":%b,\"dropped_frac\":%.4f%s}"
+     \"imbalance\":%.3f,\"static_elim\":%b,\"dropped_frac\":%.4f%s%s}"
     (escape r.experiment) (escape r.workload) (escape r.tool) r.jobs
     (escape r.plan) r.events r.elapsed r.throughput r.slowdown r.speedup
     r.warnings r.imbalance r.static_elim r.dropped_frac prefix_fields
+    sampling_fields
 
 (* Honesty marker: set when the harness ran parallel experiments on a
    host below the 4-core floor with --allow-few-cores.  Readers (CI,

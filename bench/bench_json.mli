@@ -57,6 +57,17 @@ type record = {
           of the same workload: what this cell could reach at best if
           the prefix were the only serial part.  [0.] where
           inapplicable. *)
+  rate : float;
+      (** sampling-tier rows only: the configured sampling rate of
+          this cell.  [-1.] (omitted from the JSON) for every other
+          experiment.  The rate is also encoded in [tool]
+          (["Sampling@0.10"]) so history keys distinguish sweep
+          points. *)
+  recall : float;
+      (** sampling-tier rows only: fraction of the FastTrack oracle's
+          racy variables this cell's run warned about.  [-1.]
+          (omitted) when not a sampling row or when the workload has
+          no oracle races to recall. *)
 }
 
 val throughput : events:int -> elapsed:float -> float

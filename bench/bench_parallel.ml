@@ -100,7 +100,8 @@ let run ~scale ~repeat () =
             speedup = 1.0;
             warnings = List.length seq_result.Driver.warnings;
             imbalance = 1.0; static_elim = false; dropped_frac = 0.;
-            prefix_wall = 0.; prefix_frac = 0.; amdahl_ceiling = 0. };
+            prefix_wall = 0.; prefix_frac = 0.; amdahl_ceiling = 0.;
+            rate = -1.; recall = -1. };
         (* the jobs=1 stealing row's measured serial fraction: the [s]
            every later stealing cell's Amdahl ceiling is derived from *)
         let stealing_s1 = ref None in
@@ -145,7 +146,8 @@ let run ~scale ~repeat () =
               warnings = List.length par_result.Driver.warnings;
               imbalance = par_result.Driver.imbalance;
               static_elim = false; dropped_frac = 0.;
-              prefix_wall; prefix_frac; amdahl_ceiling };
+              prefix_wall; prefix_frac; amdahl_ceiling; rate = -1.;
+              recall = -1. };
           (elapsed, speedup)
         in
         let cells =

@@ -34,6 +34,7 @@ let experiments :
     ("elimination", Bench_elimination.run);
     ("live", Bench_live.run);
     ("profile", Bench_profile.run);
+    ("sampling", Bench_sampling.run);
     ("micro", fun ~scale:_ ~repeat:_ () -> Bench_micro.run ()) ]
 
 (* Experiments whose headline numbers are multicore speedups: running

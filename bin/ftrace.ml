@@ -42,7 +42,9 @@ let detectors =
     ("goldilocks", (module Goldilocks));
     ("basicvc", (module Basic_vc));
     ("djit", (module Djit_plus));
-    ("fasttrack", (module Fasttrack)) ]
+    ("fasttrack", (module Fasttrack));
+    ("sampling", (module Sampling_ft));
+    ("sampling-period", (module Sampling_period)) ]
 
 (* ------------------------------------------------------------------ *)
 (* common arguments                                                   *)
@@ -55,7 +57,7 @@ let trace_arg =
 let tool_arg =
   let names = String.concat ", " (List.map fst detectors) in
   Arg.(value & opt string "fasttrack"
-       & info [ "t"; "tool" ] ~docv:"TOOL"
+       & info [ "t"; "tool"; "detector" ] ~docv:"TOOL"
            ~doc:(Printf.sprintf "Detector to run: %s." names))
 
 let granularity_arg =
@@ -93,6 +95,32 @@ let jobs_arg =
                  contend for cores).")
 
 let config_of granularity = { Config.default with granularity }
+
+(* Sampling-tier policy knobs (only the sampling detectors read them;
+   the policy is a pure function of (sample-seed, variable, access
+   ordinal), so a run is reproducible from its flags alone). *)
+let rate_arg =
+  Arg.(value & opt float Config.default_sampling.Config.rate
+       & info [ "rate" ] ~docv:"R"
+           ~doc:"Sampling detectors: fraction of per-variable accesses \
+                 analyzed (0.0-1.0; 1.0 reproduces FastTrack exactly).")
+
+let budget_arg =
+  Arg.(value & opt int Config.default_sampling.Config.budget
+       & info [ "budget" ] ~docv:"N"
+           ~doc:"Sampling detectors: always analyze the first $(docv) \
+                 accesses to each variable before the coin applies.")
+
+let sample_seed_arg =
+  Arg.(value & opt int Config.default_sampling.Config.seed
+       & info [ "sample-seed" ] ~docv:"SEED"
+           ~doc:"Sampling detectors: seed of the deterministic sampling \
+                 policy (same seed, same warnings, any --jobs).")
+
+let sampling_term =
+  Term.(
+    const (fun rate budget seed -> { Config.rate; budget; seed })
+    $ rate_arg $ budget_arg $ sample_seed_arg)
 
 (* The static analysis (lib/static) runs on the *program*, which only
    workload sources carry — a trace file is a post-hoc event log with
@@ -366,9 +394,9 @@ let stdout_sink_collision ~metrics ~report ~trace_out ~live ~profile =
   if List.length sinks > 1 then Some (String.concat " and " sinks)
   else None
 
-let analyze path tool granularity jobs prefilter static_elim show_stats
-    verbose_stats metrics explain_race report trace_out live live_period
-    profile fail_on_race =
+let analyze path tool granularity sampling jobs prefilter static_elim
+    show_stats verbose_stats metrics explain_race report trace_out live
+    live_period profile fail_on_race =
   match
     stdout_sink_collision ~metrics ~report ~trace_out ~live ~profile
   with
@@ -466,7 +494,8 @@ let analyze path tool granularity jobs prefilter static_elim show_stats
         Config.with_prof prof
           (Config.with_live live
              (Config.with_recorder recorder
-                (Config.with_obs obs (config_of granularity))))
+                (Config.with_obs obs
+                   (Config.with_sampling sampling (config_of granularity)))))
       in
       let config =
         match static_pred with
@@ -693,7 +722,8 @@ let analyze_cmd =
        ~doc:"Run one race detector over a trace (exit code 2 if races \
              were found; with $(b,--fail-on-race), exit code 1)")
     Term.(
-      const analyze $ trace_arg $ tool_arg $ granularity_arg $ jobs_arg
+      const analyze $ trace_arg $ tool_arg $ granularity_arg
+      $ sampling_term $ jobs_arg
       $ prefilter $ static_elim $ stats $ verbose_stats $ metrics
       $ explain_race $ report $ trace_out $ live $ live_period
       $ profile $ fail_on_race)

@@ -1,7 +1,12 @@
+type sampling = { rate : float; budget : int; seed : int }
+
+let default_sampling = { rate = 0.02; budget = 3; seed = 1 }
+
 type t = {
   granularity : Shadow.mode;
   same_epoch_fast_path : bool;
   read_demotion : bool;
+  sampling : sampling;
   obs : Obs.t;
   recorder : Obs_recorder.t;
   live : Obs_live.t;
@@ -14,6 +19,7 @@ let default =
   { granularity = Shadow.Fine;
     same_epoch_fast_path = true;
     read_demotion = true;
+    sampling = default_sampling;
     obs = Obs.disabled;
     recorder = Obs_recorder.disabled;
     live = Obs_live.disabled;
@@ -21,6 +27,7 @@ let default =
     sync_source = None;
     static_elim = None }
 
+let with_sampling sampling t = { t with sampling }
 let with_obs obs t = { t with obs }
 let with_recorder recorder t = { t with recorder }
 let with_live live t = { t with live }

@@ -70,10 +70,34 @@
     6 concedes may drop an access later involved in a race.  Default
     [None]. *)
 
+type sampling = {
+  rate : float;
+      (** expected fraction of accesses (or, for the period sampler,
+          of whole periods) outside the per-variable burn-in budget
+          that are analyzed; [1.0] makes the samplers byte-identical
+          to FastTrack *)
+  budget : int;
+      (** per-variable burn-in: the first [budget] accesses to each
+          variable are always analyzed ("O(1) samples per variable") *)
+  seed : int;
+      (** hashed into every decision via {!Prng.mix3}; decisions are a
+          pure function of [(seed, var, per-var ordinal)], so every
+          execution plan produces the same warning set *)
+}
+(** Sampling-tier policy ([lib/sampling]); ignored by every other
+    detector. *)
+
+val default_sampling : sampling
+(** rate 0.02, budget 3, seed 1 — the defaults the A9 CI gate holds
+    at: the burn-in buys full recall of the Table 1 races within the
+    gate's seeded reruns, and the low rate keeps moldyn throughput
+    over 3x sequential FastTrack. *)
+
 type t = {
   granularity : Shadow.mode;
   same_epoch_fast_path : bool;
   read_demotion : bool;
+  sampling : sampling;
   obs : Obs.t;
   recorder : Obs_recorder.t;
   live : Obs_live.t;
@@ -86,6 +110,7 @@ val default : t
 (** Fine granularity, all optimizations on, observability, the flight
     recorder, the live bus and the profiler off, live sync state. *)
 
+val with_sampling : sampling -> t -> t
 val with_obs : Obs.t -> t -> t
 val with_recorder : Obs_recorder.t -> t -> t
 val with_live : Obs_live.t -> t -> t

@@ -19,6 +19,13 @@ let packed_shares_clocks (Packed ((module D), _)) = D.shares_clocks
 let packed_on_event (Packed ((module D), d)) ~index e =
   D.on_event d ~index e
 
+(* The event-loop handler, destructured once instead of per event:
+   drivers call this outside their loop so the hot path is a single
+   closure invocation straight into the detector. *)
+let packed_handler (Packed ((module D), d)) =
+  let on_event = D.on_event in
+  fun index e -> on_event d ~index e
+
 let packed_warnings (Packed ((module D), d)) = D.warnings d
 let packed_witnesses (Packed ((module D), d)) = D.witnesses d
 let packed_stats (Packed ((module D), d)) = D.stats d

@@ -46,6 +46,11 @@ val instantiate : (module S) -> Config.t -> packed
 val packed_name : packed -> string
 val packed_shares_clocks : packed -> bool
 val packed_on_event : packed -> index:int -> Event.t -> unit
+
+(** [packed_handler p] destructures [p] once and returns the plain
+    [fun index e -> ...] event handler — what the drivers' hot loops
+    call, keeping the per-event path to one closure invocation. *)
+val packed_handler : packed -> int -> Event.t -> unit
 val packed_warnings : packed -> Warning.t list
 val packed_witnesses : packed -> Witness.t list
 val packed_stats : packed -> Stats.t

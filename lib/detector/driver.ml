@@ -91,11 +91,12 @@ let run_packed ?(obs = Obs.disabled) ?(live = Obs_live.disabled)
     ?(prof = Obs_prof.disabled) ?skip packed tr =
   (* Select the event-loop body once, outside the loop: the disabled
      path is byte-for-byte the pre-observability loop. *)
+  let handler = Detector.packed_handler packed in
   let on_event =
     if Obs.is_enabled obs then (fun index e ->
-        Detector.packed_on_event packed ~index e;
+        handler index e;
         Obs.tick obs)
-    else fun index e -> Detector.packed_on_event packed ~index e
+    else handler
   in
   (* Sound check elimination (Config.static_elim): accesses to
      statically-certified variables never reach the detector.  Access
@@ -208,7 +209,7 @@ let analyze_shard ?(obs = Obs.disabled) ?(live = Obs_live.disabled) d
   let (warnings, witnesses, stats), shard_wall =
     Par_run.wall_time (fun () ->
         let packed = Detector.instantiate d shard_config in
-        let on_event index e = Detector.packed_on_event packed ~index e in
+        let on_event = Detector.packed_handler packed in
         (* Same elimination hook as the sequential driver: certified
            accesses are dropped before the shard's detector instance;
            the broadcast sync stream is never filtered. *)

@@ -7,6 +7,8 @@ type t = {
   mutable vc_allocs : int;
   mutable vc_ops : int;
   mutable epoch_ops : int;
+  mutable sampled : int;
+  mutable skipped : int;
   mutable state_words : int;
   mutable peak_words : int;
   rules : (string, int ref) Hashtbl.t;
@@ -21,6 +23,8 @@ let create () =
     vc_allocs = 0;
     vc_ops = 0;
     epoch_ops = 0;
+    sampled = 0;
+    skipped = 0;
     state_words = 0;
     peak_words = 0;
     rules = Hashtbl.create 16 }
@@ -60,6 +64,8 @@ let merge_into ~into s =
   into.vc_allocs <- into.vc_allocs + s.vc_allocs;
   into.vc_ops <- into.vc_ops + s.vc_ops;
   into.epoch_ops <- into.epoch_ops + s.epoch_ops;
+  into.sampled <- into.sampled + s.sampled;
+  into.skipped <- into.skipped + s.skipped;
   into.state_words <- into.state_words + s.state_words;
   (* Shards coexist, so the sum of per-shard peaks is the honest
      upper bound on the run's true footprint (individual peaks need
@@ -85,6 +91,8 @@ let fields_alist s =
     ("vc_allocs", s.vc_allocs);
     ("vc_ops", s.vc_ops);
     ("epoch_ops", s.epoch_ops);
+    ("sampled", s.sampled);
+    ("skipped", s.skipped);
     ("state_words", s.state_words);
     ("peak_words", s.peak_words) ]
 

@@ -16,6 +16,14 @@ type t = {
   mutable vc_allocs : int;   (** vector clocks allocated *)
   mutable vc_ops : int;      (** O(n)-time VC operations (copy/join/⊑) *)
   mutable epoch_ops : int;   (** O(1) epoch fast-path comparisons *)
+  mutable sampled : int;
+      (** accesses the sampling tier analyzed (zero for every
+          non-sampling detector) *)
+  mutable skipped : int;
+      (** accesses the sampling tier declined — counted, then dropped
+          before touching shadow state (zero for every non-sampling
+          detector); [sampled + skipped = reads + writes] for the
+          samplers *)
   mutable state_words : int; (** current shadow-state footprint, words *)
   mutable peak_words : int;
   rules : (string, int ref) Hashtbl.t;

@@ -43,6 +43,24 @@ let shuffle t a =
     a.(j) <- tmp
   done
 
+(* Stateless three-word mixer over native ints: SplitMix64's finalizer
+   applied to a combination of the inputs, staying in unboxed [int]
+   arithmetic so a per-event call allocates nothing.  Used by the
+   sampling tier, whose every decision must be a pure function of
+   (seed, variable, ordinal) — no generator state to thread through
+   shards. *)
+let mix3 a b c =
+  (* the 64-bit constants clipped to OCaml's 63-bit [int]; odd, so
+     multiplication stays a bijection mod 2^63 *)
+  let golden = 0x1E3779B97F4A7C15 in
+  let z = a * golden in
+  let z = (z + b) * 0x3F58476D1CE4E5B9 in
+  let z = (z + c) * 0x14D049BB133111EB in
+  let z = z lxor (z lsr 31) in
+  let z = z * golden in
+  let z = z lxor (z lsr 29) in
+  z land max_int
+
 let choose_weighted t alternatives =
   let total = List.fold_left (fun acc (w, _) -> acc +. w) 0. alternatives in
   if total <= 0. then invalid_arg "Prng.choose_weighted: non-positive total";

@@ -39,3 +39,11 @@ val shuffle : t -> 'a array -> unit
 val choose_weighted : t -> (float * 'a) list -> 'a
 (** Picks an alternative with probability proportional to its weight.
     @raise Invalid_argument on an empty list or non-positive total. *)
+
+val mix3 : int -> int -> int -> int
+(** [mix3 a b c] hashes three words to a uniform non-negative [int]
+    with no state and no allocation (SplitMix64-style finalizer over
+    native ints).  This is the sampling tier's coin: a decision that
+    must be a pure function of [(seed, var, ordinal)] hashes the
+    triple instead of drawing from a stateful stream, so sequential
+    and parallel runs agree bit-for-bit. *)

@@ -1,0 +1,32 @@
+(** The sampling tier's detector core (shared by {!Sampling_ft} and
+    {!Sampling_period}).
+
+    FastTrack's access rules verbatim, behind a per-access coin: an
+    access outside its variable's burn-in budget is analyzed only when
+    a stateless hash of [(seed, variable, per-variable ordinal)] lands
+    under the configured rate ({!Config.sampling}).  Skipped accesses
+    are counted ([Stats.skipped]) and dropped {e before} touching any
+    shadow state, so every warning the sampler does raise is a genuine
+    happens-before race between two analyzed accesses — sampling loses
+    recall, never precision.  Synchronization events are always
+    processed in full ([Tc_state] live, or the shared [Sync_timeline]
+    under the stealing plan), keeping the timestamps of the analyzed
+    minority sound.
+
+    At [rate = 1.0] every coin lands: warnings and witnesses are
+    byte-identical to FastTrack's (asserted in
+    [test/test_sampling.ml]). *)
+
+type t
+
+val create : period_shift:int -> Config.t -> t
+(** [period_shift] buckets the per-variable ordinal before hashing:
+    [0] tosses a fresh coin per access ({!Sampling_ft}), [k > 0]
+    samples whole runs of [2^k] consecutive accesses to the variable
+    ({!Sampling_period} uses [k = 4]), trading recall granularity for
+    longer analyzed bursts that can pair both sides of a race. *)
+
+val on_event : t -> index:int -> Event.t -> unit
+val warnings : t -> Warning.t list
+val witnesses : t -> Witness.t list
+val stats : t -> Stats.t

@@ -1,0 +1,12 @@
+(* The per-variable sampler: a fresh coin for every access outside
+   the variable's burn-in budget (Detector.S wrapper over Sampler). *)
+
+type t = Sampler.t
+
+let name = "Sampling"
+let shares_clocks = true
+let create config = Sampler.create ~period_shift:0 config
+let on_event = Sampler.on_event
+let warnings = Sampler.warnings
+let witnesses = Sampler.witnesses
+let stats = Sampler.stats

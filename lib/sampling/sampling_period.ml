@@ -1,0 +1,13 @@
+(* The per-period sampler: one coin per run of 16 consecutive
+   accesses to a variable, so an analyzed burst can see both sides of
+   a tight racing pair (Detector.S wrapper over Sampler). *)
+
+type t = Sampler.t
+
+let name = "SamplingPeriod"
+let shares_clocks = true
+let create config = Sampler.create ~period_shift:4 config
+let on_event = Sampler.on_event
+let warnings = Sampler.warnings
+let witnesses = Sampler.witnesses
+let stats = Sampler.stats

@@ -1,0 +1,6 @@
+(** Per-period sampling detector ("SamplingPeriod"): like
+    {!Sampling_ft} but the coin covers 16 consecutive accesses to the
+    variable at a time, keeping the analyzed fraction at the
+    configured rate while lengthening each analyzed burst. *)
+
+include Detector.S

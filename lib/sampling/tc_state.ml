@@ -1,0 +1,147 @@
+(* Vc_state with tree clocks: rule-for-rule mirror of
+   lib/detector/vc_state.ml (keep the two in sync — the QCheck
+   differential test replays them side by side), with the volatile
+   write and barrier going through the flat/rebase primitives instead
+   of plain joins (their results are no thread's causal past, see
+   tree_clock.mli). *)
+
+module TC = Tree_clock
+
+type t = {
+  stats : Stats.t;
+  mutable clocks : TC.t array;    (* C, indexed by tid *)
+  mutable epochs : Epoch.t array; (* cached E(t) = C_t(t)@t *)
+  mutable nthreads : int;
+  locks : (Lockid.t, TC.t) Hashtbl.t;
+  volatiles : (Volatile.t, TC.t) Hashtbl.t;
+}
+
+let create stats =
+  { stats;
+    clocks = [||];
+    epochs = [||];
+    nthreads = 0;
+    locks = Hashtbl.create 16;
+    volatiles = Hashtbl.create 8 }
+
+let ensure_thread s t =
+  let n = Array.length s.clocks in
+  if t >= n then begin
+    let n' = max (t + 1) (2 * n + 1) in
+    let clocks = Array.make n' (TC.create ()) in
+    let epochs = Array.make n' Epoch.bottom in
+    Array.blit s.clocks 0 clocks 0 n;
+    Array.blit s.epochs 0 epochs 0 n;
+    for u = n to n' - 1 do
+      let v = TC.create () in
+      TC.inc v u;
+      clocks.(u) <- v;
+      epochs.(u) <- Epoch.make ~tid:u ~clock:1;
+      s.stats.vc_allocs <- s.stats.vc_allocs + 1;
+      Stats.add_words s.stats (TC.heap_words v)
+    done;
+    s.clocks <- clocks;
+    s.epochs <- epochs
+  end;
+  if t >= s.nthreads then s.nthreads <- t + 1
+
+let clock s t =
+  ensure_thread s t;
+  s.clocks.(t)
+
+let epoch s t =
+  ensure_thread s t;
+  s.epochs.(t)
+
+let refresh_epoch s t =
+  s.epochs.(t) <- Epoch.make ~tid:t ~clock:(TC.get s.clocks.(t) t)
+
+let sync_tc s table key =
+  match Hashtbl.find_opt table key with
+  | Some v -> v
+  | None ->
+    let v = TC.create () in
+    Hashtbl.replace table key v;
+    s.stats.vc_allocs <- s.stats.vc_allocs + 1;
+    Stats.add_words s.stats (TC.heap_words v);
+    v
+
+let vc_op s = s.stats.vc_ops <- s.stats.vc_ops + 1
+
+let handle_sync s e =
+  match e with
+  | Event.Read _ | Event.Write _ -> false
+  | Event.Acquire { t; m } ->
+    (* [FT ACQUIRE]  C' = C[t := Ct ⊔ Lm] *)
+    let ct = clock s t in
+    TC.join_into ~dst:ct (sync_tc s s.locks m);
+    vc_op s;
+    refresh_epoch s t;
+    true
+  | Event.Release { t; m } ->
+    (* [FT RELEASE]  L' = L[m := Ct]; C' = C[t := inc_t(Ct)] *)
+    let ct = clock s t in
+    TC.copy_into ~dst:(sync_tc s s.locks m) ct;
+    vc_op s;
+    TC.inc ct t;
+    refresh_epoch s t;
+    true
+  | Event.Fork { t; u } ->
+    (* [FT FORK]  C' = C[u := Cu ⊔ Ct, t := inc_t(Ct)] *)
+    let ct = clock s t and cu = clock s u in
+    TC.join_into ~dst:cu ct;
+    vc_op s;
+    TC.inc ct t;
+    refresh_epoch s t;
+    refresh_epoch s u;
+    true
+  | Event.Join { t; u } ->
+    (* [FT JOIN]  C' = C[t := Ct ⊔ Cu, u := inc_u(Cu)] *)
+    let ct = clock s t and cu = clock s u in
+    TC.join_into ~dst:ct cu;
+    vc_op s;
+    TC.inc cu u;
+    refresh_epoch s t;
+    refresh_epoch s u;
+    true
+  | Event.Volatile_read { t; v } ->
+    (* [FT READ VOLATILE]  C' = C[t := Ct ⊔ Lvx] *)
+    let ct = clock s t in
+    TC.join_into ~dst:ct (sync_tc s s.volatiles v);
+    vc_op s;
+    refresh_epoch s t;
+    true
+  | Event.Volatile_write { t; v } ->
+    (* [FT WRITE VOLATILE]  L' = L[vx := Ct ⊔ Lvx]; C' = C[t := inc_t(Ct)]
+       — Lvx mixes several threads' pasts, so it is built flat and
+       inexact rather than tree-joined. *)
+    let ct = clock s t in
+    let lv = sync_tc s s.volatiles v in
+    TC.join_flat ~dst:lv ct ~root:t;
+    vc_op s;
+    TC.inc ct t;
+    refresh_epoch s t;
+    true
+  | Event.Barrier_release { threads } ->
+    (* [FT BARRIER RELEASE]  C' = λt∈T. inc_t(⊔_{u∈T} Cu) — the
+       accumulator is only ever a rebase source (values, not
+       structure), and is marked inexact since it is nobody's causal
+       past. *)
+    let joined = TC.create () in
+    s.stats.vc_allocs <- s.stats.vc_allocs + 1;
+    List.iter
+      (fun u ->
+        TC.join_into ~dst:joined (clock s u);
+        vc_op s)
+      threads;
+    TC.mark_inexact joined;
+    List.iter
+      (fun u ->
+        TC.rebase_into ~dst:(clock s u) joined ~root:u;
+        vc_op s;
+        refresh_epoch s u)
+      threads;
+    true
+  | Event.Txn_begin _ | Event.Txn_end _ -> true
+
+let thread_count s = s.nthreads

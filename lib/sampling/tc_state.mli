@@ -1,0 +1,35 @@
+(** Tree-clock synchronization state: {!Vc_state} with every vector
+    clock replaced by a {!Tree_clock.t}.
+
+    Same Figure 3 rules, same publish-then-inc order, same fresh-thread
+    initialization ([C_t = ⊥[t := 1]], epoch [1@t]) — so for every
+    trace and every thread, [clock]/[epoch] here equal [Vc_state]'s
+    answers component for component (the QCheck oracle in
+    [test/test_sampling.ml] replays both side by side).  What changes
+    is the cost: an acquire/fork/join updates only the entries the
+    source clock actually beats, instead of walking all [n].
+
+    The two rules whose result is no thread's causal past use the
+    dedicated primitives: a volatile write builds [L_v] with
+    {!Tree_clock.join_flat} (inexact, unprunable), and a barrier
+    rebuilds each participant with {!Tree_clock.rebase_into} after
+    accumulating the all-participants join in a scratch clock marked
+    inexact.  See DESIGN.md S29 for the soundness argument. *)
+
+type t
+
+val create : Stats.t -> t
+(** Counts clock allocations, footprint and sync ops into the given
+    stats, mirroring [Vc_state]'s accounting. *)
+
+val clock : t -> int -> Tree_clock.t
+(** [C_t]; materializes a fresh thread on first touch. *)
+
+val epoch : t -> int -> Epoch.t
+(** Cached [E(t) = C_t(t)@t]. *)
+
+val handle_sync : t -> Event.t -> bool
+(** Applies a synchronization event; [false] exactly on access events
+    (which the detector analyzes instead). *)
+
+val thread_count : t -> int

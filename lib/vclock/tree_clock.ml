@@ -1,0 +1,363 @@
+(* Tree clocks (POPL 2022), array-of-struct layout: six flat int
+   arrays indexed by thread id.  A thread is "present" iff its clock
+   is non-zero (clocks start at 1, like Vc_state's fresh threads), so
+   [clk] doubles as the presence map and [get] needs no tree walk.
+   Child lists are doubly linked ([head]/[next]/[prev]) in
+   non-increasing [aclk] order, the order the join walk relies on for
+   its sibling break. *)
+
+type t = {
+  mutable clk : int array;     (* component value; 0 = absent *)
+  mutable aclk : int array;    (* attachment clock (parent's value at attach) *)
+  mutable parent : int array;  (* -1 for the root / absent nodes *)
+  mutable head : int array;    (* first (youngest-attached) child, -1 = none *)
+  mutable next : int array;    (* next sibling (older attachment) *)
+  mutable prev : int array;    (* previous sibling *)
+  mutable root : int;          (* -1 = bottom *)
+  mutable len : int;           (* one past the largest present tid *)
+  mutable exact : bool;        (* tree is some thread's causal past *)
+}
+
+let reset_slots v lo hi =
+  for i = lo to hi - 1 do
+    v.clk.(i) <- 0;
+    v.aclk.(i) <- 0;
+    v.parent.(i) <- -1;
+    v.head.(i) <- -1;
+    v.next.(i) <- -1;
+    v.prev.(i) <- -1
+  done
+
+let create ?(capacity = 4) () =
+  let cap = max capacity 1 in
+  let v =
+    { clk = Array.make cap 0;
+      aclk = Array.make cap 0;
+      parent = Array.make cap (-1);
+      head = Array.make cap (-1);
+      next = Array.make cap (-1);
+      prev = Array.make cap (-1);
+      root = -1;
+      len = 0;
+      exact = true }
+  in
+  v
+
+let bottom () = create ()
+
+let grow v n =
+  let cap = Array.length v.clk in
+  if n >= cap then begin
+    let cap' = max (n + 1) (2 * cap) in
+    let extend a fill =
+      let fresh = Array.make cap' fill in
+      Array.blit a 0 fresh 0 v.len;
+      fresh
+    in
+    v.clk <- extend v.clk 0;
+    v.aclk <- extend v.aclk 0;
+    v.parent <- extend v.parent (-1);
+    v.head <- extend v.head (-1);
+    v.next <- extend v.next (-1);
+    v.prev <- extend v.prev (-1)
+  end
+
+(* Make tids [v.len .. t] addressable and clean (slots between an old
+   shrink and a regrow may hold stale links). *)
+let extend_len v t =
+  if t >= v.len then begin
+    grow v t;
+    reset_slots v v.len (t + 1);
+    v.len <- t + 1
+  end
+
+let get v t = if t < v.len then Array.unsafe_get v.clk t else 0
+
+let root v = v.root
+let is_exact v = v.exact
+let mark_inexact v = v.exact <- false
+
+let inc v t =
+  if v.root = -1 then begin
+    extend_len v t;
+    v.root <- t;
+    v.clk.(t) <- 1
+  end
+  else if t = v.root then v.clk.(t) <- v.clk.(t) + 1
+  else invalid_arg "Tree_clock.inc: only the root component advances"
+
+let copy_into ~dst src =
+  grow dst (src.len - 1);
+  Array.blit src.clk 0 dst.clk 0 src.len;
+  Array.blit src.aclk 0 dst.aclk 0 src.len;
+  Array.blit src.parent 0 dst.parent 0 src.len;
+  Array.blit src.head 0 dst.head 0 src.len;
+  Array.blit src.next 0 dst.next 0 src.len;
+  Array.blit src.prev 0 dst.prev 0 src.len;
+  if dst.len > src.len then reset_slots dst src.len dst.len;
+  dst.len <- src.len;
+  dst.root <- src.root;
+  dst.exact <- src.exact
+
+let copy v =
+  let fresh = create ~capacity:(max v.len 1) () in
+  copy_into ~dst:fresh v;
+  fresh
+
+(* -- join ---------------------------------------------------------- *)
+
+let detach v c =
+  let p = v.parent.(c) in
+  let nx = v.next.(c) and pv = v.prev.(c) in
+  if pv >= 0 then v.next.(pv) <- nx else v.head.(p) <- nx;
+  if nx >= 0 then v.prev.(nx) <- pv;
+  v.parent.(c) <- -1;
+  v.next.(c) <- -1;
+  v.prev.(c) <- -1
+
+(* Prepend [c] to [p]'s child list.  Every attachment in a join uses
+   the currently largest aclk (see the ordering argument at the call
+   site), so prepending preserves the non-increasing order. *)
+let attach v ~parent:p ~aclk c =
+  v.parent.(c) <- p;
+  v.aclk.(c) <- aclk;
+  let h = v.head.(p) in
+  v.next.(c) <- h;
+  v.prev.(c) <- -1;
+  if h >= 0 then v.prev.(h) <- c;
+  v.head.(p) <- c
+
+let join_into ~dst src =
+  if src.root = -1 then ()
+  else if dst.root = -1 then copy_into ~dst src
+  else if src.exact && get dst src.root >= src.clk.(src.root) then
+    (* Root early-exit: [dst] has observed the publication of [src]'s
+       root at (at least) this value, and an exact tree is exactly
+       that publication's content. *)
+    ()
+  else begin
+    (* Phase 1: walk [src], collecting updated nodes in preorder.
+       Each element is [(tid, parent, aclk)] with [parent = -1]
+       marking a "top" node (its src parent was not updated) to be
+       re-attached under [dst]'s root at [dst]'s current root clock.
+       The list is consed, so its head is the *last* node visited;
+       processing head→tail in phase 2 handles children before their
+       (collected) parents, which keeps each detach operating on
+       intact sibling links. *)
+    let collected = ref [] in
+    (* An inexact src's structure is accumulator bookkeeping, not a
+       chain of publications: keeping its parent/aclk pairs would
+       plant subtrees the frozen-subtree walk argument doesn't cover
+       (a later join could then skip an unupdated node whose glued-in
+       descendants dst never learned).  So for inexact sources every
+       updated node is collected as a top — attaching at dst's root
+       clock is sound for arbitrary content — and the walk descends
+       even through unupdated nodes. *)
+    let keep_structure = src.exact in
+    let rec visit_children p p_collected =
+      let c = ref src.head.(p) in
+      let scanning = ref true in
+      while !c >= 0 && !scanning do
+        let cc = !c in
+        if src.clk.(cc) > get dst cc then begin
+          collected :=
+            (cc, (if p_collected && keep_structure then p else -1),
+             (if p_collected && keep_structure then src.aclk.(cc) else -1))
+            :: !collected;
+          visit_children cc true
+        end
+        else if src.exact then begin
+          if src.aclk.(cc) <= get dst p then
+            (* Siblings attach in non-increasing aclk order: [dst]
+               learned [p] up to [aclk cc], hence this child's frozen
+               subtree and every remaining (older) sibling's too. *)
+            scanning := false
+        end
+        else visit_children cc false;
+        c := src.next.(cc)
+      done
+    in
+    let root_updated = src.clk.(src.root) > get dst src.root in
+    if root_updated then begin
+      if src.root = dst.root then
+        invalid_arg "Tree_clock.join_into: destination root overtaken";
+      collected := (src.root, -1, -1) :: !collected
+    end;
+    visit_children src.root root_updated;
+    (* Phase 2: detach + update + re-attach.  Tops attach under
+       [dst.root] at its current (unpublished) clock — which is >= any
+       earlier attachment there, so prepending keeps the aclk order;
+       collected children attach under their collected parent with
+       their src aclk, which the sibling-break argument shows exceeds
+       every aclk already in that parent's kept list. *)
+    let top_aclk = dst.clk.(dst.root) in
+    List.iter
+      (fun (c, p, a) ->
+        if c = dst.root then
+          invalid_arg "Tree_clock.join_into: destination root overtaken";
+        if c < dst.len && dst.clk.(c) > 0 then detach dst c
+        else extend_len dst c;
+        dst.clk.(c) <- src.clk.(c);
+        let p = if p = -1 then dst.root else p in
+        let a = if a = -1 then top_aclk else a in
+        (* The parent may be a collected node not yet placed: make its
+           slot addressable NOW, or its later extend_len would
+           reset_slots over the links this attach writes. *)
+        extend_len dst p;
+        attach dst ~parent:p ~aclk:a c)
+      !collected
+  end
+
+(* Clear a slot's links but keep its value (the flat rebuilds below
+   re-link from scratch). *)
+let flat_reset v i =
+  v.parent.(i) <- -1;
+  v.head.(i) <- -1;
+  v.next.(i) <- -1;
+  v.prev.(i) <- -1;
+  v.aclk.(i) <- 0
+
+let join_flat ~dst src ~root =
+  if src.root = -1 && dst.root = -1 then ()
+  else begin
+    (* pointwise max of values *)
+    extend_len dst (max src.len dst.len - 1);
+    for i = 0 to src.len - 1 do
+      if src.clk.(i) > dst.clk.(i) then dst.clk.(i) <- src.clk.(i)
+    done;
+    if dst.clk.(root) = 0 then
+      invalid_arg "Tree_clock.join_flat: root not present in the join";
+    (* rebuild flat: every present tid a direct child of [root],
+       unprunable (aclk = max_int), inexact *)
+    for i = 0 to dst.len - 1 do
+      flat_reset dst i
+    done;
+    dst.root <- root;
+    for i = 0 to dst.len - 1 do
+      if dst.clk.(i) > 0 && i <> root then
+        attach dst ~parent:root ~aclk:max_int i
+    done;
+    dst.exact <- false
+  end
+
+let rebase_into ~dst src ~root =
+  if src.root = -1 then invalid_arg "Tree_clock.rebase_into: ⊥ source";
+  extend_len dst (max src.len dst.len - 1);
+  Array.blit src.clk 0 dst.clk 0 src.len;
+  if dst.len > src.len then Array.fill dst.clk src.len (dst.len - src.len) 0;
+  if dst.clk.(root) = 0 then
+    invalid_arg "Tree_clock.rebase_into: root not present in the join";
+  dst.clk.(root) <- dst.clk.(root) + 1;
+  for i = 0 to dst.len - 1 do
+    flat_reset dst i
+  done;
+  dst.root <- root;
+  let a = dst.clk.(root) in
+  for i = 0 to dst.len - 1 do
+    if dst.clk.(i) > 0 && i <> root then attach dst ~parent:root ~aclk:a i
+  done;
+  dst.exact <- true
+
+(* -- comparisons / views ------------------------------------------- *)
+
+let leq v1 v2 =
+  let rec go t = t >= v1.len || (v1.clk.(t) <= get v2 t && go (t + 1)) in
+  go 0
+
+let equal v1 v2 = leq v1 v2 && leq v2 v1
+let epoch_of v t = Epoch.make ~tid:t ~clock:(get v t)
+let epoch_leq e v = Epoch.clock e <= get v (Epoch.tid e)
+
+let vc_leq vc v =
+  let n = Vector_clock.length vc in
+  let rec go t = t >= n || (Vector_clock.get vc t <= get v t && go (t + 1)) in
+  go 0
+
+let find_gt_vc vc v =
+  let n = Vector_clock.length vc in
+  let rec go t =
+    if t >= n then None
+    else
+      let c = Vector_clock.get vc t in
+      if c > get v t then Some (t, c) else go (t + 1)
+  in
+  go 0
+
+let length v = v.len
+
+(* six arrays (contents + header) + record header/fields *)
+let heap_words v = (6 * (Array.length v.clk + 1)) + 10
+
+let to_list v =
+  let l = List.init v.len (fun t -> v.clk.(t)) in
+  let rec trim = function
+    | 0 :: rest when List.for_all (Int.equal 0) rest -> []
+    | c :: rest -> c :: trim rest
+    | [] -> []
+  in
+  trim l
+
+let rec pp_tree ppf v t =
+  Format.fprintf ppf "%d:%d@@%d" t v.clk.(t)
+    (if t = v.root then 0 else v.aclk.(t));
+  if v.head.(t) >= 0 then begin
+    Format.fprintf ppf "(";
+    let c = ref v.head.(t) in
+    while !c >= 0 do
+      if !c <> v.head.(t) then Format.fprintf ppf " ";
+      pp_tree ppf v !c;
+      c := v.next.(!c)
+    done;
+    Format.fprintf ppf ")"
+  end
+
+let pp_tree ppf v =
+  if v.root = -1 then Format.pp_print_string ppf "⊥"
+  else pp_tree ppf v v.root
+
+let pp ppf v =
+  Format.fprintf ppf "⟨%a⟩"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+       Format.pp_print_int)
+    (to_list v)
+
+(* -- test-suite audit ---------------------------------------------- *)
+
+let check v =
+  let fail fmt = Format.kasprintf failwith ("Tree_clock.check: " ^^ fmt) in
+  if v.root = -1 then begin
+    for t = 0 to v.len - 1 do
+      if v.clk.(t) <> 0 then fail "⊥ with non-zero clk(%d)" t
+    done
+  end
+  else begin
+    if v.root >= v.len || v.clk.(v.root) <= 0 then fail "root absent";
+    if v.parent.(v.root) <> -1 then fail "root has a parent";
+    let seen = Array.make v.len false in
+    let rec walk p =
+      if p < 0 || p >= v.len then fail "link out of range (%d)" p;
+      if seen.(p) then fail "node %d reached twice" p;
+      seen.(p) <- true;
+      if v.clk.(p) <= 0 then fail "attached node %d has clk 0" p;
+      let c = ref v.head.(p) in
+      let last_aclk = ref max_int and pv = ref (-1) in
+      while !c >= 0 do
+        let cc = !c in
+        if v.parent.(cc) <> p then fail "child %d disowns parent %d" cc p;
+        if v.prev.(cc) <> !pv then fail "sibling links broken at %d" cc;
+        if v.aclk.(cc) > !last_aclk then
+          fail "child aclks increase at %d" cc;
+        last_aclk := v.aclk.(cc);
+        walk cc;
+        pv := cc;
+        c := v.next.(cc)
+      done
+    in
+    walk v.root;
+    for t = 0 to v.len - 1 do
+      if v.clk.(t) > 0 && not seen.(t) then
+        fail "present node %d unreachable" t;
+      if v.clk.(t) = 0 && seen.(t) then fail "absent node %d attached" t
+    done
+  end

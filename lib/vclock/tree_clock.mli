@@ -1,0 +1,137 @@
+(** Tree clocks: a join-optimal logical clock (Mathur, Pavlogiannis,
+    Tunç, Viswanathan — "A Tree Clock Data Structure for Logical Time",
+    POPL 2022), specialised for the sampling tier.
+
+    A tree clock stores the same map [Tid → Nat] as a
+    {!Vector_clock.t}, but arranges the non-zero entries in a rooted
+    tree that remembers {e how} each entry was learned: a node [c]
+    hangs under parent [p] with an {e attachment clock} [aclk c] — the
+    value of [p]'s component at the moment [p]'s thread learned [c]'s
+    subtree.  A join [dst ⊔= src] walks only the part of [src]'s tree
+    whose entries actually beat [dst]'s, pruning whole subtrees the
+    moment an attachment clock shows [dst] has already seen them:
+    the cost is O(entries updated), not O(threads), which is the whole
+    point — FastTrack's remaining O(n) term drops out of the sampling
+    tier's sync handling ({!Tc_state} in [lib/sampling]).
+
+    {2 Soundness (the publish-inc discipline)}
+
+    Pruning trusts two things, both established by the detector's
+    Figure-3 sync rules and argued in DESIGN.md S29:
+
+    - {e knowledge coherence}: any clock holding entry [(u, w)]
+      dominates thread [u]'s entire causal past as of [u]'s local time
+      [w].  This holds because every publication of a thread clock
+      (release, fork, being joined, volatile write, barrier) is
+      immediately followed by [inc] — so a clock value, once
+      observable by others, names a frozen snapshot.
+    - {e frozen subtrees}: while a node stays attached its subtree
+      only shrinks (updated descendants re-attach higher up), so an
+      attachment clock keeps meaning "learned by then".
+
+    Clocks that are {e no} thread's causal past — a volatile's
+    [L_v := L_v ⊔ C_t], a barrier's all-participants join — violate
+    the first invariant for their root, so they are built {e inexact}
+    ({!join_flat}, {!mark_inexact}): flat trees whose children carry
+    [aclk = max_int] (never prunable) and whose [exact = false] flag
+    disables the root early-exit when they are a join source.  Using
+    them as a join {e destination} needs only pointwise dominance and
+    is always sound. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [create ()] is [⊥], the clock mapping every thread to [0] (no
+    root). *)
+
+val bottom : unit -> t
+
+val get : t -> int -> int
+(** [get v t] is [V(t)]; [0] for absent threads. *)
+
+val root : t -> int
+(** Root thread id, or [-1] for [⊥]. *)
+
+val is_exact : t -> bool
+
+val mark_inexact : t -> unit
+(** Demote to inexact (disables the root early-exit when [t] is used
+    as a join source; see the barrier accumulator in [Tc_state]). *)
+
+val inc : t -> int -> unit
+(** [inc v t]: [V(t) := V(t) + 1].  On [⊥] this roots the tree at
+    [t]; otherwise [t] must be the root (thread clocks only ever
+    advance their own component). *)
+
+val join_into : dst:t -> t -> unit
+(** [join_into ~dst src] sets [dst := dst ⊔ src] (pointwise max),
+    walking only [src]'s updated nodes.  O(updated entries) plus the
+    pruned frontier; O(|src|) worst case.  Raises [Invalid_argument]
+    if the walk tries to overtake [dst]'s own root entry — impossible
+    under the publish-inc discipline, so it would mean the caller
+    broke rule order. *)
+
+val copy_into : dst:t -> t -> unit
+(** Structural copy (tree shape, exactness and all).  O(n). *)
+
+val copy : t -> t
+
+val join_flat : dst:t -> t -> root:int -> unit
+(** [join_flat ~dst src ~root] is the volatile-write primitive
+    [L' := L ⊔ C]: pointwise max of values, then [dst] is rebuilt as a
+    flat {e inexact} tree rooted at [root] (the writing thread, which
+    must be present in [src]) with every other entry a direct child
+    carrying [aclk = max_int]. *)
+
+val rebase_into : dst:t -> t -> root:int -> unit
+(** [rebase_into ~dst src ~root] is the barrier primitive
+    [C_u := inc_u(⊔ participants)]: [dst] becomes a flat {e exact}
+    tree rooted at [root] with [dst(root) = src(root) + 1] and every
+    other entry attached at [aclk = dst(root)] — the post-inc,
+    not-yet-published clock, which is what makes the attachment
+    sound. *)
+
+val leq : t -> t -> bool
+(** Pointwise [⊑].  O(n); oracle/test use, not on the detector's hot
+    path. *)
+
+val equal : t -> t -> bool
+
+val epoch_of : t -> int -> Epoch.t
+(** [epoch_of v t] is [V(t)@t]. *)
+
+val epoch_leq : Epoch.t -> t -> bool
+(** O(1): [clock e <= V(tid e)] — the FastTrack fast-path test. *)
+
+val vc_leq : Vector_clock.t -> t -> bool
+(** [vc_leq vc v]: every component of [vc] is [<=] the matching
+    component of [v].  The sampler's read-vector check ([R ⊑ C_t])
+    keeps its read VCs as plain vector clocks. *)
+
+val find_gt_vc : Vector_clock.t -> t -> (int * int) option
+(** Witness [(u, vc(u))] with [vc(u) > v(u)], if any — the failing
+    component of a {!vc_leq}. *)
+
+val length : t -> int
+(** Logical length: one past the largest thread id present. *)
+
+val heap_words : t -> int
+(** Approximate heap footprint in words (six arrays + record). *)
+
+val to_list : t -> int list
+(** Same rendering as {!Vector_clock.to_list}: entries with trailing
+    zeros trimmed — so a tree clock and the vector clock it shadows
+    print identically. *)
+
+val pp : Format.formatter -> t -> unit
+
+val pp_tree : Format.formatter -> t -> unit
+(** Debug view of the tree structure: [t:clk@aclk(children...)],
+    children in stored (youngest-first) order. *)
+
+val check : t -> unit
+(** Structural invariant audit for the test suite: link coherence
+    (parent/child/sibling pointers agree), every present node
+    reachable from the root exactly once, positive clocks on attached
+    nodes, and non-increasing [aclk] along each child list.  Raises
+    [Failure] with a description on violation. *)

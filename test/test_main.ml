@@ -25,4 +25,5 @@ let () =
       Test_prof.suite;
       Test_report.suite;
       Test_static.suite;
+      Test_sampling.suite;
       Test_workloads.suite ]

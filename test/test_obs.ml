@@ -367,7 +367,14 @@ let test_metrics_schema () =
   (* the exporter renders floats with %.6g *)
   Alcotest.(check (float 1e-4)) "result.imbalance matches export"
     result.Driver.imbalance imbalance;
-  ignore (member "stats" run);
+  (* ftrace.obs/1 carries every Stats scalar, including the sampling
+     tier's counters — zero for a non-sampling detector like this
+     FastTrack run *)
+  let stats = member "stats" run in
+  Alcotest.(check (float 1e-9)) "run.stats.sampled is 0 for FastTrack"
+    0. (as_num (member "sampled" stats));
+  Alcotest.(check (float 1e-9)) "run.stats.skipped is 0 for FastTrack"
+    0. (as_num (member "skipped" stats));
   ignore (member "rules" run)
 
 (* The work-stealing plan's document: prefix spans (the umbrella plus

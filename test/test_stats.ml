@@ -108,7 +108,10 @@ let test_fields_alist () =
   in
   Alcotest.(check int) "events" 7 (get "events");
   Alcotest.(check int) "peak_words" 33 (get "peak_words");
-  Alcotest.(check int) "field count" 10 (List.length fields)
+  (* the sampling-tier counters are always exported, zero or not *)
+  Alcotest.(check int) "sampled" 0 (get "sampled");
+  Alcotest.(check int) "skipped" 0 (get "skipped");
+  Alcotest.(check int) "field count" 12 (List.length fields)
 
 let suite =
   ( "stats",
