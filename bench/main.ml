@@ -32,6 +32,7 @@ let experiments :
     ("churn", Bench_churn.run);
     ("parallel", Bench_parallel.run);
     ("elimination", Bench_elimination.run);
+    ("tasks", Bench_tasks.run);
     ("live", Bench_live.run);
     ("profile", Bench_profile.run);
     ("sampling", Bench_sampling.run);

@@ -1097,7 +1097,33 @@ let watch_cmd =
 (* ------------------------------------------------------------------ *)
 (* lint                                                               *)
 
-let lint name scale json fail_on_finding =
+(* "t4/s0" (or bare "4/0"): one program point for --mhp *)
+let parse_node s =
+  let num prefix x =
+    let x = String.trim x in
+    let x =
+      if String.length x > 1 && x.[0] = prefix then
+        String.sub x 1 (String.length x - 1)
+      else x
+    in
+    int_of_string_opt x
+  in
+  match String.split_on_char '/' (String.trim s) with
+  | [ a; b ] -> (
+    match (num 't' a, num 's' b) with
+    | Some t, Some s -> Some { Static.n_tid = t; n_seg = s }
+    | _ -> None)
+  | _ -> None
+
+let parse_mhp_query q =
+  match String.split_on_char ',' q with
+  | [ a; b ] -> (
+    match (parse_node a, parse_node b) with
+    | Some a, Some b -> Some (a, b)
+    | _ -> None)
+  | _ -> None
+
+let lint name scale json fail_on_finding mhp_query =
   match Workloads.find name with
   | None ->
     Printf.eprintf
@@ -1119,7 +1145,24 @@ let lint name scale json fail_on_finding =
         if path <> "-" then
           Printf.printf "wrote static analysis to %s\n" path)
       json;
-    if fail_on_finding && summary.Static.findings <> [] then 1 else 0
+    let mhp_bad = ref false in
+    Option.iter
+      (fun q ->
+        match parse_mhp_query q with
+        | None ->
+          Printf.eprintf
+            "bad --mhp query %S (expected \"t1/s0,t4/s2\": two \
+             thread/segment points separated by a comma)\n"
+            q;
+          mhp_bad := true
+        | Some (a, b) ->
+          Printf.printf "MHP t%d/s%d t%d/s%d = %s\n" a.Static.n_tid
+            a.Static.n_seg b.Static.n_tid b.Static.n_seg
+            (if Static.mhp summary a b then "parallel" else "ordered"))
+      mhp_query;
+    if !mhp_bad then 1
+    else if fail_on_finding && summary.Static.findings <> [] then 1
+    else 0
 
 let lint_cmd =
   let workload_arg =
@@ -1142,14 +1185,26 @@ let lint_cmd =
              ~doc:"CI gating: exit 1 if the linter reported any finding \
                    (release without hold, barrier party mismatch, ...).")
   in
+  let mhp =
+    Arg.(value & opt (some string) None
+         & info [ "mhp" ] ~docv:"A,B"
+             ~doc:"Also answer one may-happen-in-parallel query between \
+                   two program points, e.g. $(b,--mhp t4/s0,t7/s1).  \
+                   Answered in O(1) from the DPST labeling on \
+                   async-finish programs; conservatively $(b,parallel) \
+                   for cross-thread points of programs without a task \
+                   tier.")
+  in
   Cmd.v
     (Cmd.info "lint"
        ~doc:"Ahead-of-run static race analysis of a workload's program: \
-             per-variable verdicts (thread-local, read-only, \
-             lock-protected, barrier-phased, fork/join-ordered, \
-             may-race) with certificates, plus structural lint findings")
+             per-variable verdicts (thread-local, task-local, read-only, \
+             lock-protected, sp-ordered, barrier-phased, \
+             fork/join-ordered, may-race) with certificates, plus \
+             structural lint findings")
     Term.(
-      const lint $ workload_arg $ scale_arg $ json $ fail_on_finding)
+      const lint $ workload_arg $ scale_arg $ json $ fail_on_finding
+      $ mhp)
 
 (* ------------------------------------------------------------------ *)
 (* workloads                                                          *)

@@ -6,7 +6,19 @@
     seeded PRNG and emits the corresponding event trace.  Control flow
     (loops, conditionals) is resolved at construction time by the
     workload generators, which build the statement arrays
-    programmatically. *)
+    programmatically.
+
+    Threads come in two spawn tiers.  The original {e fork/join} tier
+    ([Fork]/[Join]) models raw threads.  The {e async-finish} tier
+    ([Async]/[Finish]) models task pools in the X10 / Habanero /
+    domainslib style: [Async u] starts task [u] and registers it with
+    the innermost enclosing [Finish] scope (the spawner's own, or the
+    one it was itself spawned under); a [Finish] block does not
+    complete until every task transitively registered with it has
+    finished.  The scheduler emits plain fork/join-shaped events for
+    the task tier, so every downstream detector works unchanged — but
+    the static layer ({!module:Ft_static.Static}) exploits the
+    series-parallel structure the scoping guarantees. *)
 
 type stmt =
   | Read of Var.t
@@ -26,6 +38,13 @@ type stmt =
           The thread must hold [m]. *)
   | Txn_begin                   (** atomic-block marker (Section 5.2) *)
   | Txn_end
+  | Async of Tid.t
+      (** task-tier spawn: starts task [Tid.t] and registers it with
+          the innermost enclosing finish scope (emits a fork event) *)
+  | Finish of stmt list
+      (** finish scope: runs the body, then blocks until every task
+          transitively registered with the scope has finished (emits
+          one join event per registered task); nests freely *)
 
 type thread = { tid : Tid.t; body : stmt list }
 
@@ -41,11 +60,29 @@ type t = private {
 
 val make : ?barriers:barrier list -> ?roots:Tid.t list -> thread list -> t
 (** [make threads] builds a program.  [roots] defaults to the threads
-    never targeted by a [Fork].
-    @raise Invalid_argument on duplicate thread ids, forks of unknown
-    or root threads, or barriers with fewer than 2 parties. *)
+    never targeted by a [Fork] or [Async].
+    @raise Invalid_argument (naming the offending thread or barrier)
+    on duplicate thread ids, spawns of unknown, root, or self threads,
+    a thread targeted by both [Fork] and [Async], async targets
+    unreachable from any root (spawn cycles), duplicate barrier ids,
+    or barriers with fewer than 2 parties. *)
 
 val thread_count : t -> int
+
+val iter_stmts : (stmt -> unit) -> stmt list -> unit
+(** Pre-order iteration over a statement list, descending into
+    [Finish] bodies (the [Finish] node itself is visited first). *)
+
+val has_tasks : t -> bool
+(** True iff the program uses the async-finish tier ([Async] or
+    [Finish] appears anywhere). *)
+
+val structural_hash : t -> int
+(** Deterministic fingerprint of the full program structure — every
+    statement (recursively), thread ids, barriers, roots.  Any change
+    to the program's shape changes the hash (up to 63-bit collisions),
+    making it a sound cache key for derived artifacts such as static
+    certificates. *)
 
 (** Statement-list combinators used by the workload generators. *)
 

@@ -6,18 +6,40 @@ type options = { seed : int; quantum : float }
 let default_options = { seed = 42; quantum = 0.85 }
 
 type status =
-  | Fresh               (* not yet forked *)
+  | Fresh               (* not yet forked / asynced *)
   | Runnable
   | Reacquiring of Lockid.t  (* parked inside Wait, needs the lock back *)
   | At_barrier of int
   | Finished
 
+(* One live finish scope.  Tasks register on spawn; the owner joins
+   each registered task (smallest tid first among the finished ones)
+   while blocked at the scope's close. *)
+type frame = {
+  mutable registered : Tid.t list;
+  mutable joined : Tid.t list;
+}
+
+(* Bodies are flattened so a nested [Finish] becomes a bracketed region
+   of the same flat array — the pc then walks scope boundaries like any
+   other operation. *)
+type op =
+  | Op_stmt of Program.stmt
+  | Op_finish_begin
+  | Op_finish_end
+
 type thread_state = {
   tid : Tid.t;
-  body : Program.stmt array;
+  body : op array;
   mutable pc : int;
   mutable status : status;
   mutable holds : (Lockid.t * int) list;  (* lock, re-entrancy depth *)
+  mutable fin_stack : frame list;         (* own open finish scopes *)
+  mutable inherit_frame : frame option;
+      (* scope this task was registered with at spawn; its own spawns
+         outside any local finish register there too (async-finish
+         semantics: registration escapes to the nearest enclosing
+         scope, however many task hops away) *)
 }
 
 type state = {
@@ -35,6 +57,20 @@ let lock_free s m = not (Hashtbl.mem s.locks m)
 
 let emit s e = Trace.Builder.add s.builder e
 
+let rec flatten acc = function
+  | [] -> acc
+  | Program.Finish body :: rest ->
+    let acc = flatten (Op_finish_begin :: acc) body in
+    flatten (Op_finish_end :: acc) rest
+  | st :: rest -> flatten (Op_stmt st :: acc) rest
+
+let ops_of_body body = Array.of_list (List.rev (flatten [] body))
+
+let current_frame th =
+  match th.fin_stack with f :: _ -> Some f | [] -> th.inherit_frame
+
+let unjoined f = List.filter (fun u -> not (List.mem u f.joined)) f.registered
+
 (* Can this thread take a step right now? *)
 let can_step s th =
   match th.status with
@@ -44,18 +80,32 @@ let can_step s th =
     if th.pc >= Array.length th.body then true (* step to Finished *)
     else
       match th.body.(th.pc) with
-      | Program.Acquire m -> (
-        (* a self-held lock is always re-acquirable (Java monitors are
-           re-entrant; the redundant acquire emits no event) *)
-        match Hashtbl.find_opt s.locks m with
-        | None -> true
-        | Some holder -> Tid.equal holder th.tid)
-      | Program.Join u -> s.threads.(u).status = Finished
-      | Program.Read _ | Program.Write _ | Program.Release _
-      | Program.Fork _ | Program.Volatile_read _ | Program.Volatile_write _
-      | Program.Barrier_wait _ | Program.Wait _ | Program.Txn_begin
-      | Program.Txn_end ->
-        true)
+      | Op_finish_begin -> true
+      | Op_finish_end -> (
+        (* close a scope: either all registered tasks are joined, or
+           some finished one is ready to be joined right now *)
+        match th.fin_stack with
+        | [] -> assert false
+        | f :: _ -> (
+          match unjoined f with
+          | [] -> true
+          | pending ->
+            List.exists (fun u -> s.threads.(u).status = Finished) pending))
+      | Op_stmt stmt -> (
+        match stmt with
+        | Program.Acquire m -> (
+          (* a self-held lock is always re-acquirable (Java monitors are
+             re-entrant; the redundant acquire emits no event) *)
+          match Hashtbl.find_opt s.locks m with
+          | None -> true
+          | Some holder -> Tid.equal holder th.tid)
+        | Program.Join u -> s.threads.(u).status = Finished
+        | Program.Read _ | Program.Write _ | Program.Release _
+        | Program.Fork _ | Program.Async _ | Program.Volatile_read _
+        | Program.Volatile_write _ | Program.Barrier_wait _ | Program.Wait _
+        | Program.Txn_begin | Program.Txn_end ->
+          true
+        | Program.Finish _ -> assert false (* flattened away *)))
 
 let release_barrier_if_full s b =
   let parked = Option.value (Hashtbl.find_opt s.waiting b) ~default:[] in
@@ -84,69 +134,105 @@ let step s th =
       invalid "thread %d finished while holding a lock" t;
     th.status <- Finished
   | Runnable -> (
-    let stmt = th.body.(th.pc) in
-    th.pc <- th.pc + 1;
-    match stmt with
-    | Program.Read x -> emit s (Event.Read { t; x })
-    | Program.Write x -> emit s (Event.Write { t; x })
-    | Program.Acquire m -> (
-      match Hashtbl.find_opt s.locks m with
-      | Some holder when Tid.equal holder t ->
-        (* re-entrant acquire: redundant, filtered out of the event
-           stream as RoadRunner does (Section 4) *)
-        th.holds <-
-          List.map
-            (fun (m', d) -> if m' = m then (m', d + 1) else (m', d))
-            th.holds
-      | Some _ -> assert false (* can_step checked availability *)
-      | None ->
-        Hashtbl.replace s.locks m t;
-        th.holds <- (m, 1) :: th.holds;
-        emit s (Event.Acquire { t; m }))
-    | Program.Release m -> (
-      match Hashtbl.find_opt s.locks m with
-      | Some holder when Tid.equal holder t -> (
-        match List.assoc_opt m th.holds with
-        | Some depth when depth > 1 ->
-          (* matching re-entrant release: also filtered *)
+    match th.body.(th.pc) with
+    | Op_finish_begin ->
+      th.pc <- th.pc + 1;
+      th.fin_stack <- { registered = []; joined = [] } :: th.fin_stack
+    | Op_finish_end -> (
+      let f = List.hd th.fin_stack in
+      let ready =
+        unjoined f
+        |> List.filter (fun u -> s.threads.(u).status = Finished)
+        |> List.sort Tid.compare
+      in
+      match ready with
+      | u :: _ ->
+        (* join one finished task per step; the pc stays on the close
+           until the scope drains (registrations may still grow while
+           we wait, from descendants spawning into this scope) *)
+        f.joined <- u :: f.joined;
+        emit s (Event.Join { t; u })
+      | [] ->
+        (* can_step admitted us, so all registered tasks are joined *)
+        th.fin_stack <- List.tl th.fin_stack;
+        th.pc <- th.pc + 1)
+    | Op_stmt stmt -> (
+      th.pc <- th.pc + 1;
+      match stmt with
+      | Program.Read x -> emit s (Event.Read { t; x })
+      | Program.Write x -> emit s (Event.Write { t; x })
+      | Program.Acquire m -> (
+        match Hashtbl.find_opt s.locks m with
+        | Some holder when Tid.equal holder t ->
+          (* re-entrant acquire: redundant, filtered out of the event
+             stream as RoadRunner does (Section 4) *)
           th.holds <-
             List.map
-              (fun (m', d) -> if m' = m then (m', d - 1) else (m', d))
+              (fun (m', d) -> if m' = m then (m', d + 1) else (m', d))
               th.holds
+        | Some _ -> assert false (* can_step checked availability *)
+        | None ->
+          Hashtbl.replace s.locks m t;
+          th.holds <- (m, 1) :: th.holds;
+          emit s (Event.Acquire { t; m }))
+      | Program.Release m -> (
+        match Hashtbl.find_opt s.locks m with
+        | Some holder when Tid.equal holder t -> (
+          match List.assoc_opt m th.holds with
+          | Some depth when depth > 1 ->
+            (* matching re-entrant release: also filtered *)
+            th.holds <-
+              List.map
+                (fun (m', d) -> if m' = m then (m', d - 1) else (m', d))
+                th.holds
+          | Some _ | None ->
+            Hashtbl.remove s.locks m;
+            th.holds <- List.filter (fun (m', _) -> m' <> m) th.holds;
+            emit s (Event.Release { t; m }))
         | Some _ | None ->
+          invalid "thread %d releases lock %d it does not hold" t m)
+      | Program.Fork u ->
+        let child = s.threads.(u) in
+        if child.status <> Fresh then invalid "thread %d forked twice" u;
+        child.status <- Runnable;
+        emit s (Event.Fork { t; u })
+      | Program.Async u ->
+        let child = s.threads.(u) in
+        if child.status <> Fresh then invalid "task %d asynced twice" u;
+        let scope = current_frame th in
+        (match scope with
+        | Some f -> f.registered <- u :: f.registered
+        | None -> () (* escapes every finish scope: never joined *));
+        child.inherit_frame <- scope;
+        child.status <- Runnable;
+        emit s (Event.Fork { t; u })
+      | Program.Join u ->
+        emit s (Event.Join { t; u })
+      | Program.Volatile_read v -> emit s (Event.Volatile_read { t; v })
+      | Program.Volatile_write v -> emit s (Event.Volatile_write { t; v })
+      | Program.Barrier_wait b ->
+        th.status <- At_barrier b;
+        let parked =
+          Option.value (Hashtbl.find_opt s.waiting b) ~default:[]
+        in
+        Hashtbl.replace s.waiting b (t :: parked);
+        release_barrier_if_full s b
+      | Program.Wait m ->
+        (match Hashtbl.find_opt s.locks m with
+        | Some holder when Tid.equal holder t ->
+          (match List.assoc_opt m th.holds with
+          | Some depth when depth > 1 ->
+            invalid "thread %d waits on lock %d held re-entrantly" t m
+          | Some _ | None -> ());
           Hashtbl.remove s.locks m;
-          th.holds <- List.filter (fun (m', _) -> m' <> m) th.holds;
-          emit s (Event.Release { t; m }))
-      | Some _ | None ->
-        invalid "thread %d releases lock %d it does not hold" t m)
-    | Program.Fork u ->
-      let child = s.threads.(u) in
-      if child.status <> Fresh then invalid "thread %d forked twice" u;
-      child.status <- Runnable;
-      emit s (Event.Fork { t; u })
-    | Program.Join u ->
-      emit s (Event.Join { t; u })
-    | Program.Volatile_read v -> emit s (Event.Volatile_read { t; v })
-    | Program.Volatile_write v -> emit s (Event.Volatile_write { t; v })
-    | Program.Barrier_wait b ->
-      th.status <- At_barrier b;
-      let parked = Option.value (Hashtbl.find_opt s.waiting b) ~default:[] in
-      Hashtbl.replace s.waiting b (t :: parked);
-      release_barrier_if_full s b
-    | Program.Wait m ->
-      (match Hashtbl.find_opt s.locks m with
-      | Some holder when Tid.equal holder t ->
-        (match List.assoc_opt m th.holds with
-        | Some depth when depth > 1 ->
-          invalid "thread %d waits on lock %d held re-entrantly" t m
-        | Some _ | None -> ());
-        Hashtbl.remove s.locks m;
-        th.holds <- List.filter (fun (m', _) -> m' <> m) th.holds
-      | Some _ | None -> invalid "thread %d waits on lock %d it does not hold" t m);
-      emit s (Event.Release { t; m });
-      th.status <- Reacquiring m
-    | Program.Txn_begin -> emit s (Event.Txn_begin { t })
-    | Program.Txn_end -> emit s (Event.Txn_end { t }))
+          th.holds <- List.filter (fun (m', _) -> m' <> m) th.holds
+        | Some _ | None ->
+          invalid "thread %d waits on lock %d it does not hold" t m);
+        emit s (Event.Release { t; m });
+        th.status <- Reacquiring m
+      | Program.Txn_begin -> emit s (Event.Txn_begin { t })
+      | Program.Txn_end -> emit s (Event.Txn_end { t })
+      | Program.Finish _ -> assert false (* flattened away *)))
   | Fresh | Finished | At_barrier _ -> assert false
 
 let run ?(options = default_options) (p : Program.t) =
@@ -156,7 +242,7 @@ let run ?(options = default_options) (p : Program.t) =
   let bodies = Array.make n [||] in
   List.iter
     (fun (th : Program.thread) ->
-      bodies.(th.tid) <- Array.of_list th.body)
+      bodies.(th.tid) <- ops_of_body th.body)
     p.threads;
   let s =
     { rng = Prng.create ~seed:options.seed;
@@ -166,7 +252,9 @@ let run ?(options = default_options) (p : Program.t) =
               body = bodies.(tid);
               pc = 0;
               status = (if List.mem tid p.roots then Runnable else Fresh);
-              holds = [] });
+              holds = [];
+              fin_stack = [];
+              inherit_frame = None });
       locks = Hashtbl.create 16;
       barriers = Hashtbl.create 4;
       waiting = Hashtbl.create 4;

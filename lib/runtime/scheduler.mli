@@ -10,7 +10,17 @@
       parked, then releases them all with one [barrier_rel] event;
     - [Wait m] emits the release of [m] immediately and parks the
       thread until it can re-acquire [m] (notify affects scheduling
-      only, so it needs no event — Section 4).
+      only, so it needs no event — Section 4);
+    - [Async u] starts task [u] like a fork (one [fork] event) and
+      registers it with the innermost enclosing finish scope — the
+      spawner's own, or the scope the spawner was itself registered
+      with at spawn (registration escapes through task hops, as in
+      X10's async-finish semantics);
+    - the close of a [Finish] block parks the thread until every task
+      registered with the scope has finished, emitting one [join]
+      event per registered task (smallest ready tid first).  Scope
+      boundaries themselves emit no events: the task tier compiles
+      entirely into fork/join-shaped traces.
 
     Scheduling is quantum-based: after each step the same thread
     continues with probability [quantum] while it can, which yields
@@ -23,8 +33,8 @@ exception Deadlock of string
 
 exception Invalid_program of string
 (** A thread broke the DSL's rules at runtime: released or waited on a
-    lock it does not hold (or held re-entrantly), forked a non-fresh
-    thread, or waited on an unknown barrier.  Locks are re-entrant:
+    lock it does not hold (or held re-entrantly), forked or asynced a
+    non-fresh thread, or waited on an unknown barrier.  Locks are re-entrant:
     nested acquires and releases of a held lock are legal and —
     exactly as RoadRunner does (Section 4) — filtered out of the
     emitted event stream as redundant. *)

@@ -1,0 +1,283 @@
+(* Static program-structure tree (a static DPST) for the async-finish
+   tier, with O(1) may-happen-in-parallel queries.
+
+   The tree is the series-parallel decomposition of the program:
+
+   - the root acts as an implicit finish scope around the whole run;
+   - a [Finish] node per lexical finish scope;
+   - an [Async] node per spawn site (both tiers: a [Fork] is an async
+     that escapes every finish scope — its join, if any, is ordered by
+     the skeleton's join edges instead, so treating it as escaped only
+     over-approximates parallelism, which is the sound direction);
+   - a [Step] leaf per static segment of a thread, in left-to-right
+     program order.
+
+   The classical DPST theorem (Raman et al., "Scalable and precise
+   dynamic datarace detection for structured parallelism") then gives
+   MHP in O(lca): for leaves [a] before [b] in left-to-right order,
+   a ∥ b iff the child of [lca(a,b)] on the path towards [a] is an
+   async node.  We make the query O(1) with the standard Euler-tour +
+   sparse-table RMQ labeling for the LCA and a per-leaf
+   ancestors-by-depth array for the child-of-LCA lookup.
+
+   Threads that are spawned more than once, never spawned, or whose
+   spawn multiplicity the walk could not pin down are attached directly
+   under the root as escaped asyncs: parallel with everything, again
+   the sound over-approximation. *)
+
+type shape =
+  | Sp_spawn of Tid.t  (* Fork/Async site: segment boundary + P-branch *)
+  | Sp_cut             (* Join/Barrier: segment boundary, series only *)
+  | Sp_open            (* Finish entry *)
+  | Sp_close           (* Finish exit *)
+
+type kind = Root | Finish | Async | Step of { tid : Tid.t; seg : int }
+
+type t = {
+  kind : kind array;
+  parent : int array;          (* node id -> parent id, -1 at root *)
+  depth : int array;
+  rank : int array;            (* index among the parent's children *)
+  pre : int array;             (* preorder number: left-to-right order *)
+  euler : int array;           (* Euler tour of node ids, length 2n-1 *)
+  first : int array;           (* node id -> first index in [euler] *)
+  table : int array array;     (* sparse table of min-depth euler slots *)
+  anc : int array array;       (* step id -> ancestors indexed by depth *)
+  steps : (Tid.t, int array) Hashtbl.t;  (* tid -> seg -> step node id *)
+  tasks : (Tid.t, unit) Hashtbl.t;       (* Async-spawned threads *)
+}
+
+(* -- construction -------------------------------------------------- *)
+
+type tnode = { id : int; knd : kind; mutable kids : tnode list (* rev *) }
+
+let build ~roots ~task_tids ~threads =
+  (* [threads]: (tid, number of segments, shape list) per thread;
+     [task_tids]: the Async-spawned subset. *)
+  let shapes_of = Hashtbl.create 16 in
+  let nsegs_of = Hashtbl.create 16 in
+  let spawn_count = Hashtbl.create 16 in
+  List.iter
+    (fun (tid, nsegs, shapes) ->
+      Hashtbl.replace shapes_of tid shapes;
+      Hashtbl.replace nsegs_of tid nsegs;
+      List.iter
+        (function
+          | Sp_spawn u ->
+            Hashtbl.replace spawn_count u
+              (1 + Option.value (Hashtbl.find_opt spawn_count u) ~default:0)
+          | _ -> ())
+        shapes)
+    threads;
+  let counter = ref 0 in
+  let mk parent knd =
+    let n = { id = !counter; knd; kids = [] } in
+    incr counter;
+    (match parent with Some p -> p.kids <- n :: p.kids | None -> ());
+    n
+  in
+  let root = mk None Root in
+  let steps = Hashtbl.create 16 in
+  let tasks = Hashtbl.create 16 in
+  let built = Hashtbl.create 16 in
+  let rec build_thread tid parent =
+    Hashtbl.replace built tid ();
+    let nsegs = Hashtbl.find nsegs_of tid in
+    let shapes = Hashtbl.find shapes_of tid in
+    let ids = Array.make nsegs (-1) in
+    Hashtbl.replace steps tid ids;
+    let seg = ref 0 in
+    let stack = ref [ parent ] in
+    let leaf () =
+      let n = mk (Some (List.hd !stack)) (Step { tid; seg = !seg }) in
+      ids.(!seg) <- n.id
+    in
+    leaf ();
+    List.iter
+      (fun sh ->
+        match sh with
+        | Sp_spawn u ->
+          let a = mk (Some (List.hd !stack)) Async in
+          (if Hashtbl.find_opt spawn_count u = Some 1
+              && (not (Hashtbl.mem built u))
+              && Hashtbl.mem shapes_of u
+           then build_thread u a);
+          incr seg;
+          leaf ()
+        | Sp_cut ->
+          incr seg;
+          leaf ()
+        | Sp_open ->
+          let f = mk (Some (List.hd !stack)) Finish in
+          stack := f :: !stack;
+          incr seg;
+          leaf ()
+        | Sp_close ->
+          stack := List.tl !stack;
+          incr seg;
+          leaf ())
+      shapes;
+    assert (!seg + 1 = nsegs)
+  in
+  List.iter
+    (fun tid ->
+      let a = mk (Some root) Async in
+      build_thread tid a)
+    (List.sort_uniq Tid.compare roots);
+  (* any thread still unbuilt (spawned 0 or >1 times, or reachable only
+     through such a thread) escapes under the root: ∥ everything *)
+  List.iter
+    (fun (tid, _, _) ->
+      if not (Hashtbl.mem built tid) then begin
+        let a = mk (Some root) Async in
+        build_thread tid a
+      end)
+    threads;
+  (* flatten to arrays *)
+  let n = !counter in
+  let kind = Array.make n Root in
+  let parent = Array.make n (-1) in
+  let depth = Array.make n 0 in
+  let rank = Array.make n 0 in
+  let pre = Array.make n 0 in
+  let first = Array.make n (-1) in
+  let anc = Array.make n [||] in
+  let euler = ref [] in
+  let elen = ref 0 in
+  let pre_c = ref 0 in
+  let visit id =
+    euler := id :: !euler;
+    if first.(id) < 0 then first.(id) <- !elen;
+    incr elen
+  in
+  let rec dfs path d rk (node : tnode) =
+    let id = node.id in
+    kind.(id) <- node.knd;
+    parent.(id) <- (match path with [] -> -1 | p :: _ -> p);
+    depth.(id) <- d;
+    rank.(id) <- rk;
+    pre.(id) <- !pre_c;
+    incr pre_c;
+    let path = id :: path in
+    (match node.knd with
+    | Step _ -> anc.(id) <- Array.of_list (List.rev path)
+    | _ -> ());
+    visit id;
+    List.iteri
+      (fun i k ->
+        dfs path (d + 1) i k;
+        visit id)
+      (List.rev node.kids)
+  in
+  dfs [] 0 0 root;
+  let euler = Array.of_list (List.rev !euler) in
+  let m = Array.length euler in
+  (* sparse table over euler slots, minimizing node depth *)
+  let levels =
+    let l = ref 1 in
+    while 1 lsl !l <= m do incr l done;
+    !l
+  in
+  let table = Array.make levels [||] in
+  table.(0) <- Array.init m (fun i -> i);
+  for k = 1 to levels - 1 do
+    let half = 1 lsl (k - 1) in
+    let w = m - (1 lsl k) + 1 in
+    if w > 0 then
+      table.(k) <-
+        Array.init w (fun i ->
+            let a = table.(k - 1).(i) and b = table.(k - 1).(i + half) in
+            if depth.(euler.(a)) <= depth.(euler.(b)) then a else b)
+    else table.(k) <- [||]
+  done;
+  List.iter (fun u -> Hashtbl.replace tasks u ()) task_tids;
+  { kind; parent; depth; rank; pre; euler; first; table; anc; steps;
+    tasks }
+
+(* -- queries ------------------------------------------------------- *)
+
+let log2_floor =
+  (* 64 entries cover any conceivable tour length *)
+  fun x ->
+    let r = ref 0 in
+    let x = ref x in
+    while !x > 1 do
+      x := !x lsr 1;
+      incr r
+    done;
+    !r
+
+let lca d a b =
+  let ia = d.first.(a) and ib = d.first.(b) in
+  let lo = min ia ib and hi = max ia ib in
+  let k = log2_floor (hi - lo + 1) in
+  let x = d.table.(k).(lo) and y = d.table.(k).(hi - (1 lsl k) + 1) in
+  if d.depth.(d.euler.(x)) <= d.depth.(d.euler.(y)) then d.euler.(x)
+  else d.euler.(y)
+
+let step_id d t s =
+  match Hashtbl.find_opt d.steps t with
+  | Some ids when s >= 0 && s < Array.length ids -> Some ids.(s)
+  | _ -> None
+
+(* a ∥ b for distinct step leaves, via the DPST theorem. *)
+let mhp_ids d a b =
+  let a, b = if d.pre.(a) <= d.pre.(b) then (a, b) else (b, a) in
+  let l = lca d a b in
+  (* [a] is a leaf strictly below [l], so the child of [l] towards [a]
+     sits at depth l+1 on a's ancestor path *)
+  let c = d.anc.(a).(d.depth.(l) + 1) in
+  d.kind.(c) = Async
+
+let mhp d (t1, s1) (t2, s2) =
+  if Tid.equal t1 t2 then false
+  else
+    match (step_id d t1 s1, step_id d t2 s2) with
+    | Some a, Some b -> mhp_ids d a b
+    | _ -> true (* unknown step: claim parallel (conservative) *)
+
+let ordered_before d (t1, s1) (t2, s2) =
+  if Tid.equal t1 t2 then s1 <= s2
+  else
+    match (step_id d t1 s1, step_id d t2 s2) with
+    | Some a, Some b -> (not (mhp_ids d a b)) && d.pre.(a) < d.pre.(b)
+    | _ -> false
+
+(* Independent replay for certificate checking: no Euler tour, no
+   sparse table — walk parent pointers to the LCA and compare sibling
+   ranks.  [before] precedes [after] in series iff the child of the
+   LCA on [before]'s path is a left, non-async sibling of the child on
+   [after]'s path. *)
+let series_check d ~before:(t1, s1) ~after:(t2, s2) =
+  if Tid.equal t1 t2 then s1 <= s2
+  else
+    match (step_id d t1 s1, step_id d t2 s2) with
+    | Some a, Some b ->
+      let la = ref a and lb = ref b in
+      let pa = ref a and pb = ref b in
+      while d.depth.(!pa) > d.depth.(!pb) do
+        la := !pa;
+        pa := d.parent.(!pa)
+      done;
+      while d.depth.(!pb) > d.depth.(!pa) do
+        lb := !pb;
+        pb := d.parent.(!pb)
+      done;
+      while !pa <> !pb do
+        la := !pa;
+        pa := d.parent.(!pa);
+        lb := !pb;
+        pb := d.parent.(!pb)
+      done;
+      !la <> !lb
+      && d.rank.(!la) < d.rank.(!lb)
+      && d.kind.(!la) <> Async
+    | _ -> false
+
+let is_task d t = Hashtbl.mem d.tasks t
+
+let node_count d = Array.length d.kind
+
+let tree_depth d = Array.fold_left max 0 d.depth
+
+let task_count d = Hashtbl.length d.tasks

@@ -1,0 +1,64 @@
+(** Static series-parallel decomposition (a static DPST) of a program
+    using the async-finish tier, with O(1) may-happen-in-parallel
+    queries.
+
+    The tree has a [Root] node acting as an implicit finish around the
+    whole run, a [Finish] node per finish scope, an [Async] node per
+    spawn site ([Fork] is modeled as an async escaping every finish —
+    a sound over-approximation of its parallelism; its join, when
+    provable, is handled by the skeleton's join edges instead), and a
+    [Step] leaf per static thread segment in program order.
+
+    By the DPST theorem (Raman et al., OOPSLA 2012), for step leaves
+    [a] before [b] in the tree's left-to-right order, [a] may happen
+    in parallel with [b] iff the child of [lca a b] on the path to [a]
+    is an async node.  {!mhp} answers that in O(1) after the
+    Euler-tour / sparse-table RMQ labeling built by {!build};
+    {!series_check} replays the same decision independently (parent
+    walks and sibling ranks, none of the precomputed labels) so
+    certificates can be checked against a structure the fast path does
+    not share. *)
+
+type shape =
+  | Sp_spawn of Tid.t
+      (** a [Fork]/[Async] site: segment boundary + parallel branch *)
+  | Sp_cut   (** a [Join]/[Barrier_wait]: segment boundary, series *)
+  | Sp_open  (** finish-scope entry *)
+  | Sp_close (** finish-scope exit *)
+
+type kind = Root | Finish | Async | Step of { tid : Tid.t; seg : int }
+
+type t
+
+val build :
+  roots:Tid.t list ->
+  task_tids:Tid.t list ->
+  threads:(Tid.t * int * shape list) list ->
+  t
+(** [build ~roots ~task_tids ~threads] constructs and labels the tree.
+    [threads] carries, per thread, its segment count and the shape
+    list recorded by the static walk (whose segment-boundary
+    discipline it must match exactly).  Threads spawned other than
+    exactly once attach under the root — parallel with everything. *)
+
+val mhp : t -> Tid.t * int -> Tid.t * int -> bool
+(** [mhp d (t1, s1) (t2, s2)]: may segment [s1] of thread [t1] run in
+    parallel with segment [s2] of [t2]?  O(1).  Same-thread segments
+    never do (program order); unknown segments conservatively do. *)
+
+val ordered_before : t -> Tid.t * int -> Tid.t * int -> bool
+(** [ordered_before d a b]: [a] and [b] are series-ordered with [a]
+    first ([a] precedes [b] in the tree's left-to-right order).  False
+    whenever {!mhp} holds or either step is unknown. *)
+
+val series_check : t -> before:Tid.t * int -> after:Tid.t * int -> bool
+(** Certificate-replay variant of {!ordered_before}: decides the same
+    relation from parent pointers and sibling ranks only, independent
+    of the Euler/RMQ labeling. *)
+
+val is_task : t -> Tid.t -> bool
+(** True iff the thread was spawned by an [Async]. *)
+
+val node_count : t -> int
+val tree_depth : t -> int
+val task_count : t -> int

@@ -23,8 +23,10 @@ type site = {
 
 type verdict =
   | Thread_local of Tid.t
+  | Task_local of Tid.t
   | Read_only
   | Lock_protected of Lockid.t
+  | Sp_ordered
   | Fork_join_ordered
   | Barrier_phased
   | May_race
@@ -37,10 +39,14 @@ type ordered_pair = {
   op_hops : hop list;
 }
 
+type sp_pair = { sp_before : node; sp_after : node }
+
 type certificate =
   | Cert_thread_local of Tid.t
+  | Cert_task_local of Tid.t
   | Cert_read_only
   | Cert_lock_protected of Lockid.t
+  | Cert_sp_ordered of { c_sp_pairs : sp_pair list }
   | Cert_ordered of { c_barrier : bool; c_pairs : ordered_pair list }
 
 type entry = {
@@ -62,6 +68,10 @@ type finding_kind =
   | Join_before_fork of Tid.t
   | Duplicate_fork of Tid.t
   | Lock_order_cycle of { locks : Lockid.t list }
+  | Async_escapes_finish of Tid.t
+  | Finish_never_closed of { owner : Tid.t; task : Tid.t }
+  | Join_of_task of Tid.t
+  | Unbounded_task_fanout of { tid : Tid.t; count : int; limit : int }
 
 type finding = {
   f_tid : Tid.t option;
@@ -71,11 +81,19 @@ type finding = {
 type summary = {
   threads : int;
   skeleton : skeleton;
+  sp : Dpst.t option;
+      (* the series-parallel decomposition, when the program uses the
+         async-finish tier *)
   entries : entry list;
   findings : finding list;
   total_accesses : int;
   certified_accesses : int;
 }
+
+(* Asyncs per spawning thread beyond which the fanout lint fires: a
+   task pool spawning hundreds of statically-enumerated siblings is
+   almost always a loop the DSL should express at a coarser grain. *)
+let fanout_limit = 64
 
 (* ------------------------------------------------------------------ *)
 (* Reachability over the skeleton.                                    *)
@@ -240,11 +258,35 @@ let inter_locks = function
       (fun acc s' -> List.filter (fun m -> List.mem m s'.s_locks) acc)
       s.s_locks rest
 
-let classify gfj gfull sites =
+(* Series-order every conflicting pair against the DPST: succeeds only
+   when no pair may happen in parallel.  The recorded pairs are
+   directed by the tree's left-to-right order so the certificate
+   checker can replay each one with {!Dpst.series_check}. *)
+let sp_order_pairs sp pairs =
+  match sp with
+  | None -> None
+  | Some d ->
+    let exception Par in
+    (try
+       Some
+         (List.map
+            (fun (na, nb) ->
+              let a = (na.n_tid, na.n_seg) and b = (nb.n_tid, nb.n_seg) in
+              if Dpst.mhp d a b then raise Par
+              else if Dpst.ordered_before d a b then
+                { sp_before = na; sp_after = nb }
+              else { sp_before = nb; sp_after = na })
+            pairs)
+     with Par -> None)
+
+let classify sp gfj gfull sites =
   let tids = List.sort_uniq Tid.compare (List.map (fun s -> s.s_tid) sites) in
   match tids with
   | [] -> (May_race, None)
-  | [ t ] -> (Thread_local t, Some (Cert_thread_local t))
+  | [ t ] -> (
+    match sp with
+    | Some d when Dpst.is_task d t -> (Task_local t, Some (Cert_task_local t))
+    | _ -> (Thread_local t, Some (Cert_thread_local t)))
   | _ ->
     if List.for_all (fun s -> not s.s_write) sites then
       (Read_only, Some Cert_read_only)
@@ -253,20 +295,36 @@ let classify gfj gfull sites =
       | m :: _ -> (Lock_protected m, Some (Cert_lock_protected m))
       | [] -> (
         let pairs = conflicting_node_pairs sites in
-        match order_pairs gfj pairs with
-        | Some ps ->
-          ( Fork_join_ordered,
-            Some (Cert_ordered { c_barrier = false; c_pairs = ps }) )
+        match sp_order_pairs sp pairs with
+        | Some ps -> (Sp_ordered, Some (Cert_sp_ordered { c_sp_pairs = ps }))
         | None -> (
-          match order_pairs gfull pairs with
+          match order_pairs gfj pairs with
           | Some ps ->
-            ( Barrier_phased,
-              Some (Cert_ordered { c_barrier = true; c_pairs = ps }) )
-          | None -> (May_race, None)))
+            ( Fork_join_ordered,
+              Some (Cert_ordered { c_barrier = false; c_pairs = ps }) )
+          | None -> (
+            match order_pairs gfull pairs with
+            | Some ps ->
+              ( Barrier_phased,
+                Some (Cert_ordered { c_barrier = true; c_pairs = ps }) )
+            | None -> (May_race, None))))
     end
 
 (* ------------------------------------------------------------------ *)
 (* The abstract interpreter (one walk per thread body).               *)
+
+(* Everything one thread's walk learns. *)
+type walk = {
+  w_tid : Tid.t;
+  w_nsegs : int;
+  w_forks : (Tid.t * int) list;   (* target, segment before the fork *)
+  w_joins : (Tid.t * int) list;   (* target, segment after the join *)
+  w_bwaits : (int * int) list;    (* barrier, segment before the wait *)
+  w_shapes : Dpst.shape list;     (* segment-boundary structure *)
+  w_asyncs : (Tid.t * bool) list; (* target, spawned inside a finish *)
+  w_scopes : Tid.t list list;     (* direct registrations per finish *)
+  w_join_targets : Tid.t list;
+}
 
 let analyze (p : Program.t) =
   let threads = p.Program.threads in
@@ -279,16 +337,24 @@ let analyze (p : Program.t) =
     (fun (b : Program.barrier) ->
       Hashtbl.replace parties_of b.Program.id b.Program.parties)
     p.Program.barriers;
-  (* Pre-pass: global fork multiplicity (duplicate forks make the
-     fork edge's target start ambiguous — lint and drop the edge). *)
+  (* Pre-pass: global spawn multiplicity over both tiers (a duplicate
+     spawn makes the target's start ambiguous — lint and drop the fork
+     edge / detach the task in the DPST) and the set of async-spawned
+     threads (the "tasks"). *)
   let fork_count = Hashtbl.create 16 in
+  let async_targets = Hashtbl.create 16 in
   List.iter
     (fun (th : Program.thread) ->
-      List.iter
+      Program.iter_stmts
         (function
-          | Program.Fork u ->
+          | Program.Fork u | Program.Async u ->
             Hashtbl.replace fork_count u
               (1 + Option.value ~default:0 (Hashtbl.find_opt fork_count u))
+          | _ -> ())
+        th.Program.body;
+      Program.iter_stmts
+        (function
+          | Program.Async u -> Hashtbl.replace async_targets u ()
           | _ -> ())
         th.Program.body)
     threads;
@@ -358,72 +424,119 @@ let analyze (p : Program.t) =
             |> List.sort Lockid.compare
         in
         let forks = ref [] and joins = ref [] and bwaits = ref [] in
+        let shapes = ref [] in
+        let asyncs = ref [] in
+        let scopes = ref [] in
+        let scope_stack = ref [] in
+        let join_targets = ref [] in
         let forked_here = Hashtbl.create 4 in
         let forks_in_body = Hashtbl.create 4 in
-        List.iter
+        Program.iter_stmts
           (function
             | Program.Fork u -> Hashtbl.replace forks_in_body u ()
             | _ -> ())
           th.Program.body;
-        List.iter
-          (fun stmt ->
-            match stmt with
-            | Program.Read x ->
-              record_access x ~tid ~seg:!seg ~write:false !cur_locks
-            | Program.Write x ->
-              record_access x ~tid ~seg:!seg ~write:true !cur_locks
-            | Program.Acquire m ->
-              let c = Option.value ~default:0 (Hashtbl.find_opt held m) in
-              if c = 0 then List.iter (fun h -> lock_edge ~tid h m) !cur_locks;
-              Hashtbl.replace held m (c + 1);
-              if c = 0 then recompute ()
-            | Program.Release m ->
-              let c = Option.value ~default:0 (Hashtbl.find_opt held m) in
-              if c = 0 then finding ~tid (Release_without_hold m)
-              else begin
-                Hashtbl.replace held m (c - 1);
-                if c = 1 then recompute ()
-              end
-            | Program.Wait m ->
-              (* wait releases and re-acquires [m]; the lockset after
-                 the statement is unchanged, but the thread must hold
-                 the monitor going in *)
-              if Option.value ~default:0 (Hashtbl.find_opt held m) = 0 then
-                finding ~tid (Wait_without_monitor m)
-              else
-                (* the wakeup re-acquires [m] while every other held
-                   lock stays held — the same ordering constraint as a
-                   fresh acquisition *)
-                List.iter
-                  (fun h ->
-                    if not (Lockid.equal h m) then lock_edge ~tid h m)
-                  !cur_locks
-            | Program.Fork u ->
-              Hashtbl.replace forked_here u ();
-              forks := (u, !seg) :: !forks;
-              incr seg
-            | Program.Join u ->
-              if not (Hashtbl.mem known u) then finding ~tid (Join_of_unknown u)
-              else begin
-                if Hashtbl.mem forks_in_body u
-                   && not (Hashtbl.mem forked_here u)
-                then finding ~tid (Join_before_fork u);
+        (* The segment-boundary discipline below (where [seg] is read
+           vs incremented) is load-bearing: the scheduler's event
+           order, the DPST leaves, and [access_segments] all mirror
+           it. *)
+        let rec walk in_finish stmts =
+          List.iter
+            (fun stmt ->
+              match stmt with
+              | Program.Read x ->
+                record_access x ~tid ~seg:!seg ~write:false !cur_locks
+              | Program.Write x ->
+                record_access x ~tid ~seg:!seg ~write:true !cur_locks
+              | Program.Acquire m ->
+                let c = Option.value ~default:0 (Hashtbl.find_opt held m) in
+                if c = 0 then
+                  List.iter (fun h -> lock_edge ~tid h m) !cur_locks;
+                Hashtbl.replace held m (c + 1);
+                if c = 0 then recompute ()
+              | Program.Release m ->
+                let c = Option.value ~default:0 (Hashtbl.find_opt held m) in
+                if c = 0 then finding ~tid (Release_without_hold m)
+                else begin
+                  Hashtbl.replace held m (c - 1);
+                  if c = 1 then recompute ()
+                end
+              | Program.Wait m ->
+                (* wait releases and re-acquires [m]; the lockset after
+                   the statement is unchanged, but the thread must hold
+                   the monitor going in *)
+                if Option.value ~default:0 (Hashtbl.find_opt held m) = 0 then
+                  finding ~tid (Wait_without_monitor m)
+                else
+                  (* the wakeup re-acquires [m] while every other held
+                     lock stays held — the same ordering constraint as a
+                     fresh acquisition *)
+                  List.iter
+                    (fun h ->
+                      if not (Lockid.equal h m) then lock_edge ~tid h m)
+                    !cur_locks
+              | Program.Fork u ->
+                Hashtbl.replace forked_here u ();
+                forks := (u, !seg) :: !forks;
+                shapes := Dpst.Sp_spawn u :: !shapes;
+                incr seg
+              | Program.Async u ->
+                asyncs := (u, in_finish) :: !asyncs;
+                (match !scope_stack with
+                | tasks :: _ -> tasks := u :: !tasks
+                | [] -> ());
+                shapes := Dpst.Sp_spawn u :: !shapes;
+                incr seg
+              | Program.Finish body ->
+                shapes := Dpst.Sp_open :: !shapes;
                 incr seg;
-                joins := (u, !seg) :: !joins
-              end
-            | Program.Barrier_wait b ->
-              if not (Hashtbl.mem parties_of b) then
-                finding ~tid (Unknown_barrier b);
-              bwaits := (b, !seg) :: !bwaits;
-              incr seg
-            | Program.Volatile_read _ | Program.Volatile_write _
-            | Program.Txn_begin | Program.Txn_end ->
-              ())
-          th.Program.body;
+                scope_stack := ref [] :: !scope_stack;
+                walk true body;
+                (match !scope_stack with
+                | tasks :: rest ->
+                  scopes := List.rev !tasks :: !scopes;
+                  scope_stack := rest
+                | [] -> assert false);
+                shapes := Dpst.Sp_close :: !shapes;
+                incr seg
+              | Program.Join u ->
+                if not (Hashtbl.mem known u) then
+                  finding ~tid (Join_of_unknown u)
+                else begin
+                  if Hashtbl.mem async_targets u then
+                    finding ~tid (Join_of_task u);
+                  if Hashtbl.mem forks_in_body u
+                     && not (Hashtbl.mem forked_here u)
+                  then finding ~tid (Join_before_fork u);
+                  join_targets := u :: !join_targets;
+                  shapes := Dpst.Sp_cut :: !shapes;
+                  incr seg;
+                  joins := (u, !seg) :: !joins
+                end
+              | Program.Barrier_wait b ->
+                if not (Hashtbl.mem parties_of b) then
+                  finding ~tid (Unknown_barrier b);
+                bwaits := (b, !seg) :: !bwaits;
+                shapes := Dpst.Sp_cut :: !shapes;
+                incr seg
+              | Program.Volatile_read _ | Program.Volatile_write _
+              | Program.Txn_begin | Program.Txn_end ->
+                ())
+            stmts
+        in
+        walk false th.Program.body;
         Hashtbl.iter
           (fun m c -> if c > 0 then finding ~tid (Lock_never_released m))
           held;
-        (tid, !seg + 1, List.rev !forks, List.rev !joins, List.rev !bwaits))
+        { w_tid = tid;
+          w_nsegs = !seg + 1;
+          w_forks = List.rev !forks;
+          w_joins = List.rev !joins;
+          w_bwaits = List.rev !bwaits;
+          w_shapes = List.rev !shapes;
+          w_asyncs = List.rev !asyncs;
+          w_scopes = List.rev !scopes;
+          w_join_targets = List.rev !join_targets })
       threads
   in
   (* Deadlock-cycle lint: Tarjan SCCs over the lock-order graph.  Any
@@ -518,16 +631,17 @@ let analyze (p : Program.t) =
       !sccs
   in
   let nsegs_of = Hashtbl.create 16 in
-  List.iter (fun (t, ns, _, _, _) -> Hashtbl.replace nsegs_of t ns) walks;
+  List.iter (fun w -> Hashtbl.replace nsegs_of w.w_tid w.w_nsegs) walks;
   let edges = ref [] in
   let add_edge f t k = edges := { e_from = f; e_to = t; e_kind = k } :: !edges in
   List.iter
-    (fun (t, _, forks, joins, _) ->
+    (fun w ->
+      let t = w.w_tid in
       List.iter
         (fun (u, s) ->
           if Hashtbl.find_opt fork_count u = Some 1 then
             add_edge { n_tid = t; n_seg = s } { n_tid = u; n_seg = 0 } Fork_edge)
-        forks;
+        w.w_forks;
       List.iter
         (fun (u, s) ->
           match Hashtbl.find_opt nsegs_of u with
@@ -536,7 +650,7 @@ let analyze (p : Program.t) =
             add_edge { n_tid = u; n_seg = ns - 1 } { n_tid = t; n_seg = s }
               Join_edge
           | None -> ())
-        joins)
+        w.w_joins)
     walks;
   (* Barrier edges: sound only when the wait structure is
      deterministic — exactly [parties] participating threads, all with
@@ -547,7 +661,8 @@ let analyze (p : Program.t) =
     Hashtbl.create 8
   in
   List.iter
-    (fun (t, _, _, _, bwaits) ->
+    (fun w ->
+      let t = w.w_tid in
       List.iter
         (fun (b, pre) ->
           let per_tid =
@@ -567,7 +682,7 @@ let analyze (p : Program.t) =
               l
           in
           l := pre :: !l)
-        bwaits)
+        w.w_bwaits)
     walks;
   Hashtbl.iter
     (fun b per_tid ->
@@ -604,9 +719,109 @@ let analyze (p : Program.t) =
     bar_tbl;
   let skeleton =
     { sk_segs =
-        List.map (fun (t, ns, _, _, _) -> (t, ns)) walks
+        List.map (fun w -> (w.w_tid, w.w_nsegs)) walks
         |> List.sort (fun (a, _) (b, _) -> Tid.compare a b);
       sk_edges = List.sort compare !edges }
+  in
+  (* ---- async-finish tier: structure lints + the DPST -------------- *)
+  let has_tasks =
+    List.exists
+      (fun w ->
+        w.w_asyncs <> []
+        || List.exists (fun sh -> sh = Dpst.Sp_open) w.w_shapes)
+      walks
+  in
+  let walk_of = Hashtbl.create 16 in
+  List.iter (fun w -> Hashtbl.replace walk_of w.w_tid w) walks;
+  if has_tasks then begin
+    (* fanout: statically enumerated sibling tasks per spawner *)
+    List.iter
+      (fun w ->
+        let count = List.length w.w_asyncs in
+        if count > fanout_limit then
+          finding ~tid:w.w_tid
+            (Unbounded_task_fanout { tid = w.w_tid; count; limit = fanout_limit }))
+      walks;
+    (* escape analysis: an async spawned outside any finish registers
+       with the scope its spawner was registered with — or with no
+       scope at all if that chain never meets a finish.  Root and
+       fork-tier spawners have no inherited scope, so their bare
+       asyncs escape; a task's bare asyncs escape iff the task itself
+       does. *)
+    let escape_memo = Hashtbl.create 16 in
+    let rec thread_escapes t =
+      match Hashtbl.find_opt escape_memo t with
+      | Some b -> b
+      | None ->
+        Hashtbl.replace escape_memo t true (* cycle guard: assume escape *);
+        let b =
+          if not (Hashtbl.mem async_targets t) then true
+          else
+            (* a task escapes iff some spawn site of it escapes *)
+            List.exists
+              (fun w ->
+                List.exists
+                  (fun (u, in_fin) ->
+                    Tid.equal u t && (not in_fin) && thread_escapes w.w_tid)
+                  w.w_asyncs)
+              walks
+        in
+        Hashtbl.replace escape_memo t b;
+        b
+    in
+    List.iter
+      (fun w ->
+        List.iter
+          (fun (u, in_fin) ->
+            if (not in_fin) && thread_escapes w.w_tid then
+              finding ~tid:w.w_tid (Async_escapes_finish u))
+          w.w_asyncs)
+      walks;
+    (* provable non-termination: a finish scope cannot close while a
+       task (transitively) registered with it joins the scope's owner
+       — the owner is blocked at the close waiting for that task *)
+    let bare_asyncs_of t =
+      match Hashtbl.find_opt walk_of t with
+      | Some w ->
+        List.filter_map
+          (fun (u, in_fin) -> if in_fin then None else Some u)
+          w.w_asyncs
+      | None -> []
+    in
+    let closure direct =
+      let seen = Hashtbl.create 8 in
+      let rec go u =
+        if not (Hashtbl.mem seen u) then begin
+          Hashtbl.replace seen u ();
+          List.iter go (bare_asyncs_of u)
+        end
+      in
+      List.iter go direct;
+      Hashtbl.fold (fun u () acc -> u :: acc) seen []
+      |> List.sort Tid.compare
+    in
+    List.iter
+      (fun w ->
+        let owner = w.w_tid in
+        List.iter
+          (fun direct ->
+            List.iter
+              (fun task ->
+                match Hashtbl.find_opt walk_of task with
+                | Some tw when List.mem owner tw.w_join_targets ->
+                  finding ~tid:owner (Finish_never_closed { owner; task })
+                | _ -> ())
+              (closure direct))
+          w.w_scopes)
+      walks
+  end;
+  let sp =
+    if has_tasks then
+      Some
+        (Dpst.build ~roots:p.Program.roots
+           ~task_tids:(Hashtbl.fold (fun u () acc -> u :: acc) async_targets [])
+           ~threads:(List.map (fun w -> (w.w_tid, w.w_nsegs, w.w_shapes)) walks))
+    else None
   in
   let gfj, gfull = graphs_of_skeleton skeleton in
   (* Fields of one object typically share a site signature (same
@@ -633,7 +848,7 @@ let analyze (p : Program.t) =
              match Hashtbl.find_opt memo signature with
              | Some vc -> vc
              | None ->
-               let vc = classify gfj gfull sites in
+               let vc = classify sp gfj gfull sites in
                Hashtbl.replace memo signature vc;
                vc
            in
@@ -650,6 +865,7 @@ let analyze (p : Program.t) =
   in
   { threads = List.length threads;
     skeleton;
+    sp;
     entries;
     findings = List.sort compare !findings;
     total_accesses = !total;
@@ -716,7 +932,7 @@ let eliminator ~granularity summary =
             tbl []
           |> List.sort compare
         in
-        match classify gfj gfull sites with
+        match classify summary.sp gfj gfull sites with
         | May_race, _ -> ()
         | _ -> Hashtbl.replace ok o ())
       by_obj;
@@ -728,13 +944,56 @@ let elimination_ratio summary =
     float_of_int summary.certified_accesses
     /. float_of_int summary.total_accesses
 
+let mhp summary a b =
+  if Tid.equal a.n_tid b.n_tid then false (* program order *)
+  else
+    match summary.sp with
+    | Some d -> Dpst.mhp d (a.n_tid, a.n_seg) (b.n_tid, b.n_seg)
+    | None -> true (* no task tier: claim parallel (conservative) *)
+
+(* The per-access segment ids of every thread, in statement order —
+   the bridge from trace events (the k-th access of thread t) to DPST
+   steps.  Mirrors the walk's segment-boundary discipline exactly. *)
+let access_segments (p : Program.t) =
+  let known = Hashtbl.create 16 in
+  List.iter
+    (fun (th : Program.thread) -> Hashtbl.replace known th.Program.tid ())
+    p.Program.threads;
+  List.map
+    (fun (th : Program.thread) ->
+      let seg = ref 0 in
+      let accs = ref [] in
+      let rec go stmts =
+        List.iter
+          (fun stmt ->
+            match stmt with
+            | Program.Read _ | Program.Write _ -> accs := !seg :: !accs
+            | Program.Fork _ | Program.Async _ -> incr seg
+            | Program.Join u -> if Hashtbl.mem known u then incr seg
+            | Program.Barrier_wait _ -> incr seg
+            | Program.Finish body ->
+              incr seg;
+              go body;
+              incr seg
+            | Program.Acquire _ | Program.Release _ | Program.Wait _
+            | Program.Volatile_read _ | Program.Volatile_write _
+            | Program.Txn_begin | Program.Txn_end ->
+              ())
+          stmts
+      in
+      go th.Program.body;
+      (th.Program.tid, Array.of_list (List.rev !accs)))
+    p.Program.threads
+
 (* ------------------------------------------------------------------ *)
 (* Certificate checking.                                              *)
 
 let verdict_name = function
   | Thread_local _ -> "thread_local"
+  | Task_local _ -> "task_local"
   | Read_only -> "read_only"
   | Lock_protected _ -> "lock_protected"
+  | Sp_ordered -> "sp_ordered"
   | Fork_join_ordered -> "fork_join_ordered"
   | Barrier_phased -> "barrier_phased"
   | May_race -> "may_race"
@@ -760,6 +1019,63 @@ let check_certificate summary entry =
       err "certificate names thread %d, verdict names %d" t t'
     else if List.for_all (fun s -> Tid.equal s.s_tid t) sites then Ok ()
     else err "an access site lies outside thread %d" t
+  | Some (Cert_task_local t), Task_local t' ->
+    if not (Tid.equal t t') then
+      err "certificate names task %d, verdict names %d" t t'
+    else if not (List.for_all (fun s -> Tid.equal s.s_tid t) sites) then
+      err "an access site lies outside task %d" t
+    else (
+      match summary.sp with
+      | None -> err "task_local certificate without a task tier"
+      | Some d ->
+        if Dpst.is_task d t then Ok ()
+        else err "thread %d is not an async-spawned task" t)
+  | Some (Cert_sp_ordered { c_sp_pairs }), Sp_ordered -> (
+    match summary.sp with
+    | None -> err "sp_ordered certificate without a task tier"
+    | Some d ->
+      let rec all_pairs = function
+        | [] -> Ok ()
+        | pr :: rest ->
+          if not (node_ok pr.sp_before && node_ok pr.sp_after) then
+            err "sp pair endpoint out of segment range"
+          else if
+            not
+              (Dpst.series_check d
+                 ~before:(pr.sp_before.n_tid, pr.sp_before.n_seg)
+                 ~after:(pr.sp_after.n_tid, pr.sp_after.n_seg))
+          then
+            err "t%d/s%d is not series-ordered before t%d/s%d in the DPST"
+              pr.sp_before.n_tid pr.sp_before.n_seg pr.sp_after.n_tid
+              pr.sp_after.n_seg
+          else all_pairs rest
+      in
+      match all_pairs c_sp_pairs with
+      | Error _ as e -> e
+      | Ok () ->
+        let ptbl = Hashtbl.create 16 in
+        List.iter
+          (fun pr -> Hashtbl.replace ptbl (pr.sp_before, pr.sp_after) ())
+          c_sp_pairs;
+        let missing = ref None in
+        List.iteri
+          (fun i a ->
+            List.iteri
+              (fun j b ->
+                if j > i && conflicting a b && !missing = None then begin
+                  let na = site_node a and nb = site_node b in
+                  if
+                    not
+                      (Hashtbl.mem ptbl (na, nb) || Hashtbl.mem ptbl (nb, na))
+                  then missing := Some (na, nb)
+                end)
+              sites)
+          sites;
+        (match !missing with
+        | Some (na, nb) ->
+          err "conflicting pair t%d/s%d - t%d/s%d not covered" na.n_tid
+            na.n_seg nb.n_tid nb.n_seg
+        | None -> Ok ()))
   | Some Cert_read_only, Read_only ->
     if List.exists (fun s -> s.s_write) sites then
       err "write site under a read_only certificate"
@@ -846,8 +1162,10 @@ let check_certificate summary entry =
 
 let pp_verdict ppf = function
   | Thread_local t -> Format.fprintf ppf "thread-local(t%d)" t
+  | Task_local t -> Format.fprintf ppf "task-local(t%d)" t
   | Read_only -> Format.pp_print_string ppf "read-only"
   | Lock_protected m -> Format.fprintf ppf "lock-protected(m%d)" m
+  | Sp_ordered -> Format.pp_print_string ppf "sp-ordered"
   | Fork_join_ordered -> Format.pp_print_string ppf "fork-join-ordered"
   | Barrier_phased -> Format.pp_print_string ppf "barrier-phased"
   | May_race -> Format.pp_print_string ppf "may-race"
@@ -876,6 +1194,20 @@ let pp_finding ppf f =
       "locks {%s} acquired in conflicting orders by multiple threads \
        (potential deadlock cycle)"
       (String.concat "," (List.map string_of_int locks))
+  | Async_escapes_finish u ->
+    Format.fprintf ppf
+      "task %d is spawned outside any finish scope and is never joined" u
+  | Finish_never_closed { owner; task } ->
+    Format.fprintf ppf
+      "finish scope of thread %d can never close: registered task %d \
+       joins its owner (guaranteed deadlock)"
+      owner task
+  | Join_of_task u ->
+    Format.fprintf ppf
+      "explicit join of task %d (finish scopes own task joins)" u
+  | Unbounded_task_fanout { tid; count; limit } ->
+    Format.fprintf ppf
+      "thread %d spawns %d sibling tasks (fanout limit %d)" tid count limit
 
 let pp_site ppf s =
   Format.fprintf ppf "t%d/s%d %s{%s}x%d" s.s_tid s.s_seg
@@ -885,11 +1217,13 @@ let pp_site ppf s =
 
 let verdict_order = function
   | Thread_local _ -> 0
-  | Read_only -> 1
-  | Lock_protected _ -> 2
-  | Fork_join_ordered -> 3
-  | Barrier_phased -> 4
-  | May_race -> 5
+  | Task_local _ -> 1
+  | Read_only -> 2
+  | Lock_protected _ -> 3
+  | Sp_ordered -> 4
+  | Fork_join_ordered -> 5
+  | Barrier_phased -> 6
+  | May_race -> 7
 
 let pp_report ppf s =
   let segments =
@@ -897,7 +1231,13 @@ let pp_report ppf s =
   in
   Format.fprintf ppf "@[<v>static analysis: %d thread(s), %d segment(s), %d skeleton edge(s)@,"
     s.threads segments (List.length s.skeleton.sk_edges);
-  let counts = Array.make 6 0 and accs = Array.make 6 0 in
+  (match s.sp with
+  | Some d ->
+    Format.fprintf ppf
+      "task tier: DPST with %d node(s), depth %d, %d task(s) — O(1) MHP@,"
+      (Dpst.node_count d) (Dpst.tree_depth d) (Dpst.task_count d)
+  | None -> ());
+  let counts = Array.make 8 0 and accs = Array.make 8 0 in
   List.iter
     (fun e ->
       let o = verdict_order e.e_verdict in
@@ -911,8 +1251,8 @@ let pp_report ppf s =
       if counts.(o) > 0 then
         Format.fprintf ppf "  %-18s %6d var(s) %10d access(es)@," name
           counts.(o) accs.(o))
-    [ "thread-local"; "read-only"; "lock-protected"; "fork-join-ordered";
-      "barrier-phased"; "may-race" ];
+    [ "thread-local"; "task-local"; "read-only"; "lock-protected";
+      "sp-ordered"; "fork-join-ordered"; "barrier-phased"; "may-race" ];
   Format.fprintf ppf "certified: %d / %d accesses eliminable (%.1f%%)@,"
     s.certified_accesses s.total_accesses (100. *. elimination_ratio s);
   (match s.findings with

@@ -34,7 +34,22 @@
     Alongside the skeleton the walk tracks the held lockset at every
     program point (re-entrant, like the Scheduler) and collapses the
     accesses of each variable into {!site}s keyed by
-    [(tid, segment, kind, lockset)]. *)
+    [(tid, segment, kind, lockset)].
+
+    {2 Async-finish tier}
+
+    Programs using [Async]/[Finish] additionally get a series-parallel
+    decomposition ({!Dpst}): [Async u] ends a segment like a fork and
+    opens a parallel branch; finish-scope entry and exit each end a
+    segment.  The tree answers may-happen-in-parallel in O(1)
+    ({!mhp}), enabling two task-tier verdicts — [Task_local] (the one
+    accessing thread is an async-spawned task) and [Sp_ordered] (every
+    conflicting site pair is series-ordered by the tree) — whose
+    certificates {!check_certificate} replays with an independent
+    parent-walk decision procedure ({!Dpst.series_check}).  Four
+    structure lints ride along: escaped asyncs, finish scopes that
+    provably never close, explicit joins of tasks, and unbounded task
+    fanout. *)
 
 type node = { n_tid : Tid.t; n_seg : int }
 
@@ -64,9 +79,13 @@ type site = {
     a certificate proving no interleaving can race on the variable. *)
 type verdict =
   | Thread_local of Tid.t     (** one thread touches it *)
+  | Task_local of Tid.t
+      (** one thread touches it, and that thread is an async task *)
   | Read_only                 (** no write anywhere *)
   | Lock_protected of Lockid.t
       (** some lock is held at every access site *)
+  | Sp_ordered
+      (** all conflicting site pairs series-ordered by the DPST *)
   | Fork_join_ordered
       (** all conflicting site pairs ordered by fork/join edges alone *)
   | Barrier_phased
@@ -84,10 +103,18 @@ type ordered_pair = {
   op_hops : hop list;  (** inter-thread edges of the witness path *)
 }
 
+type sp_pair = { sp_before : node; sp_after : node }
+(** A conflicting site pair with [sp_before] series-ordered first in
+    the DPST's left-to-right order. *)
+
 type certificate =
   | Cert_thread_local of Tid.t
+  | Cert_task_local of Tid.t
   | Cert_read_only
   | Cert_lock_protected of Lockid.t
+  | Cert_sp_ordered of { c_sp_pairs : sp_pair list }
+      (** one series-ordered witness per conflicting cross-thread site
+          pair, replayed against the DPST *)
   | Cert_ordered of { c_barrier : bool; c_pairs : ordered_pair list }
       (** one witness path per conflicting cross-thread site pair;
           [c_barrier] says whether barrier edges were needed *)
@@ -120,6 +147,19 @@ type finding_kind =
           interleaving can deadlock.  Single-thread order inversions
           are not reported — one thread's acquisitions are sequential
           and cannot deadlock alone. *)
+  | Async_escapes_finish of Tid.t
+      (** the task is spawned outside any finish scope by a spawner
+          with no enclosing scope of its own, so no finish ever joins
+          it *)
+  | Finish_never_closed of { owner : Tid.t; task : Tid.t }
+      (** a task (transitively) registered with one of [owner]'s
+          finish scopes joins [owner] itself: the scope provably never
+          closes (guaranteed deadlock) *)
+  | Join_of_task of Tid.t
+      (** explicit [Join] of an async-spawned task — finish scopes own
+          task joins; mixing tiers on one thread is a smell *)
+  | Unbounded_task_fanout of { tid : Tid.t; count : int; limit : int }
+      (** a single thread spawns more than [limit] sibling tasks *)
 
 type finding = {
   f_tid : Tid.t option;  (** offending thread, if thread-local *)
@@ -129,11 +169,18 @@ type finding = {
 type summary = {
   threads : int;
   skeleton : skeleton;
+  sp : Dpst.t option;
+      (** the labeled series-parallel decomposition; [Some] iff the
+          program uses the async-finish tier *)
   entries : entry list;  (** ascending {!Var.compare} *)
   findings : finding list;
   total_accesses : int;
   certified_accesses : int;
 }
+
+val fanout_limit : int
+(** Sibling-task count per spawner above which
+    [Unbounded_task_fanout] fires. *)
 
 val analyze : Program.t -> summary
 
@@ -155,6 +202,19 @@ val eliminator : granularity:Var.granularity -> summary -> Var.t -> bool
 
 val elimination_ratio : summary -> float
 (** certified accesses / total accesses ([0.] when no accesses). *)
+
+val mhp : summary -> node -> node -> bool
+(** May the two program points run in parallel?  Same-thread points
+    never do; distinct-thread points are answered in O(1) from the
+    DPST labeling when the program has a task tier, and conservatively
+    [true] otherwise.  (An answer of [false] is a proof; [true] is
+    only the absence of one.) *)
+
+val access_segments : Program.t -> (Tid.t * int array) list
+(** Per thread, the segment id of each of its accesses in statement
+    order — the bridge from "the k-th access event of thread t in a
+    trace" to a {!node} (and hence to {!mhp} queries).  Mirrors the
+    walk's segment discipline exactly. *)
 
 val check_certificate : summary -> entry -> (unit, string) result
 (** Replays a certificate against the entry's sites and the skeleton:

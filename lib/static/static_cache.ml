@@ -1,15 +1,16 @@
-let table : (string * int, Static.summary) Hashtbl.t = Hashtbl.create 8
+let table : (string * int * int, Static.summary) Hashtbl.t = Hashtbl.create 8
 let hits = ref 0
 let misses = ref 0
 
 let analyze ~workload ~scale program =
-  let key = (workload, scale) in
+  let p = program () in
+  let key = (workload, scale, Program.structural_hash p) in
   match Hashtbl.find_opt table key with
   | Some s ->
     incr hits;
     s
   | None ->
-    let s = Static.analyze (program ()) in
+    let s = Static.analyze p in
     incr misses;
     Hashtbl.replace table key s;
     s

@@ -33,10 +33,22 @@ let ordered_pair op =
       ("after", node op.op_after);
       ("hops", Obs_json.arr (List.map hop op.op_hops)) ]
 
+let sp_pair pr =
+  Obs_json.obj [ ("before", node pr.sp_before); ("after", node pr.sp_after) ]
+
 let certificate = function
   | Cert_thread_local t ->
     Obs_json.obj
       [ ("kind", Obs_json.str "thread_local"); ("tid", Obs_json.int t) ]
+  | Cert_task_local t ->
+    Obs_json.obj
+      [ ("kind", Obs_json.str "task_local"); ("tid", Obs_json.int t) ]
+  | Cert_sp_ordered { c_sp_pairs } ->
+    Obs_json.obj
+      [ ("kind", Obs_json.str "sp_ordered");
+        ("pair_count", Obs_json.int (List.length c_sp_pairs));
+        ("pairs", Obs_json.arr (List.map sp_pair (take max_pairs c_sp_pairs)))
+      ]
   | Cert_read_only -> Obs_json.obj [ ("kind", Obs_json.str "read_only") ]
   | Cert_lock_protected m ->
     Obs_json.obj
@@ -100,6 +112,19 @@ let finding_kind_fields = function
   | Lock_order_cycle { locks } ->
     [ ("kind", Obs_json.str "lock_order_cycle");
       ("locks", Obs_json.arr (List.map Obs_json.int locks)) ]
+  | Async_escapes_finish u ->
+    [ ("kind", Obs_json.str "async_escapes_finish"); ("tid", Obs_json.int u) ]
+  | Finish_never_closed { owner; task } ->
+    [ ("kind", Obs_json.str "finish_never_closed");
+      ("owner", Obs_json.int owner);
+      ("task", Obs_json.int task) ]
+  | Join_of_task u ->
+    [ ("kind", Obs_json.str "join_of_task"); ("tid", Obs_json.int u) ]
+  | Unbounded_task_fanout { tid; count; limit } ->
+    [ ("kind", Obs_json.str "unbounded_task_fanout");
+      ("tid", Obs_json.int tid);
+      ("count", Obs_json.int count);
+      ("limit", Obs_json.int limit) ]
 
 let finding f =
   Obs_json.obj
@@ -117,8 +142,8 @@ let verdict_counts entries =
     (List.map
        (fun k ->
          (k, Obs_json.int (Option.value ~default:0 (Hashtbl.find_opt tbl k))))
-       [ "thread_local"; "read_only"; "lock_protected"; "fork_join_ordered";
-         "barrier_phased"; "may_race" ])
+       [ "thread_local"; "task_local"; "read_only"; "lock_protected";
+         "sp_ordered"; "fork_join_ordered"; "barrier_phased"; "may_race" ])
 
 let document ?(source = "") s =
   let segments =
@@ -129,10 +154,19 @@ let document ?(source = "") s =
       ("source", Obs_json.str source);
       ( "program",
         Obs_json.obj
-          [ ("threads", Obs_json.int s.threads);
-            ("segments", Obs_json.int segments);
-            ("skeleton_edges", Obs_json.int (List.length s.skeleton.sk_edges))
-          ] );
+          ([ ("threads", Obs_json.int s.threads);
+             ("segments", Obs_json.int segments);
+             ("skeleton_edges", Obs_json.int (List.length s.skeleton.sk_edges))
+           ]
+          @
+          match s.sp with
+          | None -> []
+          | Some d ->
+            [ ( "task_tier",
+                Obs_json.obj
+                  [ ("dpst_nodes", Obs_json.int (Dpst.node_count d));
+                    ("dpst_depth", Obs_json.int (Dpst.tree_depth d));
+                    ("tasks", Obs_json.int (Dpst.task_count d)) ] ) ]) );
       ( "totals",
         Obs_json.obj
           [ ("variables", Obs_json.int (List.length s.entries));

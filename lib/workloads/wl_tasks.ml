@@ -1,0 +1,175 @@
+(* Task-parallel workloads for the async-finish tier.  Unlike the
+   Table 1 models (fork/join + barriers + locks), these three exercise
+   the structured-parallelism constructs: every spawn is an [Async],
+   every join is a [Finish] scope closing.  Their ordering is exactly
+   what the static DPST proves, so they are the showcase for the
+   [Task_local] and [Sp_ordered] verdicts — and the only family where
+   [--static-elim] can retire accesses no skeleton edge could.
+
+   - [treesum]: a binary task-tree reduction.  Internal node [i]
+     finishes [Async 2i; Async (2i+1)], then folds the children's
+     partials into its own — the read of a child partial is
+     series-ordered after the child's write by the finish scope.
+   - [taskpipe]: a four-stage pipeline; the main thread closes a
+     finish scope per stage, so stage k+1's reads of stage k's buffer
+     slices are series-ordered after the writes.
+   - [daccount]: divide-and-conquer account auditing with a seeded
+     racy variant: two leaves in different subtrees bump an
+     unsynchronized counter — parallel by the DPST, a real race every
+     precise detector must report. *)
+
+(* -- treesum: binary task-tree reduction --------------------------- *)
+
+(* Heap-numbered nodes 1..15: internals 1..7, leaves 8..15; tid 0 is
+   the driver.  [partial.(i)] carries node i's result up the tree. *)
+let treesum =
+  let program ~scale =
+    let a = Patterns.alloc () in
+    let config = Patterns.obj a ~fields:6 in
+    let partial = Array.init 16 (fun _ -> Patterns.var a) in
+    let scratch = Array.init 16 (fun _ -> Patterns.obj a ~fields:4) in
+    let internal i =
+      { Program.tid = i;
+        body =
+          Program.Finish
+            [ Program.Async (2 * i); Program.Async ((2 * i) + 1) ]
+          :: (Patterns.read_only ~reads:1
+                [| partial.(2 * i); partial.((2 * i) + 1) |]
+             @ [ Program.Write partial.(i) ]) }
+    in
+    let leaf i =
+      { Program.tid = i;
+        body =
+          Patterns.read_only ~reads:2 config
+          @ List.concat
+              (List.init scale (fun _ ->
+                   Patterns.work ~reads:3 ~writes:2 scratch.(i)))
+          @ [ Program.Write partial.(i) ] }
+    in
+    let main =
+      { Program.tid = 0;
+        body =
+          Program.Finish [ Program.Async 1 ]
+          :: Patterns.read_only ~reads:1 [| partial.(1) |] }
+    in
+    Program.make
+      (main
+      :: (List.init 7 (fun k -> internal (k + 1))
+         @ List.init 8 (fun k -> leaf (k + 8))))
+  in
+  { Workload.name = "treesum";
+    description = "binary task-tree reduction (nested finish scopes)";
+    threads = 16;
+    compute_bound = true;
+    expected_races = 0;
+    program }
+
+(* -- taskpipe: staged pipeline ------------------------------------- *)
+
+(* Four stages of three workers; the main thread runs one finish scope
+   per stage, so [buf.(k)] is fully written before stage k+1 starts
+   reading it.  Worker (k, j) owns slice [buf.(k).(j)]. *)
+let taskpipe =
+  let stages = 4 and width = 3 in
+  let program ~scale =
+    let a = Patterns.alloc () in
+    let buf =
+      Array.init (stages + 1) (fun _ ->
+          Array.init width (fun _ -> Patterns.obj a ~fields:5))
+    in
+    let tid_of k j = ((k - 1) * width) + j + 1 in
+    let worker k j =
+      { Program.tid = tid_of k j;
+        body =
+          List.concat
+            (List.init scale (fun _ ->
+                 List.concat_map
+                   (fun jj -> Patterns.read_only ~reads:1 buf.(k - 1).(jj))
+                   (List.init width Fun.id)
+                 @ Patterns.work ~reads:1 ~writes:1 buf.(k).(j))) }
+    in
+    let stage_finish k =
+      Program.Finish
+        (List.init width (fun j -> Program.Async (tid_of k j)))
+    in
+    let main =
+      { Program.tid = 0;
+        body =
+          List.concat_map
+            (fun j -> Patterns.work ~reads:0 ~writes:1 buf.(0).(j))
+            (List.init width Fun.id)
+          @ List.init stages (fun k -> stage_finish (k + 1))
+          @ List.concat_map
+              (fun j -> Patterns.read_only ~reads:1 buf.(stages).(j))
+              (List.init width Fun.id) }
+    in
+    Program.make
+      (main
+      :: List.concat
+           (List.init stages (fun k ->
+                List.init width (fun j -> worker (k + 1) j))))
+  in
+  { Workload.name = "taskpipe";
+    description = "staged pipeline (one finish scope per stage)";
+    threads = (stages * width) + 1;
+    compute_bound = true;
+    expected_races = 0;
+    program }
+
+(* -- daccount: divide-and-conquer with a seeded race --------------- *)
+
+(* Depth-2 D&C over account shards: tid 0 drives, task 1 splits into
+   2 and 3, which split into leaves 4/5 and 6/7.  Each leaf audits its
+   own shard (task-local), bumps a lock-protected total, and reports
+   through [partial].  The seeded bug: leaves 4 and 7 — in different
+   subtrees, hence parallel — also bump an unsynchronized hit counter. *)
+let daccount =
+  let program ~scale =
+    let a = Patterns.alloc () in
+    let partial = Array.init 8 (fun _ -> Patterns.var a) in
+    let shard = Array.init 8 (fun _ -> Patterns.obj a ~fields:4) in
+    let total_lock = Patterns.lock a in
+    let total = Patterns.var a in
+    let racy_first, racy_second = Patterns.racy_pair a in
+    let internal i =
+      { Program.tid = i;
+        body =
+          Program.Finish
+            [ Program.Async (2 * i); Program.Async ((2 * i) + 1) ]
+          :: (Patterns.read_only ~reads:1
+                [| partial.(2 * i); partial.((2 * i) + 1) |]
+             @ [ Program.Write partial.(i) ]) }
+    in
+    let leaf i =
+      let buggy = if i = 4 then racy_first else if i = 7 then racy_second else [] in
+      { Program.tid = i;
+        body =
+          List.concat
+            (List.init scale (fun _ ->
+                 Patterns.work ~reads:4 ~writes:1 shard.(i)))
+          @ buggy
+          @ Patterns.locked_work total_lock ~reads:1 ~writes:1 [| total |]
+          @ [ Program.Write partial.(i) ] }
+    in
+    let main =
+      { Program.tid = 0;
+        body =
+          Program.Finish [ Program.Async 1 ]
+          :: (Patterns.read_only ~reads:1 [| partial.(1) |]
+             @ Patterns.locked_work total_lock ~reads:1 ~writes:0
+                 [| total |]) }
+    in
+    Program.make
+      (main
+      :: (List.init 3 (fun k -> internal (k + 1))
+         @ List.init 4 (fun k -> leaf (k + 4))))
+  in
+  { Workload.name = "daccount";
+    description =
+      "divide-and-conquer audit (lock-protected total, 1 seeded race)";
+    threads = 8;
+    compute_bound = true;
+    expected_races = 1;
+    program }
+
+let all = [ treesum; taskpipe; daccount ]

@@ -1,0 +1,25 @@
+(** Task-parallel workloads built on the async-finish tier: every
+    spawn is an [Async], every join a [Finish] scope closing.  Their
+    inter-thread ordering is exactly what the static DPST proves, so
+    they exercise the [Task_local]/[Sp_ordered] verdicts and the
+    task-tier check elimination. *)
+
+val treesum : Workload.t
+(** Binary task-tree reduction over 15 heap-numbered nodes: each
+    internal node finishes its two child tasks, then folds their
+    partials.  Race-free ([Sp_ordered] partials, [Task_local]
+    scratch, read-only config). *)
+
+val taskpipe : Workload.t
+(** Four-stage, three-worker pipeline; the main thread closes one
+    finish scope per stage, series-ordering each stage's buffer writes
+    before the next stage's reads.  Race-free. *)
+
+val daccount : Workload.t
+(** Depth-2 divide-and-conquer account audit: task-local shards, a
+    lock-protected running total — and one seeded race between two
+    leaves in different subtrees (parallel by the DPST), which every
+    precise detector must report. *)
+
+val all : Workload.t list
+(** [treesum; taskpipe; daccount]. *)

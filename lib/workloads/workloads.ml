@@ -17,7 +17,8 @@ let table1 =
     Wl_apps.jbb ]
 
 let eclipse = Wl_eclipse.all
-let all = table1 @ eclipse
+let tasks = Wl_tasks.all
+let all = table1 @ eclipse @ tasks
 
 let find name =
   List.find_opt (fun w -> String.equal w.Workload.name name) all

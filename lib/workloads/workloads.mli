@@ -6,6 +6,9 @@ val table1 : Workload.t list
 val eclipse : Workload.t list
 (** The five Eclipse operations of Section 5.3. *)
 
+val tasks : Workload.t list
+(** The async-finish task-parallel family ({!Wl_tasks.all}). *)
+
 val all : Workload.t list
 
 val find : string -> Workload.t option

@@ -26,4 +26,5 @@ let () =
       Test_report.suite;
       Test_static.suite;
       Test_sampling.suite;
-      Test_workloads.suite ]
+      Test_workloads.suite;
+      Test_tasks.suite ]
