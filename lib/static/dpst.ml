@@ -5,10 +5,17 @@
 
    - the root acts as an implicit finish scope around the whole run;
    - a [Finish] node per lexical finish scope;
-   - an [Async] node per spawn site (both tiers: a [Fork] is an async
-     that escapes every finish scope — its join, if any, is ordered by
-     the skeleton's join edges instead, so treating it as escaped only
-     over-approximates parallelism, which is the sound direction);
+   - an [Async] node per spawn site.  Both tiers spawn through async
+     nodes, but their placement differs: an [Async]-tier task is
+     joined by its enclosing finish close, so its node nests at the
+     spawn site; a [Fork]-tier thread is never registered with any
+     finish frame (the scheduler joins only [Async] spawns at a close),
+     so when any finish scope is open on the attachment path its node
+     must escape them all — it attaches directly under the root,
+     parallel with everything.  Its join, if any, is ordered by the
+     skeleton's join edges instead, so escaping only over-approximates
+     parallelism, which is the sound direction.  A fork with no finish
+     open anywhere above keeps the precise spawn-site placement;
    - a [Step] leaf per static segment of a thread, in left-to-right
      program order.
 
@@ -23,7 +30,9 @@
    Threads that are spawned more than once, never spawned, or whose
    spawn multiplicity the walk could not pin down are attached directly
    under the root as escaped asyncs: parallel with everything, again
-   the sound over-approximation. *)
+   the sound over-approximation.  That fallback processes spawners
+   before their once-spawned targets, so a target deferred behind an
+   ambiguous spawner still nests at its unique spawn site. *)
 
 type shape =
   | Sp_spawn of Tid.t  (* Fork/Async site: segment boundary + P-branch *)
@@ -57,6 +66,7 @@ let build ~roots ~task_tids ~threads =
   let shapes_of = Hashtbl.create 16 in
   let nsegs_of = Hashtbl.create 16 in
   let spawn_count = Hashtbl.create 16 in
+  let spawner_of = Hashtbl.create 16 in
   List.iter
     (fun (tid, nsegs, shapes) ->
       Hashtbl.replace shapes_of tid shapes;
@@ -65,7 +75,8 @@ let build ~roots ~task_tids ~threads =
         (function
           | Sp_spawn u ->
             Hashtbl.replace spawn_count u
-              (1 + Option.value (Hashtbl.find_opt spawn_count u) ~default:0)
+              (1 + Option.value (Hashtbl.find_opt spawn_count u) ~default:0);
+            Hashtbl.replace spawner_of u tid
           | _ -> ())
         shapes)
     threads;
@@ -79,8 +90,11 @@ let build ~roots ~task_tids ~threads =
   let root = mk None Root in
   let steps = Hashtbl.create 16 in
   let tasks = Hashtbl.create 16 in
+  List.iter (fun u -> Hashtbl.replace tasks u ()) task_tids;
   let built = Hashtbl.create 16 in
-  let rec build_thread tid parent =
+  (* [fin_above]: a finish scope is open somewhere on the attachment
+     path from [parent] up to the root. *)
+  let rec build_thread tid parent ~fin_above =
     Hashtbl.replace built tid ();
     let nsegs = Hashtbl.find nsegs_of tid in
     let shapes = Hashtbl.find shapes_of tid in
@@ -97,11 +111,20 @@ let build ~roots ~task_tids ~threads =
       (fun sh ->
         match sh with
         | Sp_spawn u ->
-          let a = mk (Some (List.hd !stack)) Async in
+          let under_finish = fin_above || List.length !stack > 1 in
+          (* a fork-tier target is never registered with a finish
+             frame, so any open finish scope must not contain it:
+             escape to the root (an async-tier task nests here — the
+             enclosing close joins it) *)
+          let escapes = under_finish && not (Hashtbl.mem tasks u) in
+          let site = if escapes then root else List.hd !stack in
+          let a = mk (Some site) Async in
           (if Hashtbl.find_opt spawn_count u = Some 1
               && (not (Hashtbl.mem built u))
               && Hashtbl.mem shapes_of u
-           then build_thread u a);
+           then
+             build_thread u a
+               ~fin_above:(under_finish && Hashtbl.mem tasks u));
           incr seg;
           leaf ()
         | Sp_cut ->
@@ -122,17 +145,36 @@ let build ~roots ~task_tids ~threads =
   List.iter
     (fun tid ->
       let a = mk (Some root) Async in
-      build_thread tid a)
+      build_thread tid a ~fin_above:false)
     (List.sort_uniq Tid.compare roots);
   (* any thread still unbuilt (spawned 0 or >1 times, or reachable only
-     through such a thread) escapes under the root: ∥ everything *)
-  List.iter
-    (fun (tid, _, _) ->
-      if not (Hashtbl.mem built tid) then begin
-        let a = mk (Some root) Async in
-        build_thread tid a
-      end)
-    threads;
+     through such a thread) escapes under the root: ∥ everything.
+     Spawners go before their once-spawned targets (a target whose
+     unique spawner is itself still unbuilt is deferred), so the target
+     nests at its spawn site instead of detaching, whatever the
+     thread-list order; a pure spawn cycle is broken at the list head. *)
+  let rec drain () =
+    match
+      List.filter (fun (tid, _, _) -> not (Hashtbl.mem built tid)) threads
+    with
+    | [] -> ()
+    | ((first, _, _) :: _) as unbuilt ->
+      let deferred (tid, _, _) =
+        Hashtbl.find_opt spawn_count tid = Some 1
+        && (match Hashtbl.find_opt spawner_of tid with
+           | Some s -> not (Hashtbl.mem built s)
+           | None -> false)
+      in
+      let tid =
+        match List.find_opt (fun th -> not (deferred th)) unbuilt with
+        | Some (tid, _, _) -> tid
+        | None -> first
+      in
+      let a = mk (Some root) Async in
+      build_thread tid a ~fin_above:false;
+      drain ()
+  in
+  drain ();
   (* flatten to arrays *)
   let n = !counter in
   let kind = Array.make n Root in
@@ -190,7 +232,6 @@ let build ~roots ~task_tids ~threads =
             if depth.(euler.(a)) <= depth.(euler.(b)) then a else b)
     else table.(k) <- [||]
   done;
-  List.iter (fun u -> Hashtbl.replace tasks u ()) task_tids;
   { kind; parent; depth; rank; pre; euler; first; table; anc; steps;
     tasks }
 

@@ -4,10 +4,15 @@
 
     The tree has a [Root] node acting as an implicit finish around the
     whole run, a [Finish] node per finish scope, an [Async] node per
-    spawn site ([Fork] is modeled as an async escaping every finish —
-    a sound over-approximation of its parallelism; its join, when
-    provable, is handled by the skeleton's join edges instead), and a
-    [Step] leaf per static thread segment in program order.
+    spawn site, and a [Step] leaf per static thread segment in program
+    order.  An [Async]-tier task nests at its spawn site (the
+    enclosing finish close joins it); a [Fork]-tier thread is never
+    joined by a finish close, so when any finish scope is open on the
+    attachment path its node escapes them all and attaches under the
+    root — a sound over-approximation of its parallelism; its join,
+    when provable, is handled by the skeleton's join edges instead.
+    A fork spawned with no finish open above keeps the precise
+    spawn-site placement.
 
     By the DPST theorem (Raman et al., OOPSLA 2012), for step leaves
     [a] before [b] in the tree's left-to-right order, [a] may happen
@@ -39,7 +44,9 @@ val build :
     [threads] carries, per thread, its segment count and the shape
     list recorded by the static walk (whose segment-boundary
     discipline it must match exactly).  Threads spawned other than
-    exactly once attach under the root — parallel with everything. *)
+    exactly once attach under the root — parallel with everything —
+    with spawners processed before their once-spawned targets so a
+    deferred target still nests at its unique spawn site. *)
 
 val mhp : t -> Tid.t * int -> Tid.t * int -> bool
 (** [mhp d (t1, s1) (t2, s2)]: may segment [s1] of thread [t1] run in

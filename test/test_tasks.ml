@@ -13,7 +13,10 @@
      warnings and witnesses byte-identical with elimination on —
      sequentially, under both parallel plans, and through the sampling
      tier at rate 1.0.
-   - QCheck2: on random async-finish programs, every certificate
+   - A Fork inside a Finish escapes the scope: the forked thread stays
+     statically parallel with post-finish code (soundness regression).
+   - QCheck2: on random async-finish programs — with fork-tier spawns
+     mixed in, including inside finish bodies — every certificate
      replays, and static series-ordering is sound against the dynamic
      happens-before oracle on every schedule seed — any dynamically
      concurrent access pair must be statically MHP. *)
@@ -251,6 +254,74 @@ let test_task_lints () =
     Workloads.tasks
 
 (* ------------------------------------------------------------------ *)
+(* fork-tier escape from finish scopes                                *)
+
+(* A Fork inside a Finish is legal, but the finish close joins only
+   Async-registered tasks — the forked thread runs past the close and
+   races with post-finish code.  The DPST must place it parallel with
+   everything outside its spawn point (regression for an unsound
+   Sp_ordered certificate that let --static-elim drop a real race). *)
+let test_fork_escapes_finish () =
+  let program =
+    Program.make
+      [ { Program.tid = 0;
+          body = [ Program.Finish [ Program.Fork 1 ]; Program.Write x0 ] };
+        { Program.tid = 1; body = [ Program.Write x0 ] } ]
+  in
+  let s = Static.analyze program in
+  Alcotest.(check bool) "forked thread parallel with post-finish write" true
+    (Static.mhp s (node 1 0) (node 0 3));
+  Alcotest.(check int) "racy variable stays may-race" 1
+    (count_verdict s "may_race");
+  let skip = Static.eliminator ~granularity:Var.Fine s in
+  let elim_config = Config.with_static_elim skip Config.default in
+  List.iter
+    (fun seed ->
+      let tr =
+        Scheduler.run ~options:{ Scheduler.default_options with seed } program
+      in
+      let base = Driver.run (module Fasttrack) tr in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: the race is real" seed)
+        true
+        (base.Driver.warnings <> []);
+      let elim = Driver.run ~config:elim_config (module Fasttrack) tr in
+      Alcotest.check warnings_t
+        (Printf.sprintf "seed %d: warnings survive elimination" seed)
+        base.Driver.warnings elim.Driver.warnings)
+    [ 1; 5; 9 ];
+  (* a fork with no finish open above keeps the precise spawn-site
+     placement: the spawner's prologue stays series-ordered before it *)
+  let s2 =
+    Static.analyze
+      (Program.make
+         [ { Program.tid = 0;
+             body =
+               [ Program.Write x0;
+                 Program.Fork 1;
+                 Program.Finish [ Program.Async 2 ] ] };
+           { Program.tid = 1; body = [ Program.Read x0 ] };
+           { Program.tid = 2; body = [] } ])
+  in
+  Alcotest.(check bool) "pre-fork write ordered before forked read" false
+    (Static.mhp s2 (node 0 0) (node 1 0))
+
+(* The root-escape fallback builds spawners before their once-spawned
+   targets: here thread 1 precedes its unique spawner 2 in the thread
+   list, and 2 itself is fork-ambiguous (spawned twice), yet 1 must
+   still nest under 2's spawn site rather than detach under the root. *)
+let test_fallback_spawner_order () =
+  let program =
+    Program.make
+      [ { Program.tid = 0; body = [ Program.Fork 2; Program.Fork 2 ] };
+        { Program.tid = 1; body = [ Program.Read x0 ] };
+        { Program.tid = 2; body = [ Program.Write x0; Program.Async 1 ] } ]
+  in
+  let s = Static.analyze program in
+  Alcotest.(check bool) "spawner prologue ordered before its task" false
+    (Static.mhp s (node 2 0) (node 1 0))
+
+(* ------------------------------------------------------------------ *)
 (* elimination differential across drivers and the sampling tier      *)
 
 let full_rate_sampling = { Config.rate = 1.0; budget = 8; seed = 1 }
@@ -306,13 +377,16 @@ let test_task_elimination_differential () =
 (* ------------------------------------------------------------------ *)
 (* random async-finish programs                                       *)
 
-(* A random spawn tree: task [k] (1-based) is asynced by a uniformly
-   chosen earlier thread.  Each spawner wraps its child spawns in one
-   finish scope, per-child finish scopes, or — deliberately — none
-   (escaped asyncs are legal programs with maximal parallelism; the
-   linter flags them but the MHP answers must still be sound).
-   Thread bodies interleave accesses to a small shared pool before,
-   between and after the spawns. *)
+(* A random spawn tree: thread [k] (1-based) is spawned by a uniformly
+   chosen earlier thread — usually through [Async], sometimes through
+   [Fork], so the property covers tier mixing (in particular a Fork
+   inside a Finish body, which must escape the scope).  Each spawner
+   wraps its child spawns in one finish scope, per-child finish
+   scopes, or — deliberately — none (escaped asyncs are legal
+   programs with maximal parallelism; the linter flags them but the
+   MHP answers must still be sound).  Thread bodies interleave
+   accesses to a small shared pool before, between and after the
+   spawns. *)
 let gen_task_program_and_seed =
   QCheck2.Gen.(
     let* ntasks = int_range 1 6 in
@@ -322,6 +396,12 @@ let gen_task_program_and_seed =
       flatten_l (List.init ntasks (fun i -> int_range 0 i))
     in
     let parents = Array.of_list parents in
+    (* per-target spawn tier; ensure at least one Async so the program
+       stays inside the task tier (a DPST is built) even when every
+       coin lands on Fork *)
+    let* tiers = list_repeat ntasks (frequencyl [ (3, true); (1, false) ]) in
+    let tiers = Array.of_list tiers in
+    tiers.(0) <- true;
     (* children t = tasks k with parents.(k-1) = t, ascending *)
     let children t =
       List.filter_map
@@ -343,14 +423,19 @@ let gen_task_program_and_seed =
     and mid = Array.of_list mid
     and post = Array.of_list post in
     let body t =
-      let asyncs = List.map (fun k -> Program.Async k) (children t) in
+      let spawns =
+        List.map
+          (fun k ->
+            if tiers.(k - 1) then Program.Async k else Program.Fork k)
+          (children t)
+      in
       let spawn =
-        match (asyncs, styles.(t)) with
+        match (spawns, styles.(t)) with
         | [], _ -> []
-        | _, 0 -> [ Program.Finish (asyncs @ mid.(t)) ]
-        | _, 1 -> asyncs @ mid.(t)
+        | _, 0 -> [ Program.Finish (spawns @ mid.(t)) ]
+        | _, 1 -> spawns @ mid.(t)
         | _, _ ->
-          List.map (fun a -> Program.Finish [ a ]) asyncs @ mid.(t)
+          List.map (fun s -> Program.Finish [ s ]) spawns @ mid.(t)
       in
       pre.(t) @ spawn @ post.(t)
     in
@@ -485,6 +570,10 @@ let suite =
       Alcotest.test_case "Program.make names the offender" `Quick
         test_make_validation;
       Alcotest.test_case "task-structure lints" `Quick test_task_lints;
+      Alcotest.test_case "fork escapes finish scopes" `Quick
+        test_fork_escapes_finish;
+      Alcotest.test_case "fallback builds spawners first" `Quick
+        test_fallback_spawner_order;
       Alcotest.test_case
         "task elimination differential (seq, plans, sampling)" `Slow
         test_task_elimination_differential;
